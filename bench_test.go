@@ -1,0 +1,295 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hashing"
+	"repro/internal/powerlaw"
+	"repro/internal/schemes/baseline"
+	"repro/internal/schemes/distance"
+	"repro/internal/schemes/forest"
+	"repro/internal/schemes/onequery"
+)
+
+// ---------------------------------------------------------------------------
+// Experiment benchmarks: one per table/figure of the evaluation. Each runs
+// the same code path as `plbench -experiment <ID> -quick`; run plbench for
+// the rendered tables and see EXPERIMENTS.md for paper-vs-measured numbers.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, run func(experiments.Config) ([]*experiments.Table, error)) {
+	b.Helper()
+	cfg := experiments.Config{Quick: true, Seed: 20160711}
+	for i := 0; i < b.N; i++ {
+		tables, err := run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1LabelSizeVsN(b *testing.B)     { benchExperiment(b, experiments.E1LabelSizeVsN) }
+func BenchmarkE2ThresholdSweep(b *testing.B)   { benchExperiment(b, experiments.E2ThresholdSweep) }
+func BenchmarkE3AlphaSweep(b *testing.B)       { benchExperiment(b, experiments.E3AlphaSweep) }
+func BenchmarkE4LowerBound(b *testing.B)       { benchExperiment(b, experiments.E4LowerBound) }
+func BenchmarkE5DistanceLabels(b *testing.B)   { benchExperiment(b, experiments.E5DistanceLabels) }
+func BenchmarkE6BAForest(b *testing.B)         { benchExperiment(b, experiments.E6BAForest) }
+func BenchmarkE7OneQuery(b *testing.B)         { benchExperiment(b, experiments.E7OneQuery) }
+func BenchmarkE8DecodeThroughput(b *testing.B) { benchExperiment(b, experiments.E8DecodeThroughput) }
+func BenchmarkE9ThresholdAblation(b *testing.B) {
+	benchExperiment(b, experiments.E9ThresholdAblation)
+}
+func BenchmarkE10FatEncoding(b *testing.B) { benchExperiment(b, experiments.E10FatEncoding) }
+func BenchmarkE11DynamicRelabels(b *testing.B) {
+	benchExperiment(b, experiments.E11DynamicRelabels)
+}
+func BenchmarkE12IncompleteKnowledge(b *testing.B) {
+	benchExperiment(b, experiments.E12IncompleteKnowledge)
+}
+func BenchmarkE13UniversalGraphs(b *testing.B) {
+	benchExperiment(b, experiments.E13UniversalGraphs)
+}
+func BenchmarkE14ExpectedLabelSize(b *testing.B) {
+	benchExperiment(b, experiments.E14ExpectedLabelSize)
+}
+func BenchmarkE15CompressedThin(b *testing.B) {
+	benchExperiment(b, experiments.E15CompressedThin)
+}
+func BenchmarkE16CommunicationCost(b *testing.B) {
+	benchExperiment(b, experiments.E16CommunicationCost)
+}
+func BenchmarkE17RoutingStretch(b *testing.B) {
+	benchExperiment(b, experiments.E17RoutingStretch)
+}
+func BenchmarkE18PriceOfLocality(b *testing.B) {
+	benchExperiment(b, experiments.E18PriceOfLocality)
+}
+func BenchmarkE19GenerativeModels(b *testing.B) {
+	benchExperiment(b, experiments.E19GenerativeModels)
+}
+func BenchmarkE20EncodeScalability(b *testing.B) {
+	benchExperiment(b, experiments.E20EncodeScalability)
+}
+func BenchmarkE21AdversarialH(b *testing.B) {
+	benchExperiment(b, experiments.E21AdversarialH)
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: encoder throughput and per-query decode latency for each
+// scheme on a shared power-law workload.
+// ---------------------------------------------------------------------------
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.ChungLuPowerLaw(1<<14, 2.5, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkEncodePowerLaw(b *testing.B) {
+	g := benchGraph(b)
+	s := core.NewPowerLawScheme(2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePowerLawParallel(b *testing.B) {
+	g := benchGraph(b)
+	s := core.NewPowerLawScheme(2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EncodeParallel(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeSparse(b *testing.B) {
+	g := benchGraph(b)
+	s := core.NewSparseSchemeAuto()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeForest(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (forest.Scheme{}).Encode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeOneQuery(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (onequery.Scheme{Seed: 1}).Encode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDistanceF3(b *testing.B) {
+	g, err := gen.ChungLuPowerLaw(1<<11, 2.5, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (distance.Scheme{Alpha: 2.5, F: 3}).Encode(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// queryPairs builds a deterministic query mix (half edges, half random).
+func queryPairs(g *graph.Graph, count int) [][2]int {
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([][2]int, 0, count)
+	budget := count / 2
+	g.Edges(func(u, v int) {
+		if budget > 0 {
+			pairs = append(pairs, [2]int{u, v})
+			budget--
+		}
+	})
+	for len(pairs) < count {
+		pairs = append(pairs, [2]int{rng.Intn(g.N()), rng.Intn(g.N())})
+	}
+	return pairs
+}
+
+func benchDecode(b *testing.B, s core.Scheme) {
+	b.Helper()
+	g := benchGraph(b)
+	lab, err := s.Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := queryPairs(g, 4096)
+	b.ReportMetric(float64(lab.Stats().Max), "maxlabelbits")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := lab.Adjacent(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodePowerLaw(b *testing.B) { benchDecode(b, core.NewPowerLawScheme(2.5)) }
+func BenchmarkDecodeSparse(b *testing.B)   { benchDecode(b, core.NewSparseSchemeAuto()) }
+func BenchmarkDecodeForest(b *testing.B)   { benchDecode(b, forest.Scheme{}) }
+func BenchmarkDecodeNeighborList(b *testing.B) {
+	benchDecode(b, baseline.NeighborList{})
+}
+
+func BenchmarkDecodeOneQuery(b *testing.B) {
+	g := benchGraph(b)
+	enc, err := (onequery.Scheme{Seed: 1}).Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := queryPairs(g, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := enc.Adjacent(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeDistanceF3(b *testing.B) {
+	g, err := gen.ChungLuPowerLaw(1<<11, 2.5, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := (distance.Scheme{Alpha: 2.5, F: 3}).Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := queryPairs(g, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := lab.Dist(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate benchmarks.
+// ---------------------------------------------------------------------------
+
+func BenchmarkZeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := powerlaw.Zeta(2.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFKSBuild(b *testing.B) {
+	keys := make([]uint64, 1<<15)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 99
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hashing.Build(keys, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChungLuGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.ChungLuPowerLaw(1<<14, 2.5, 2, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBAGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.BarabasiAlbert(1<<14, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlEmbed(b *testing.B) {
+	p, err := powerlaw.NewParams(2.5, 1<<13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := gen.ErdosRenyi(p.I1, 0.5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.PlEmbed(p, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command plbench regenerates the experiment tables of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured discussion).
+//
+// Usage:
+//
+//	plbench [-experiment E1] [-quick] [-seed N] [-list]
+//
+// With no -experiment flag every experiment runs in index order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "plbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("plbench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment ID to run (e.g. E1); empty runs all")
+		quick      = fs.Bool("quick", false, "reduced graph sizes (seconds instead of minutes)")
+		seed       = fs.Int64("seed", 20160711, "generator seed")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		format     = fs.String("format", "table", "output format: table | csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Description)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	runners := experiments.All()
+	if *experiment != "" {
+		r, ok := experiments.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *experiment)
+		}
+		runners = []experiments.Runner{r}
+	}
+	render := func(t *experiments.Table) error { return t.Render(os.Stdout) }
+	switch *format {
+	case "table":
+	case "csv":
+		render = func(t *experiments.Table) error { return t.RenderCSV(os.Stdout) }
+	default:
+		return fmt.Errorf("unknown format %q (table | csv)", *format)
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tables, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		for _, t := range tables {
+			if err := render(t); err != nil {
+				return err
+			}
+		}
+		if *format == "table" {
+			fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "E99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if err := run([]string{"-format", "yaml", "-experiment", "E13", "-quick"}); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestRunOneExperimentCSV(t *testing.T) {
+	if err := run([]string{"-experiment", "E13", "-quick", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command plgen generates graphs in the repository's edge-list format.
+//
+// Usage:
+//
+//	plgen -model chunglu -n 10000 -alpha 2.5 [-seed N] [-o out.el]
+//	plgen -model ba -n 10000 -m 3
+//	plgen -model config -n 10000 -alpha 2.5
+//	plgen -model er -n 10000 -p 0.001
+//	plgen -model waxman -n 2000 -beta 0.4 -gamma 0.15
+//	plgen -model lognormal -n 10000 -mu 1.0 -sigma 1.1
+//	plgen -model hierarchical -n 4096
+//	plgen -model pl -n 10000 -alpha 2.5        (Section 5 P_l construction)
+//
+// Output goes to stdout unless -o is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/powerlaw"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "plgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("plgen", flag.ContinueOnError)
+	var (
+		model = fs.String("model", "chunglu", "chunglu | ba | config | er | waxman | lognormal | hierarchical | pl | tree")
+		n     = fs.Int("n", 10000, "number of vertices")
+		alpha = fs.Float64("alpha", 2.5, "power-law exponent (chunglu, config, pl)")
+		wmin  = fs.Float64("wmin", 2, "minimum expected degree (chunglu)")
+		m     = fs.Int("m", 3, "attachment parameter (ba)")
+		p     = fs.Float64("p", 0.001, "edge probability (er)")
+		beta  = fs.Float64("beta", 0.4, "Waxman beta")
+		gamma = fs.Float64("gamma", 0.15, "Waxman gamma")
+		mu    = fs.Float64("mu", 1.0, "lognormal log-mean")
+		sigma = fs.Float64("sigma", 1.1, "lognormal log-stddev")
+		seed  = fs.Int64("seed", 1, "generator seed")
+		out   = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := generate(*model, *n, *alpha, *wmin, *m, *p, *beta, *gamma, *mu, *sigma, *seed)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteEdgeList(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "plgen: %s graph, n=%d m=%d maxdeg=%d\n", *model, g.N(), g.M(), g.MaxDegree())
+	return nil
+}
+
+func generate(model string, n int, alpha, wmin float64, m int, p, beta, gamma, mu, sigma float64, seed int64) (*graph.Graph, error) {
+	switch model {
+	case "chunglu":
+		return gen.ChungLuPowerLaw(n, alpha, wmin, seed)
+	case "ba":
+		return gen.BarabasiAlbert(n, m, seed)
+	case "config":
+		return gen.PowerLawConfiguration(n, alpha, seed)
+	case "er":
+		return gen.ErdosRenyi(n, p, seed), nil
+	case "waxman":
+		return gen.Waxman(n, beta, gamma, seed)
+	case "tree":
+		return gen.RandomTree(n, seed), nil
+	case "lognormal":
+		return gen.ChungLuLogNormal(n, mu, sigma, seed)
+	case "hierarchical":
+		// 3 levels, fanout 4: leafSize chosen so the total is close to n.
+		leaf := n / 16
+		if leaf < 2 {
+			leaf = 2
+		}
+		return gen.Hierarchical(3, 4, leaf, 0.2, seed)
+	case "pl":
+		params, err := powerlaw.NewParams(alpha, n)
+		if err != nil {
+			return nil, err
+		}
+		h := gen.ErdosRenyi(params.I1, 0.5, seed)
+		emb, err := gen.PlEmbed(params, h)
+		if err != nil {
+			return nil, err
+		}
+		return emb.G, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

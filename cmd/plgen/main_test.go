@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateModels(t *testing.T) {
+	cases := []struct {
+		model string
+		n     int
+	}{
+		{"chunglu", 500},
+		{"ba", 500},
+		{"config", 500},
+		{"er", 200},
+		{"waxman", 150},
+		{"tree", 300},
+		{"lognormal", 400},
+		{"pl", 4096},
+	}
+	for _, tc := range cases {
+		g, err := generate(tc.model, tc.n, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model, err)
+		}
+		if g.N() != tc.n {
+			t.Errorf("%s: n=%d, want %d", tc.model, g.N(), tc.n)
+		}
+	}
+	if _, err := generate("hierarchical", 4096, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1); err != nil {
+		t.Fatalf("hierarchical: %v", err)
+	}
+	if _, err := generate("nope", 10, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunWritesEdgeList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "er", "-n", "50", "-p", "0.1", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 50 {
+		t.Errorf("round-tripped n=%d", g.N())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "bogus"}, &out); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

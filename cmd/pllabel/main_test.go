@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func edgeListFixture(t *testing.T) string {
+	t.Helper()
+	g, err := gen.ChungLuPowerLaw(400, 2.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.el")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	path := edgeListFixture(t)
+	for _, scheme := range []string{"powerlaw", "sparse", "auto", "forest", "onequery", "nbrlist", "adjmatrix"} {
+		var out bytes.Buffer
+		err := run([]string{"-scheme", scheme, "-in", path}, strings.NewReader(""), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if !strings.Contains(out.String(), "verify: ok") {
+			t.Errorf("%s: missing verification line in %q", scheme, out.String())
+		}
+	}
+}
+
+func TestRunFixedThreshold(t *testing.T) {
+	path := edgeListFixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "fixed", "-tau", "5", "-in", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scheme", "fixed", "-tau", "0", "-in", path}, strings.NewReader(""), &out); err == nil {
+		t.Error("tau=0 accepted")
+	}
+}
+
+func TestRunFitFlag(t *testing.T) {
+	path := edgeListFixture(t)
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "auto", "-fit", "-in", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fit: alpha=") {
+		t.Errorf("missing fit line in %q", out.String())
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "sparse"}, strings.NewReader("0 1\n1 2\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "n=3") {
+		t.Errorf("stdin graph not parsed: %q", out.String())
+	}
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "nope"}, strings.NewReader("0 1\n"), &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunWritesStore(t *testing.T) {
+	path := edgeListFixture(t)
+	storePath := filepath.Join(t.TempDir(), "labels.pllb")
+	var out bytes.Buffer
+	if err := run([]string{"-scheme", "auto", "-in", path, "-o", storePath}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty label store written")
+	}
+}

@@ -1,0 +1,123 @@
+// Command plquery answers adjacency queries from a label store produced by
+// pllabel -o. The graph itself is never loaded — queries are resolved from
+// the stored labels alone, which is the whole point of a labeling scheme.
+//
+// Usage:
+//
+//	pllabel -scheme auto -in graph.el -o labels.pllb
+//	plquery -labels labels.pllb            # interactive: "u v" per line
+//	echo "3 17" | plquery -labels labels.pllb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/labelstore"
+	"repro/internal/schemes/baseline"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "plquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("plquery", flag.ContinueOnError)
+	var (
+		labelsPath = fs.String("labels", "", "label store file (required)")
+		stats      = fs.Bool("stats", false, "print store statistics and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *labelsPath == "" {
+		return fmt.Errorf("-labels is required")
+	}
+	f, err := os.Open(*labelsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	store, err := labelstore.Read(f)
+	if err != nil {
+		return err
+	}
+	n, err := store.IntParam("n")
+	if err != nil {
+		return err
+	}
+	dec, err := decoderFor(store.Scheme, n)
+	if err != nil {
+		return err
+	}
+
+	if *stats {
+		max, total := 0, int64(0)
+		for _, l := range store.Labels {
+			if l.Len() > max {
+				max = l.Len()
+			}
+			total += int64(l.Len())
+		}
+		fmt.Fprintf(stdout, "scheme=%s n=%d max=%d bits mean=%.1f bits\n",
+			store.Scheme, store.N(), max, float64(total)/float64(max1(store.N())))
+		return nil
+	}
+
+	sc := bufio.NewScanner(stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			fmt.Fprintf(stdout, "error: want \"u v\", got %q\n", line)
+			continue
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || u < 0 || u >= store.N() || v < 0 || v >= store.N() {
+			fmt.Fprintf(stdout, "error: invalid vertex pair %q (n=%d)\n", line, store.N())
+			continue
+		}
+		adj, err := dec.Adjacent(store.Labels[u], store.Labels[v])
+		if err != nil {
+			fmt.Fprintf(stdout, "error: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%d %d %v\n", u, v, adj)
+	}
+	return sc.Err()
+}
+
+// decoderFor maps stored scheme names to their label-pair decoders.
+func decoderFor(scheme string, n int) (core.AdjacencyDecoder, error) {
+	switch {
+	case strings.HasPrefix(scheme, "sparse"),
+		strings.HasPrefix(scheme, "powerlaw"),
+		strings.HasPrefix(scheme, "fatthin"),
+		scheme == "nbrlist":
+		return core.NewFatThinDecoder(n), nil
+	case scheme == "adjmatrix":
+		return baseline.NewAdjMatrixDecoder(n), nil
+	default:
+		return nil, fmt.Errorf("no decoder registered for scheme %q", scheme)
+	}
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+// Socialgraph: the workload the paper's introduction motivates — a social
+// network whose degree distribution follows a power law. The example fits
+// the exponent from the data (as a practitioner would, since α is never
+// handed to you), predicts the fat/thin threshold from the fitted curve,
+// and compares the resulting labels against every other scheme in the
+// repository on the same graph.
+//
+//	go run ./examples/socialgraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/powerlaw"
+	"repro/internal/schemes/baseline"
+	"repro/internal/schemes/forest"
+	"repro/internal/schemes/onequery"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("socialgraph: ")
+
+	// A "social network": heavy-tailed Chung–Lu graph, 30k members.
+	const n = 30000
+	g, err := gen.ChungLuPowerLaw(n, 2.3, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("social graph: n=%d friendships=%d, most-connected member has %d friends\n",
+		g.N(), g.M(), g.MaxDegree())
+
+	// Fit the power-law exponent from the degree sample — the paper's
+	// "threshold prediction depends only on the coefficient α of a power-law
+	// curve fitted to the degree distribution".
+	degrees := g.Degrees()
+	fit, err := powerlaw.FitAlpha(degrees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted degree distribution: α=%.2f (xmin=%d, KS=%.3f)\n", fit.Alpha, fit.Xmin, fit.KS)
+
+	auto := core.NewPowerLawSchemeAuto()
+	tau, err := auto.Threshold(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted fat/thin threshold: %d (members with ≥%d friends are \"fat\")\n\n", tau, tau)
+
+	// Compare all adjacency schemes on this one graph.
+	type result struct {
+		name     string
+		max      int
+		mean     float64
+		totalKiB float64
+	}
+	var results []result
+	schemes := []core.Scheme{
+		auto,
+		core.NewSparseSchemeAuto(),
+		forest.Scheme{},
+		baseline.NeighborList{},
+		baseline.AdjMatrix{},
+	}
+	for _, s := range schemes {
+		lab, err := s.Encode(g)
+		if err != nil {
+			log.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := lab.Verify(g); err != nil {
+			log.Fatalf("%s: %v", s.Name(), err)
+		}
+		st := lab.Stats()
+		results = append(results, result{s.Name(), st.Max, st.Mean, float64(st.Total) / 8 / 1024})
+	}
+	oq, err := (onequery.Scheme{Seed: 7}).Encode(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := oq.Verify(g); err != nil {
+		log.Fatal(err)
+	}
+	ost := oq.Stats()
+	results = append(results, result{"onequery (1 extra fetch)", ost.Max, ost.Mean, float64(ost.Total) / 8 / 1024})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scheme\tmax bits\tmean bits\ttotal KiB")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\n", r.name, r.max, r.mean, r.totalKiB)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nall schemes verified against the graph; the power-law scheme keeps")
+	fmt.Println("worst-case labels near n^(1/α) bits while the matrix baseline needs ~n bits")
+}

@@ -1,0 +1,142 @@
+// Package arboricity computes low-outdegree acyclic orientations and forest
+// decompositions of sparse graphs.
+//
+// Proposition 5 of the paper labels Barabási–Albert graphs by decomposing
+// them into O(m) forests and labeling each forest with a tree scheme. The
+// decomposition here is the classical degeneracy (smallest-last) peeling:
+// repeatedly remove a minimum-degree vertex and orient its remaining edges
+// away from it. The resulting orientation is acyclic with maximum outdegree
+// equal to the graph's degeneracy d, and d ≤ 2·arboricity - 1, matching the
+// 2-approximation the paper cites (Arikati–Maheshwari–Zaroliagis).
+// Splitting the out-edges by rank then yields d forests.
+package arboricity
+
+import (
+	"repro/internal/graph"
+)
+
+// Orientation is an acyclic orientation of a graph with bounded outdegree.
+type Orientation struct {
+	// Out[v] lists the heads of v's out-edges, in peeling order.
+	Out [][]int32
+	// MaxOut is the maximum outdegree (the graph's degeneracy).
+	MaxOut int
+	// Order is the peeling order (Order[i] = i-th removed vertex).
+	Order []int
+}
+
+// Orient computes the degeneracy ordering and the induced acyclic
+// orientation in O(n + m) time using bucketed min-degree peeling.
+func Orient(g *graph.Graph) *Orientation {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue over current degrees.
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	removed := make([]bool, n)
+	out := make([][]int32, n)
+	order := make([]int, 0, n)
+	degeneracy := 0
+	cur := 0
+	for len(order) < n {
+		// Find the lowest non-empty bucket; cur may need to step back by at
+		// most 1 after each removal, so clamp rather than reset.
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		v := int(buckets[cur][len(buckets[cur])-1])
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			// Stale bucket entry (degree changed since insertion).
+			continue
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.Neighbors(v) {
+			if removed[w] {
+				continue
+			}
+			// Orient v -> w (w survives v).
+			out[v] = append(out[v], w)
+			deg[w]--
+			buckets[deg[w]] = append(buckets[deg[w]], w)
+		}
+	}
+	maxOut := 0
+	for v := range out {
+		if len(out[v]) > maxOut {
+			maxOut = len(out[v])
+		}
+	}
+	return &Orientation{Out: out, MaxOut: maxOut, Order: order}
+}
+
+// Degeneracy returns the degeneracy of g. A vertex's outdegree in the
+// smallest-last orientation equals its degree at removal time, so the
+// degeneracy is exactly the orientation's maximum outdegree.
+func Degeneracy(g *graph.Graph) int { return Orient(g).MaxOut }
+
+// Decomposition is a partition of a graph's edges into rooted forests,
+// each represented as a parent array: Parent[i][v] is v's parent in forest
+// i, or -1 if v has no parent there. Every edge {u,v} appears in exactly one
+// forest, as either Parent[i][u] = v or Parent[i][v] = u.
+type Decomposition struct {
+	Parent [][]int32
+	N      int
+}
+
+// Forests returns the number of forests in the decomposition.
+func (d *Decomposition) Forests() int { return len(d.Parent) }
+
+// Decompose splits g's edges into at most degeneracy(g) forests: forest i
+// consists of every vertex's i-th out-edge in the acyclic orientation.
+// Because the orientation is acyclic and each vertex contributes at most one
+// edge per forest, each part is indeed a forest.
+func Decompose(g *graph.Graph) *Decomposition {
+	o := Orient(g)
+	n := g.N()
+	k := o.MaxOut
+	parent := make([][]int32, k)
+	for i := range parent {
+		p := make([]int32, n)
+		for v := range p {
+			p[v] = -1
+		}
+		parent[i] = p
+	}
+	for v := 0; v < n; v++ {
+		for i, w := range o.Out[v] {
+			parent[i][v] = w
+		}
+	}
+	return &Decomposition{Parent: parent, N: n}
+}
+
+// ArboricityLowerBound returns the density lower bound
+// ceil(m / (n-1)) ≤ arboricity, from Nash-Williams' formula applied to the
+// whole graph.
+func ArboricityLowerBound(g *graph.Graph) int {
+	if g.N() <= 1 {
+		return 0
+	}
+	m, n := g.M(), g.N()
+	return (m + n - 2) / (n - 1) // ceil(m / (n-1))
+}

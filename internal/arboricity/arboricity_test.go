@@ -1,0 +1,172 @@
+package arboricity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestOrientEveryEdgeOnce(t *testing.T) {
+	g := gen.ErdosRenyi(200, 0.05, 1)
+	o := Orient(g)
+	count := 0
+	seen := map[[2]int]bool{}
+	for v := range o.Out {
+		for _, w := range o.Out[v] {
+			a, b := v, int(w)
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				t.Fatalf("edge (%d,%d) oriented twice", a, b)
+			}
+			seen[[2]int{a, b}] = true
+			if !g.HasEdge(v, int(w)) {
+				t.Fatalf("oriented non-edge (%d,%d)", v, w)
+			}
+			count++
+		}
+	}
+	if count != g.M() {
+		t.Errorf("oriented %d edges, graph has %d", count, g.M())
+	}
+}
+
+func TestOrientAcyclic(t *testing.T) {
+	// The orientation must follow the peeling order: every out-edge goes to
+	// a vertex removed later.
+	g := gen.ErdosRenyi(150, 0.08, 2)
+	o := Orient(g)
+	rank := make([]int, g.N())
+	for i, v := range o.Order {
+		rank[v] = i
+	}
+	for v := range o.Out {
+		for _, w := range o.Out[v] {
+			if rank[v] >= rank[int(w)] {
+				t.Fatalf("out-edge (%d→%d) violates peeling order", v, w)
+			}
+		}
+	}
+}
+
+func TestDegeneracyKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.Empty(5), 0},
+		{"path", gen.Path(10), 1},
+		{"tree", gen.RandomTree(50, 3), 1},
+		{"cycle", gen.Cycle(10), 2},
+		{"K5", gen.Complete(5), 4},
+		{"K3x3", gen.CompleteBipartite(3, 3), 3},
+		{"grid", gen.Grid(4, 4), 2},
+	}
+	for _, tc := range tests {
+		if got := Degeneracy(tc.g); got != tc.want {
+			t.Errorf("%s: degeneracy = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDecomposePartitionsEdges(t *testing.T) {
+	g := gen.ErdosRenyi(120, 0.06, 3)
+	d := Decompose(g)
+	count := 0
+	seen := map[[2]int]bool{}
+	for i := 0; i < d.Forests(); i++ {
+		for v, p := range d.Parent[i] {
+			if p < 0 {
+				continue
+			}
+			a, b := v, int(p)
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if seen[key] {
+				t.Fatalf("edge (%d,%d) in two forests", a, b)
+			}
+			seen[key] = true
+			if !g.HasEdge(v, int(p)) {
+				t.Fatalf("forest contains non-edge (%d,%d)", v, p)
+			}
+			count++
+		}
+	}
+	if count != g.M() {
+		t.Errorf("forests hold %d edges, graph has %d", count, g.M())
+	}
+}
+
+func TestDecomposePartsAreForests(t *testing.T) {
+	g := gen.ErdosRenyi(100, 0.1, 4)
+	d := Decompose(g)
+	for i := 0; i < d.Forests(); i++ {
+		// Build each part as a graph and check acyclicity: edges <= n - #components.
+		b := graph.NewBuilder(d.N)
+		edges := 0
+		for v, p := range d.Parent[i] {
+			if p >= 0 {
+				if err := b.AddEdge(v, int(p)); err != nil {
+					t.Fatal(err)
+				}
+				edges++
+			}
+		}
+		part := b.Build()
+		if part.M() != edges {
+			t.Fatalf("forest %d: duplicate parent edges", i)
+		}
+		_, comps := part.ConnectedComponents()
+		if edges != d.N-comps {
+			t.Errorf("forest %d: %d edges, %d components on %d vertices — contains a cycle",
+				i, edges, comps, d.N)
+		}
+	}
+}
+
+func TestDecomposeBAForestCount(t *testing.T) {
+	// Proposition 5's premise: BA graphs decompose into O(m) forests. The
+	// degeneracy of a BA graph with parameter m is exactly m (the last
+	// attached vertex has degree m), so the decomposition has ~m forests —
+	// and certainly at most 2m (the cited 2-approximation guarantee).
+	for _, m := range []int{1, 2, 3, 5} {
+		g, err := gen.BarabasiAlbert(2000, m, int64(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Decompose(g)
+		if d.Forests() < 1 || d.Forests() > 2*m {
+			t.Errorf("BA(m=%d): %d forests, want in [1, %d]", m, d.Forests(), 2*m)
+		}
+	}
+}
+
+func TestArboricityLowerBound(t *testing.T) {
+	if got := ArboricityLowerBound(gen.Complete(5)); got != 3 {
+		t.Errorf("K5 lower bound = %d, want ceil(10/4)=3", got)
+	}
+	if got := ArboricityLowerBound(gen.Path(10)); got != 1 {
+		t.Errorf("path lower bound = %d, want 1", got)
+	}
+	if got := ArboricityLowerBound(graph.Empty(1)); got != 0 {
+		t.Errorf("trivial lower bound = %d, want 0", got)
+	}
+}
+
+func TestDegeneracyUpperBoundsLowerBound(t *testing.T) {
+	// density lower bound <= arboricity <= degeneracy must hold everywhere
+	// (a d-degenerate graph splits into d forests, so arboricity <= d).
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(60, 0.1, seed)
+		return ArboricityLowerBound(g) <= Degeneracy(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+package bitstr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-length mutable bit vector with optional O(1) rank
+// support. It backs the "fat bit string" part of the labeling schemes: fat
+// vertex i sets bit j iff it is adjacent to fat vertex j.
+type Vector struct {
+	words []uint64
+	n     int
+	// rank[i] = number of set bits in words[0:i]; built lazily by
+	// BuildRank and invalidated by Set/Clear.
+	rank []uint32
+}
+
+// NewVector returns an all-zero vector of n bits.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		n = 0
+	}
+	return &Vector{words: make([]uint64, (n+63)>>6), n: n}
+}
+
+// VectorFromString interprets a bit string (as produced by Vector.Append)
+// of length n as a vector.
+func VectorFromString(s String, offset, n int) (*Vector, error) {
+	if offset < 0 || n < 0 || offset+n > s.Len() {
+		return nil, fmt.Errorf("%w: vector [%d,%d) of %d", ErrOutOfBounds, offset, offset+n, s.Len())
+	}
+	v := NewVector(n)
+	r := NewReader(s)
+	if err := r.Seek(offset); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i += 64 {
+		w := n - i
+		if w > 64 {
+			w = 64
+		}
+		chunk, err := r.ReadUint(w)
+		if err != nil {
+			return nil, err
+		}
+		// Left-align within the word to match Set/Get layout below.
+		v.words[i>>6] = chunk << uint(64-w)
+	}
+	return v, nil
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.words[i>>6] |= 1 << (63 - uint(i&63))
+	v.rank = nil
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.words[i>>6] &^= 1 << (63 - uint(i&63))
+	v.rank = nil
+}
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<(63-uint(i&63))) != 0
+}
+
+// Count returns the total number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// BuildRank precomputes per-word prefix popcounts enabling O(1) Rank.
+func (v *Vector) BuildRank() {
+	v.rank = make([]uint32, len(v.words)+1)
+	var c uint32
+	for i, w := range v.words {
+		v.rank[i] = c
+		c += uint32(bits.OnesCount64(w))
+	}
+	v.rank[len(v.words)] = c
+}
+
+// Rank returns the number of set bits strictly before position i.
+// If BuildRank has not been called (or the vector changed since), it falls
+// back to a linear scan.
+func (v *Vector) Rank(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > v.n {
+		i = v.n
+	}
+	word, off := i>>6, uint(i&63)
+	if v.rank != nil {
+		c := int(v.rank[word])
+		if off != 0 {
+			c += bits.OnesCount64(v.words[word] >> (64 - off) << (64 - off))
+		}
+		return c
+	}
+	c := 0
+	for k := 0; k < word; k++ {
+		c += bits.OnesCount64(v.words[k])
+	}
+	if off != 0 {
+		c += bits.OnesCount64(v.words[word] >> (64 - off) << (64 - off))
+	}
+	return c
+}
+
+// Append writes the vector's bits (in index order) onto a builder.
+func (v *Vector) Append(b *Builder) {
+	for i := 0; i < v.n; i += 64 {
+		w := v.n - i
+		if w > 64 {
+			w = 64
+		}
+		b.AppendUint(v.words[i>>6]>>uint(64-w), w)
+	}
+}

@@ -1,0 +1,174 @@
+// Package compressgraph implements a WebGraph-flavored globally compressed
+// adjacency structure: sorted adjacency lists stored as Elias-γ degree
+// counts and Elias-δ neighbor gaps in one shared bit stream, plus a
+// fixed-width offset index for random access.
+//
+// The paper's introduction contrasts two ways of storing large networks:
+// global compression (Boldi–Vigna et al.) and per-vertex labels. This
+// package is the global side of that comparison; experiment E18 measures
+// the "price of locality" — how many more total bits the peer-to-peer
+// labelings spend than one globally compressed structure.
+package compressgraph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/graph"
+)
+
+// ErrVertexRange is returned for out-of-range vertex ids.
+var ErrVertexRange = errors.New("compressgraph: vertex out of range")
+
+// Compressed is an immutable compressed adjacency structure.
+type Compressed struct {
+	n       int
+	stream  bitstr.String
+	offsets []int64 // bit offset of each vertex's list in the stream
+}
+
+// Encode compresses g.
+func Encode(g *graph.Graph) *Compressed {
+	n := g.N()
+	var b bitstr.Builder
+	offsets := make([]int64, n)
+	for v := 0; v < n; v++ {
+		offsets[v] = int64(b.Len())
+		ns := g.Neighbors(v)
+		b.AppendGamma0(uint64(len(ns)))
+		prev := uint64(0)
+		for i, u := range ns {
+			gap := uint64(u) - prev
+			if i == 0 {
+				gap = uint64(u) // first neighbor stored absolutely
+			}
+			b.AppendDelta0(gap)
+			prev = uint64(u)
+		}
+	}
+	return &Compressed{n: n, stream: b.String(), offsets: offsets}
+}
+
+// N returns the number of vertices.
+func (c *Compressed) N() int { return c.n }
+
+// StreamBits returns the size of the shared adjacency stream in bits.
+func (c *Compressed) StreamBits() int64 { return int64(c.stream.Len()) }
+
+// IndexBits returns the size of the random-access offset index in bits
+// (n fixed-width offsets into the stream).
+func (c *Compressed) IndexBits() int64 {
+	w := bitstr.WidthFor(uint64(c.stream.Len()) + 1)
+	return int64(c.n) * int64(w)
+}
+
+// TotalBits returns stream plus index.
+func (c *Compressed) TotalBits() int64 { return c.StreamBits() + c.IndexBits() }
+
+// Degree returns the degree of v.
+func (c *Compressed) Degree(v int) (int, error) {
+	r, err := c.seek(v)
+	if err != nil {
+		return 0, err
+	}
+	d, err := r.ReadGamma0()
+	if err != nil {
+		return 0, err
+	}
+	return int(d), nil
+}
+
+// Neighbors decodes v's sorted adjacency list.
+func (c *Compressed) Neighbors(v int) ([]int32, error) {
+	r, err := c.seek(v)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.ReadGamma0()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, d)
+	prev := uint64(0)
+	for i := range out {
+		gap, err := r.ReadDelta0()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			prev = gap
+		} else {
+			prev += gap
+		}
+		if prev >= uint64(c.n) {
+			return nil, fmt.Errorf("compressgraph: decoded neighbor %d out of range", prev)
+		}
+		out[i] = int32(prev)
+	}
+	return out, nil
+}
+
+// HasEdge reports adjacency by scanning the shorter of the two lists.
+func (c *Compressed) HasEdge(u, v int) (bool, error) {
+	if u < 0 || u >= c.n || v < 0 || v >= c.n {
+		return false, fmt.Errorf("%w: (%d,%d)", ErrVertexRange, u, v)
+	}
+	if u == v {
+		return false, nil
+	}
+	du, err := c.Degree(u)
+	if err != nil {
+		return false, err
+	}
+	dv, err := c.Degree(v)
+	if err != nil {
+		return false, err
+	}
+	if dv < du {
+		u, v = v, u
+	}
+	ns, err := c.Neighbors(u)
+	if err != nil {
+		return false, err
+	}
+	for _, x := range ns {
+		if int(x) == v {
+			return true, nil
+		}
+		if int(x) > v {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// Decode reconstructs the full graph (used by round-trip tests).
+func (c *Compressed) Decode() (*graph.Graph, error) {
+	b := graph.NewBuilder(c.n)
+	for v := 0; v < c.n; v++ {
+		ns, err := c.Neighbors(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range ns {
+			if int(u) > v {
+				if err := b.AddEdge(v, int(u)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+func (c *Compressed) seek(v int) (*bitstr.Reader, error) {
+	if v < 0 || v >= c.n {
+		return nil, fmt.Errorf("%w: %d of %d", ErrVertexRange, v, c.n)
+	}
+	r := bitstr.NewReader(c.stream)
+	if err := r.Seek(int(c.offsets[v])); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,101 @@
+package compressgraph
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cl, err := gen.ChungLuPowerLaw(500, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"empty":  graph.Empty(0),
+		"single": graph.Empty(1),
+		"isol":   graph.Empty(12),
+		"path":   gen.Path(20),
+		"K7":     gen.Complete(7),
+		"er":     gen.ErdosRenyi(100, 0.1, 2),
+		"cl":     cl,
+	}
+	for name, g := range cases {
+		c := Encode(g)
+		back, err := c.Decode()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !graph.EqualGraph(g, back) {
+			t.Errorf("%s: round trip differs", name)
+		}
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := gen.Star(20)
+	c := Encode(g)
+	d, err := c.Degree(0)
+	if err != nil || d != 19 {
+		t.Errorf("Degree(0) = %d, %v", d, err)
+	}
+	ns, err := c.Neighbors(0)
+	if err != nil || len(ns) != 19 {
+		t.Fatalf("Neighbors(0) = %d entries, %v", len(ns), err)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] >= ns[i] {
+			t.Fatal("decoded neighbors not sorted")
+		}
+	}
+}
+
+func TestHasEdgeAgainstGraph(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.1, 7)
+	c := Encode(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			got, err := c.HasEdge(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != g.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+	if _, err := c.HasEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompressionBeatsFixedWidth(t *testing.T) {
+	// On power-law graphs the shared stream must beat the fixed-width CSR
+	// encoding (2m neighbor entries of ceil(log2 n) bits each).
+	g, err := gen.ChungLuPowerLaw(10000, 2.3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Encode(g)
+	fixedBits := int64(2*g.M()) * 14 // ceil(log2 10000) = 14
+	if c.StreamBits() >= fixedBits {
+		t.Errorf("stream %d bits >= fixed-width %d bits", c.StreamBits(), fixedBits)
+	}
+	if c.TotalBits() <= c.StreamBits() {
+		t.Error("index accounting missing")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(50, 0.12, seed)
+		back, err := Encode(g).Decode()
+		return err == nil && graph.EqualGraph(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

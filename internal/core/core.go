@@ -1,0 +1,189 @@
+// Package core implements the paper's primary contribution: adjacency
+// labeling schemes for sparse and power-law graphs based on a fat/thin
+// vertex partition (Theorems 3 and 4 of "Near Optimal Adjacency Labeling
+// Schemes for Power-Law Graphs", ICALP 2016; announced at PODC 2016).
+//
+// A labeling scheme is a pair (encoder, decoder): the encoder assigns each
+// vertex of a graph a bit-string label, and the decoder determines the
+// adjacency of any two vertices from their labels alone — the graph itself
+// is never consulted at query time. The package also defines the shared
+// Labeling container and size-statistics used by every other scheme in this
+// repository.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstr"
+	"repro/internal/graph"
+)
+
+// ErrBadLabel is returned by decoders when a label cannot be parsed.
+var ErrBadLabel = errors.New("core: malformed label")
+
+// ErrVertexRange is returned for queries on vertex IDs outside the labeling.
+var ErrVertexRange = errors.New("core: vertex out of range")
+
+// Scheme is an adjacency labeling scheme: an encoder plus a factory for the
+// matching decoder. Implementations live in this package and in
+// internal/schemes/*.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Encode labels every vertex of g.
+	Encode(g *graph.Graph) (*Labeling, error)
+}
+
+// AdjacencyDecoder decides adjacency from two labels alone.
+type AdjacencyDecoder interface {
+	Adjacent(a, b bitstr.String) (bool, error)
+}
+
+// Labeling is the output of an encoder: one label per vertex plus the
+// decoder able to answer queries over those labels.
+type Labeling struct {
+	scheme  string
+	labels  []bitstr.String
+	decoder AdjacencyDecoder
+}
+
+// NewLabeling bundles per-vertex labels with their decoder. It is exported
+// for use by the scheme implementations in internal/schemes.
+func NewLabeling(scheme string, labels []bitstr.String, dec AdjacencyDecoder) *Labeling {
+	return &Labeling{scheme: scheme, labels: labels, decoder: dec}
+}
+
+// Scheme returns the name of the scheme that produced the labeling.
+func (l *Labeling) Scheme() string { return l.scheme }
+
+// N returns the number of labeled vertices.
+func (l *Labeling) N() int { return len(l.labels) }
+
+// Label returns vertex v's label.
+func (l *Labeling) Label(v int) (bitstr.String, error) {
+	if v < 0 || v >= len(l.labels) {
+		return bitstr.String{}, fmt.Errorf("%w: %d of %d", ErrVertexRange, v, len(l.labels))
+	}
+	return l.labels[v], nil
+}
+
+// Decoder returns the scheme's decoder.
+func (l *Labeling) Decoder() AdjacencyDecoder { return l.decoder }
+
+// Adjacent answers an adjacency query between vertices u and v using only
+// their labels.
+func (l *Labeling) Adjacent(u, v int) (bool, error) {
+	lu, err := l.Label(u)
+	if err != nil {
+		return false, err
+	}
+	lv, err := l.Label(v)
+	if err != nil {
+		return false, err
+	}
+	return l.decoder.Adjacent(lu, lv)
+}
+
+// SizeStats summarizes label sizes in bits.
+type SizeStats struct {
+	Min, Max      int
+	Mean          float64
+	Total         int64
+	P50, P90, P99 int
+}
+
+// Stats computes label-size statistics across all vertices.
+func (l *Labeling) Stats() SizeStats {
+	n := len(l.labels)
+	if n == 0 {
+		return SizeStats{}
+	}
+	sizes := make([]int, n)
+	var total int64
+	for i, s := range l.labels {
+		sizes[i] = s.Len()
+		total += int64(s.Len())
+	}
+	sort.Ints(sizes)
+	pct := func(p float64) int {
+		i := int(p * float64(n-1))
+		return sizes[i]
+	}
+	return SizeStats{
+		Min:   sizes[0],
+		Max:   sizes[n-1],
+		Mean:  float64(total) / float64(n),
+		Total: total,
+		P50:   pct(0.50),
+		P90:   pct(0.90),
+		P99:   pct(0.99),
+	}
+}
+
+// Verify checks the labeling against the source graph. For graphs with at
+// most exhaustiveLimit vertices it checks every ordered pair; for larger
+// graphs it checks all edges plus sampleNonEdges pseudo-random non-edges per
+// vertex. It returns the first discrepancy found.
+func (l *Labeling) Verify(g *graph.Graph) error {
+	const exhaustiveLimit = 1500
+	n := g.N()
+	if n != l.N() {
+		return fmt.Errorf("core: labeling has %d vertices, graph has %d", l.N(), n)
+	}
+	if n <= exhaustiveLimit {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				got, err := l.Adjacent(u, v)
+				if err != nil {
+					return fmt.Errorf("core: query (%d,%d): %w", u, v, err)
+				}
+				if want := g.HasEdge(u, v); got != want {
+					return fmt.Errorf("core: scheme %s: adjacency(%d,%d) = %v, graph says %v",
+						l.scheme, u, v, got, want)
+				}
+			}
+		}
+		return nil
+	}
+	// Large graphs: all edges + deterministic pseudo-random non-edges.
+	var verr error
+	g.Edges(func(u, v int) {
+		if verr != nil {
+			return
+		}
+		got, err := l.Adjacent(u, v)
+		if err != nil {
+			verr = fmt.Errorf("core: query (%d,%d): %w", u, v, err)
+			return
+		}
+		if !got {
+			verr = fmt.Errorf("core: scheme %s: edge (%d,%d) decoded as non-adjacent", l.scheme, u, v)
+		}
+	})
+	if verr != nil {
+		return verr
+	}
+	const sampleNonEdges = 4
+	state := uint64(0x9E3779B97F4A7C15)
+	for u := 0; u < n; u++ {
+		for k := 0; k < sampleNonEdges; k++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			v := int(state % uint64(n))
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			got, err := l.Adjacent(u, v)
+			if err != nil {
+				return fmt.Errorf("core: query (%d,%d): %w", u, v, err)
+			}
+			if got {
+				return fmt.Errorf("core: scheme %s: non-edge (%d,%d) decoded as adjacent", l.scheme, u, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Example shows the end-to-end flow: encode a power-law graph, then decide
+// adjacency from two labels with a decoder that knows only n.
+func Example() {
+	g, err := gen.ChungLuPowerLaw(2000, 2.5, 2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lab, err := core.NewPowerLawSchemeAuto().Encode(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := lab.Label(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := lab.Label(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec := core.NewFatThinDecoder(g.N())
+	adj, err := dec.Adjacent(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(adj == g.HasEdge(10, 20))
+	// Output: true
+}
+
+// ExampleNewFixedThresholdScheme shows manual control over the fat/thin
+// threshold, as used by the sweep experiments.
+func ExampleNewFixedThresholdScheme() {
+	g := gen.Star(64) // one hub, 63 leaves
+	lab, err := core.NewFixedThresholdScheme(10).Encode(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := lab.Stats()
+	// The hub (degree 63 ≥ 10) is fat: its label is 1 + log n + k = 1+6+1
+	// bits. Leaves are thin with a single neighbor id: 1 + 6 + 6 bits.
+	fmt.Println(st.Max, st.Min)
+	// Output: 13 8
+}
+
+// ExampleFatThinScheme_Threshold shows the threshold a scheme would pick.
+func ExampleFatThinScheme_Threshold() {
+	g, err := gen.ChungLuPowerLaw(10000, 2.5, 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, err := core.NewPowerLawSchemePractical(2.5).Threshold(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ceil((10000 / log2 10000)^(1/2.5))
+	fmt.Println(tau)
+	// Output: 15
+}

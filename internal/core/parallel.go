@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bitstr"
+	"repro/internal/graph"
+)
+
+// EncodeParallel labels g with the same fat/thin layout as Encode, building
+// labels concurrently across worker goroutines. The identifier assignment
+// (a sort by degree) stays sequential; label construction — the dominant
+// cost for large graphs — is embarrassingly parallel because every label
+// depends only on its own adjacency list and the shared id table.
+// workers <= 0 selects GOMAXPROCS.
+func (s *FatThinScheme) EncodeParallel(g *graph.Graph, workers int) (*Labeling, error) {
+	tau, err := s.threshold(g)
+	if err != nil {
+		return nil, err
+	}
+	if tau < 1 {
+		return nil, fmt.Errorf("core: threshold must be >= 1, got %d", tau)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	if n <= 1 || workers == 1 {
+		return encodeFatThin(s.name, g, tau)
+	}
+	w := bitstr.WidthFor(uint64(n))
+
+	id := make([]int, n)
+	k := 0
+	order := g.VerticesByDegreeDesc()
+	for _, v := range order {
+		if g.Degree(v) >= tau {
+			id[v] = k
+			k++
+		}
+	}
+	next := k
+	for _, v := range order {
+		if g.Degree(v) < tau {
+			id[v] = next
+			next++
+		}
+	}
+
+	labels := make([]bitstr.String, n)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var b bitstr.Builder
+			nbr := make([]int, 0, 64)
+			for v := lo; v < hi; v++ {
+				b.Reset()
+				if id[v] < k {
+					b.AppendBit(true)
+					b.AppendUint(uint64(id[v]), w)
+					vec := bitstr.NewVector(k)
+					for _, u := range g.Neighbors(v) {
+						if uid := id[u]; uid < k {
+							vec.Set(uid)
+						}
+					}
+					vec.Append(&b)
+				} else {
+					// Sorted ids, identical to the sequential encoder's
+					// binary-searchable layout.
+					b.AppendBit(false)
+					b.AppendUint(uint64(id[v]), w)
+					nbr = nbr[:0]
+					for _, u := range g.Neighbors(v) {
+						nbr = append(nbr, id[u])
+					}
+					sort.Ints(nbr)
+					for _, u := range nbr {
+						b.AppendUint(uint64(u), w)
+					}
+				}
+				labels[v] = b.String()
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return NewLabeling(s.name, labels, &FatThinDecoder{n: n, w: w}), nil
+}

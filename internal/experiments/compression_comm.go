@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/peernet"
+	"repro/internal/schemes/forest"
+	"repro/internal/schemes/onequery"
+)
+
+// E15CompressedThin ablates the thin-label encoding: fixed-width neighbor
+// identifiers (the paper's layout) versus the adaptive Elias-δ gap coding
+// (the distribution-aware refinement of Section 8.1's last question). The
+// win should grow as α falls toward 2, where thin vertices' neighbors
+// concentrate on the hub identifiers.
+func E15CompressedThin(cfg Config) ([]*Table, error) {
+	n := 1 << 14
+	if cfg.Quick {
+		n = 1 << 12
+	}
+	tb := &Table{
+		ID:    "E15",
+		Title: fmt.Sprintf("thin-label encoding ablation: fixed-width vs adaptive δ-gaps (Chung–Lu, n=%d)", n),
+		Cols:  []string{"α", "m", "plain.total(KiB)", "comp.total(KiB)", "saving", "plain.mean", "comp.mean", "plain.max", "comp.max"},
+	}
+	for _, alpha := range []float64{2.05, 2.1, 2.2, 2.4, 2.6, 2.8, 3.0} {
+		g, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed+int64(alpha*1000))
+		if err != nil {
+			return nil, err
+		}
+		inner := core.NewPowerLawSchemeAuto()
+		plain, err := inner.Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := core.NewCompressedScheme(inner).Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		ps, cs := plain.Stats(), comp.Stats()
+		saving := 1 - float64(cs.Total)/float64(ps.Total)
+		tb.AddRow(fmtF2(alpha), fmt.Sprintf("%d", g.M()),
+			fmtF(float64(ps.Total)/8192), fmtF(float64(cs.Total)/8192),
+			fmt.Sprintf("%.1f%%", 100*saving),
+			fmtF(ps.Mean), fmtF(cs.Mean), fmtBits(ps.Max), fmtBits(cs.Max))
+	}
+	tb.Notes = append(tb.Notes,
+		"the adaptive 1-bit flag guarantees comp ≤ plain + 1 bit per thin label; real savings appear only when hubs dominate (α near 2)",
+		"this quantifies the Section 8.1 question about distribution-aware refinements: the generic power-law layout is already near-optimal for α ≳ 2.4")
+	return []*Table{tb}, nil
+}
+
+// E16CommunicationCost measures the peer-to-peer deployment trade-off: bytes
+// on the wire per adjacency query for the 2-label fat/thin scheme, its
+// compressed variant, the forest scheme, and the 1-query scheme (three
+// fetches of tiny labels). This is the systems-level meaning of label size
+// that the paper's introduction motivates.
+func E16CommunicationCost(cfg Config) ([]*Table, error) {
+	sizes := []int{1 << 12, 1 << 14, 1 << 16}
+	queries := 20000
+	if cfg.Quick {
+		sizes = []int{1 << 11, 1 << 13}
+		queries = 4000
+	}
+	alpha := 2.3
+	tb := &Table{
+		ID:    "E16",
+		Title: fmt.Sprintf("bytes on the wire per adjacency query (Chung–Lu, α=%.1f, %d queries)", alpha, queries),
+		Cols:  []string{"n", "scheme", "fetches/query", "bytes/query(mixed)", "bytes/query(hub)", "max.label.bits"},
+	}
+	for _, n := range sizes {
+		g, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic query mix: half edges, half random pairs.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		type pair struct{ u, v int }
+		pairs := make([]pair, 0, queries)
+		edgeBudget := queries / 2
+		g.Edges(func(u, v int) {
+			if edgeBudget > 0 {
+				pairs = append(pairs, pair{u, v})
+				edgeBudget--
+			}
+		})
+		for len(pairs) < queries {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				pairs = append(pairs, pair{u, v})
+			}
+		}
+		// Hub mix: every query touches the highest-degree vertex — the
+		// worst case for 2-label schemes, whose hub labels are the largest.
+		hub := 0
+		for v := 1; v < n; v++ {
+			if g.Degree(v) > g.Degree(hub) {
+				hub = v
+			}
+		}
+		hubPairs := make([]pair, 0, queries)
+		for len(hubPairs) < queries {
+			v := rng.Intn(n)
+			if v != hub {
+				hubPairs = append(hubPairs, pair{hub, v})
+			}
+		}
+
+		type twoLabelCase struct {
+			name string
+			lab  *core.Labeling
+			dec  core.AdjacencyDecoder
+		}
+		var cases []twoLabelCase
+		ft, err := core.NewPowerLawSchemeAuto().Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, twoLabelCase{"fatthin(auto)", ft, core.NewFatThinDecoder(n)})
+		comp, err := core.NewCompressedScheme(core.NewPowerLawSchemeAuto()).Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, twoLabelCase{"compressed", comp, core.NewCompressedDecoder(n)})
+		fo, err := (forest.Scheme{}).Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, twoLabelCase{"forest", fo, forest.NewDecoder(n)})
+
+		for _, c := range cases {
+			labels, err := peernet.LabelsOf(c.lab)
+			if err != nil {
+				return nil, err
+			}
+			net := peernet.New(labels)
+			svc := &peernet.TwoLabelService{Net: net, Dec: c.dec}
+			for _, p := range pairs {
+				if _, err := svc.Adjacent(p.u, p.v); err != nil {
+					return nil, fmt.Errorf("E16: %s: %w", c.name, err)
+				}
+			}
+			mixed := net.Stats()
+			net.ResetStats()
+			for _, p := range hubPairs {
+				if _, err := svc.Adjacent(p.u, p.v); err != nil {
+					return nil, fmt.Errorf("E16: %s hub: %w", c.name, err)
+				}
+			}
+			hubStats := net.Stats()
+			tb.AddRow(fmt.Sprintf("%d", n), c.name,
+				fmtF2(float64(mixed.Fetches)/float64(len(pairs))),
+				fmtF(float64(mixed.Bytes)/float64(len(pairs))),
+				fmtF(float64(hubStats.Bytes)/float64(len(hubPairs))),
+				fmtBits(c.lab.Stats().Max))
+		}
+
+		enc, err := (onequery.Scheme{Seed: cfg.Seed}).Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		oqLabels, err := peernet.LabelsOf(enc.Labeling)
+		if err != nil {
+			return nil, err
+		}
+		oqNet := peernet.New(oqLabels)
+		oqSvc := &peernet.OneQueryService{Net: oqNet, Dec: enc.Dec}
+		for _, p := range pairs {
+			if _, err := oqSvc.Adjacent(p.u, p.v); err != nil {
+				return nil, fmt.Errorf("E16: onequery: %w", err)
+			}
+		}
+		mixed := oqNet.Stats()
+		oqNet.ResetStats()
+		for _, p := range hubPairs {
+			if _, err := oqSvc.Adjacent(p.u, p.v); err != nil {
+				return nil, fmt.Errorf("E16: onequery hub: %w", err)
+			}
+		}
+		hubStats := oqNet.Stats()
+		tb.AddRow(fmt.Sprintf("%d", n), "onequery",
+			fmtF2(float64(mixed.Fetches)/float64(len(pairs))),
+			fmtF(float64(mixed.Bytes)/float64(len(pairs))),
+			fmtF(float64(hubStats.Bytes)/float64(len(hubPairs))),
+			fmtBits(enc.Stats().Max))
+	}
+	tb.Notes = append(tb.Notes,
+		"bytes/query includes request/response framing (8+8 bytes per fetch)",
+		"mixed queries mostly touch thin vertices, so the 2-label schemes' small average labels win there; on hub-touching queries the 1-query scheme's flat O(log n) labels win and the gap widens with n — the Section 6 trade-off in systems terms")
+	return []*Table{tb}, nil
+}

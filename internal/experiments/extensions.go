@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/powerlaw"
+	"repro/internal/schemes/dynamic"
+	"repro/internal/schemes/tree"
+	"repro/internal/universal"
+)
+
+// E11DynamicRelabels measures the dynamic extension (future work, Section
+// 8.1): grow graphs edge-by-edge through the dynamic fat/thin scheme and
+// report the communication cost — amortized relabels and bits rewritten per
+// update — plus the label-size drift against a fresh static encode of the
+// final graph.
+func E11DynamicRelabels(cfg Config) ([]*Table, error) {
+	sizes := []int{1 << 11, 1 << 13, 1 << 15}
+	if cfg.Quick {
+		sizes = []int{1 << 10, 1 << 12}
+	}
+	tb := &Table{
+		ID:    "E11",
+		Title: "dynamic scheme: amortized relabel cost of incremental growth",
+		Cols: []string{"workload", "n", "updates", "relabels/upd", "bits/upd",
+			"promotions", "rebuilds", "dyn.max", "static.max", "drift"},
+	}
+	type workload struct {
+		name  string
+		alpha float64
+		build func(n int) (edges [][2]int, err error)
+	}
+	workloads := []workload{
+		{
+			name:  "ba(m=3)",
+			alpha: 3.0,
+			build: func(n int) ([][2]int, error) {
+				g, err := gen.BarabasiAlbert(n, 3, cfg.Seed+int64(n))
+				if err != nil {
+					return nil, err
+				}
+				var es [][2]int
+				g.Edges(func(u, v int) { es = append(es, [2]int{u, v}) })
+				return es, nil
+			},
+		},
+		{
+			name:  "chunglu(α=2.5)",
+			alpha: 2.5,
+			build: func(n int) ([][2]int, error) {
+				g, err := gen.ChungLuPowerLaw(n, 2.5, 2, cfg.Seed+int64(n))
+				if err != nil {
+					return nil, err
+				}
+				var es [][2]int
+				g.Edges(func(u, v int) { es = append(es, [2]int{u, v}) })
+				return es, nil
+			},
+		},
+	}
+	for _, wl := range workloads {
+		for _, n := range sizes {
+			edges, err := wl.build(n)
+			if err != nil {
+				return nil, err
+			}
+			s, err := dynamic.New(wl.alpha, 4)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				s.AddVertex()
+			}
+			for _, e := range edges {
+				if err := s.AddEdge(e[0], e[1]); err != nil {
+					return nil, fmt.Errorf("E11: add edge: %w", err)
+				}
+			}
+			st := s.Stats()
+			staticLab, err := core.NewPowerLawSchemeAuto().Encode(s.Snapshot())
+			if err != nil {
+				return nil, err
+			}
+			staticMax := staticLab.Stats().Max
+			drift := math.Inf(1)
+			if staticMax > 0 {
+				drift = float64(s.MaxLabelBits()) / float64(staticMax)
+			}
+			tb.AddRow(wl.name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", st.Updates),
+				fmtF2(float64(st.Relabels)/float64(st.Updates)),
+				fmtF(float64(st.BitsRewritten)/float64(st.Updates)),
+				fmt.Sprintf("%d", st.Promotions), fmt.Sprintf("%d", st.Rebuilds),
+				fmtBits(s.MaxLabelBits()), fmtBits(staticMax), fmtF2(drift))
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"the paper's future work asks for the re-label count of a dynamic extension; relabels/upd staying flat in n is the O(1)-amortized answer",
+		"drift = dynamic max label / fresh static encode of the same final graph")
+	return []*Table{tb}, nil
+}
+
+// E12IncompleteKnowledge measures the two robustness questions of Section
+// 8.1: (a) a threshold predicted from the *model only* (expected degree
+// frequencies, never the realized graph) versus the data-fitted and optimal
+// thresholds; (b) the power-law machinery applied to a workload whose
+// degrees are actually lognormal.
+func E12IncompleteKnowledge(cfg Config) ([]*Table, error) {
+	alpha := 2.5
+	sizes := []int{1 << 12, 1 << 14}
+	if cfg.Quick {
+		sizes = []int{1 << 11, 1 << 12}
+	}
+	modelC, err := core.ZetaTailCoefficient(alpha)
+	if err != nil {
+		return nil, err
+	}
+	tbA := &Table{
+		ID:    "E12",
+		Title: fmt.Sprintf("incomplete knowledge: model-only threshold (config model, α=%.1f, Ĉ=%.3f)", alpha, modelC),
+		Cols:  []string{"n", "τ.model", "max@model", "τ.fit", "max@fit", "τ*", "max@τ*", "model.ratio", "fit.ratio"},
+	}
+	for _, n := range sizes {
+		g, err := gen.PowerLawConfiguration(n, alpha, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		model := core.NewPowerLawSchemeModel(alpha, modelC)
+		tauModel, err := model.Threshold(g)
+		if err != nil {
+			return nil, err
+		}
+		fit := core.NewPowerLawSchemeAuto()
+		tauFit, err := fit.Threshold(g)
+		if err != nil {
+			return nil, err
+		}
+		maxAt := func(tau int) (int, error) {
+			lab, err := core.NewFixedThresholdScheme(tau).Encode(g)
+			if err != nil {
+				return 0, err
+			}
+			return lab.Stats().Max, nil
+		}
+		atModel, err := maxAt(tauModel)
+		if err != nil {
+			return nil, err
+		}
+		atFit, err := maxAt(tauFit)
+		if err != nil {
+			return nil, err
+		}
+		best, bestTau := atModel, tauModel
+		if atFit < best {
+			best, bestTau = atFit, tauFit
+		}
+		for tau := 1; tau <= g.MaxDegree()+1; tau = next(tau) {
+			m, err := maxAt(tau)
+			if err != nil {
+				return nil, err
+			}
+			if m < best {
+				best, bestTau = m, tau
+			}
+		}
+		tbA.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", tauModel), fmtBits(atModel),
+			fmt.Sprintf("%d", tauFit), fmtBits(atFit),
+			fmt.Sprintf("%d", bestTau), fmtBits(best),
+			fmtF2(float64(atModel)/float64(best)),
+			fmtF2(float64(atFit)/float64(best)))
+	}
+	tbA.Notes = append(tbA.Notes,
+		"τ.model is computed from (α, ζ) alone — the encoder never sees the realized degrees (Section 8.1's incomplete-knowledge setting)")
+
+	tbB := &Table{
+		ID:    "E12",
+		Title: "model misspecification: power-law threshold on lognormal degree data",
+		Cols:  []string{"n", "maxdeg", "fit.α", "τ.fit", "max@fit", "τ*", "max@τ*", "fit.ratio"},
+	}
+	for _, n := range sizes {
+		g, err := gen.ChungLuLogNormal(n, 1.0, 1.1, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		fitScheme := core.NewPowerLawSchemeAuto()
+		tauFit, err := fitScheme.Threshold(g)
+		if err != nil {
+			return nil, err
+		}
+		maxAt := func(tau int) (int, error) {
+			lab, err := core.NewFixedThresholdScheme(tau).Encode(g)
+			if err != nil {
+				return 0, err
+			}
+			return lab.Stats().Max, nil
+		}
+		atFit, err := maxAt(tauFit)
+		if err != nil {
+			return nil, err
+		}
+		best, bestTau := atFit, tauFit
+		for tau := 1; tau <= g.MaxDegree()+1; tau = next(tau) {
+			m, err := maxAt(tau)
+			if err != nil {
+				return nil, err
+			}
+			if m < best {
+				best, bestTau = m, tau
+			}
+		}
+		degrees := g.Degrees()
+		fitAlpha := "-"
+		if f, err := fitAlphaOf(degrees); err == nil {
+			fitAlpha = fmtF2(f)
+		}
+		tbB.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", g.MaxDegree()), fitAlpha,
+			fmt.Sprintf("%d", tauFit), fmtBits(atFit),
+			fmt.Sprintf("%d", bestTau), fmtBits(best),
+			fmtF2(float64(atFit)/float64(best)))
+	}
+	tbB.Notes = append(tbB.Notes,
+		"the fat/thin idea degrades gracefully under the wrong distribution family: fit.ratio quantifies the cost of assuming a power law on lognormal data (Section 8.1's final question)")
+	return []*Table{tbA, tbB}, nil
+}
+
+// E13UniversalGraphs materializes the labeling-scheme ↔ induced-universal-
+// graph correspondence (Kannan–Naor–Rudich) used in Section 5: the tree
+// scheme's 2·log n-bit labels induce an n²-vertex universal graph for
+// n-vertex forests; the experiment builds it and verifies embeddings.
+func E13UniversalGraphs(cfg Config) ([]*Table, error) {
+	sizes := []int{4, 8, 16, 32}
+	if !cfg.Quick {
+		sizes = append(sizes, 64)
+	}
+	tb := &Table{
+		ID:    "E13",
+		Title: "induced-universal graphs from the forest labeling scheme (KNR)",
+		Cols:  []string{"n", "label.bits", "|U| vertices", "|U| edges", "n²", "forests verified"},
+	}
+	for _, n := range sizes {
+		bits := 2 * bitstr.WidthFor(uint64(n))
+		u, err := universal.Build(bits, tree.NewDecoder(n))
+		if err != nil {
+			return nil, err
+		}
+		verified := 0
+		for seed := int64(0); seed < 25; seed++ {
+			f := gen.RandomTree(n, cfg.Seed+seed)
+			lab, err := (tree.Scheme{}).Encode(f)
+			if err != nil {
+				return nil, err
+			}
+			if err := universal.VerifyEmbedding(u, lab, f, bits); err != nil {
+				return nil, fmt.Errorf("E13: n=%d seed=%d: %w", n, seed, err)
+			}
+			verified++
+		}
+		tb.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", bits),
+			fmt.Sprintf("%d", u.N()), fmt.Sprintf("%d", u.M()),
+			fmt.Sprintf("%d", n*n), fmt.Sprintf("%d/25", verified))
+	}
+	tb.Notes = append(tb.Notes,
+		"an f(n)-bit scheme induces a universal graph on 2^f(n) vertices; for the 2·log n tree labels that is exactly n² (KNR [36], used for the Section 5 corollary)")
+	return []*Table{tb}, nil
+}
+
+func fitAlphaOf(degrees []int) (float64, error) {
+	f, err := powerlaw.FitAlpha(degrees)
+	if err != nil {
+		return 0, err
+	}
+	return f.Alpha, nil
+}

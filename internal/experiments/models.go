@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/schemes/forest"
+
+	"repro/internal/arboricity"
+	"repro/internal/gen"
+	"repro/internal/powerlaw"
+)
+
+// E19GenerativeModels tests the paper's Section 6 remark head-on: "other
+// generative models such as Waxman's, N-level Hierarchical, and Chung and
+// Liu's do not seem to have an obvious smaller label size" — unlike the BA
+// model, whose low arboricity yields O(m log n) forest labels. For each
+// model at comparable size/density the experiment reports the degeneracy
+// (what the forest trick pays per label) and the resulting label sizes.
+func E19GenerativeModels(cfg Config) ([]*Table, error) {
+	n := 1 << 13
+	if cfg.Quick {
+		n = 1 << 11
+	}
+	tb := &Table{
+		ID:    "E19",
+		Title: fmt.Sprintf("generative models: who admits small labels? (n≈%d)", n),
+		Cols: []string{"model", "n", "m", "maxdeg", "degeneracy", "forest.max",
+			"fatthin.max", "best"},
+	}
+	type model struct {
+		name string
+		g    *graph.Graph
+	}
+	ba, err := gen.BarabasiAlbert(n, 3, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := gen.ChungLuPowerLaw(n, 2.5, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfgModel, err := gen.PowerLawConfiguration(n, 2.5, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Waxman at matching average degree; O(n²) generation caps its size.
+	waxN := n
+	if waxN > 1<<11 {
+		waxN = 1 << 11
+	}
+	wax, err := gen.Waxman(waxN, 0.08, 0.2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := gen.Hierarchical(3, 4, n/16, 0.2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// The adversarial member of P_l: a clique on i₁ = Θ(n^(1/α)) vertices
+	// planted by the Section 5 construction. This is the instance class the
+	// Ω(n^(1/α)) lower bound lives on.
+	params, err := powerlaw.NewParams(2.5, n)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := gen.PlEmbed(params, gen.Complete(params.I1))
+	if err != nil {
+		return nil, err
+	}
+	models := []model{
+		{"barabasi-albert(m=3)", ba},
+		{"chung-lu(α=2.5)", cl},
+		{"config(α=2.5)", cfgModel},
+		{"waxman", wax},
+		{"hierarchical(3 lvl)", hier},
+		{"P_l+planted-clique", emb.G},
+	}
+	for _, m := range models {
+		g := m.g
+		fo, err := (forest.Scheme{}).Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := core.NewPowerLawSchemeAuto().Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		best := "forest"
+		if ft.Stats().Max < fo.Stats().Max {
+			best = "fatthin"
+		}
+		tb.AddRow(m.name, fmt.Sprintf("%d", g.N()), fmt.Sprintf("%d", g.M()),
+			fmt.Sprintf("%d", g.MaxDegree()),
+			fmt.Sprintf("%d", arboricity.Degeneracy(g)),
+			fmtBits(fo.Stats().Max), fmtBits(ft.Stats().Max), best)
+	}
+	tb.Notes = append(tb.Notes,
+		"forest labels cost (degeneracy+1)·log n: tiny on BA (degeneracy = m) and tolerable on benign random models, but the planted-clique P_l member drives degeneracy to Θ(n^(1/α)) — there the fat/thin bitmap is what keeps labels near the Ω(n^(1/α)) floor",
+		"this is Section 6's point from both sides: BA-like locality admits O(m log n) labels, while the worst-case power-law family does not",
+		"Waxman runs at a smaller n (quadratic generator); its near-regular degrees make everything thin")
+	return []*Table{tb}, nil
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/arboricity"
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/schemes/baseline"
+	"repro/internal/schemes/forest"
+	"repro/internal/schemes/onequery"
+)
+
+// E8DecodeThroughput measures encode time and decode throughput for every
+// adjacency scheme on the same power-law workload — the practicality claim
+// behind "both decoding processes can be computed in O(log n) time".
+func E8DecodeThroughput(cfg Config) ([]*Table, error) {
+	alpha := 2.5
+	n := 1 << 16
+	queries := 200000
+	if cfg.Quick {
+		n = 1 << 12
+		queries = 20000
+	}
+	g, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID:    "E8",
+		Title: fmt.Sprintf("encode time and decode throughput (Chung–Lu, n=%d, α=%.1f)", n, alpha),
+		Cols:  []string{"scheme", "encode.ms", "max.bits", "avg.bits", "ns/query", "Mq/s"},
+	}
+	type labeled struct {
+		name string
+		lab  *core.Labeling
+		enc  time.Duration
+	}
+	var rows []labeled
+	encodeAll := []core.Scheme{
+		core.NewPowerLawScheme(alpha),
+		core.NewPowerLawSchemeAuto(),
+		core.NewCompressedScheme(core.NewPowerLawSchemeAuto()),
+		core.NewSparseSchemeAuto(),
+		baseline.NeighborList{},
+		forest.Scheme{},
+	}
+	for _, s := range encodeAll {
+		start := time.Now()
+		lab, err := s.Encode(g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, labeled{name: s.Name(), lab: lab, enc: time.Since(start)})
+	}
+	start := time.Now()
+	oq, err := (onequery.Scheme{Seed: cfg.Seed}).Encode(g)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, labeled{name: "onequery", lab: oq.Labeling, enc: time.Since(start)})
+
+	// Deterministic query mix: half edges, half random pairs.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type pair struct{ u, v int }
+	pairs := make([]pair, 0, queries)
+	edgeBudget := queries / 2
+	g.Edges(func(u, v int) {
+		if edgeBudget > 0 {
+			pairs = append(pairs, pair{u, v})
+			edgeBudget--
+		}
+	})
+	for len(pairs) < queries {
+		pairs = append(pairs, pair{rng.Intn(n), rng.Intn(n)})
+	}
+
+	for _, r := range rows {
+		startQ := time.Now()
+		hits := 0
+		for _, p := range pairs {
+			ok, err := r.lab.Adjacent(p.u, p.v)
+			if err != nil {
+				return nil, fmt.Errorf("%s: query (%d,%d): %w", r.name, p.u, p.v, err)
+			}
+			if ok {
+				hits++
+			}
+		}
+		elapsed := time.Since(startQ)
+		nsPerQuery := float64(elapsed.Nanoseconds()) / float64(len(pairs))
+		st := r.lab.Stats()
+		tb.AddRow(r.name,
+			fmtF2(float64(r.enc.Microseconds())/1000),
+			fmtBits(st.Max), fmtF(st.Mean),
+			fmtF(nsPerQuery), fmtF2(1e3/nsPerQuery))
+		_ = hits
+	}
+	tb.Notes = append(tb.Notes,
+		"absolute timings are machine-dependent; the shape to check is that every decoder is sub-microsecond")
+	return []*Table{tb}, nil
+}
+
+// E9ThresholdAblation compares the three natural threshold rules on the same
+// workloads: Theorem 3's sparse rule, Theorem 4's power-law rule, and a
+// degeneracy-based rule (τ = degeneracy+1). This isolates the value of the
+// paper's "threshold prediction" idea.
+func E9ThresholdAblation(cfg Config) ([]*Table, error) {
+	alpha := 2.5
+	n := 1 << 14
+	if cfg.Quick {
+		n = 1 << 12
+	}
+	cl, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := gen.BarabasiAlbert(n, 3, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID:    "E9",
+		Title: fmt.Sprintf("threshold-rule ablation (n=%d)", n),
+		Cols:  []string{"workload", "rule", "τ", "#fat", "max.bits", "avg.bits"},
+	}
+	for _, wl := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"chunglu(α=2.5)", cl}, {"ba(m=3)", ba}} {
+		g := wl.g
+		degeneracyTau := arboricity.Degeneracy(g) + 1
+		rules := []struct {
+			name string
+			s    *core.FatThinScheme
+		}{
+			{"sparse(thm3)", core.NewSparseSchemeAuto()},
+			{"powerlaw(thm4)", core.NewPowerLawScheme(alpha)},
+			{"powerlaw(fit)", core.NewPowerLawSchemeAuto()},
+			{"degeneracy+1", core.NewFixedThresholdScheme(degeneracyTau)},
+		}
+		for _, r := range rules {
+			tau, err := r.s.Threshold(g)
+			if err != nil {
+				return nil, err
+			}
+			lab, err := r.s.Encode(g)
+			if err != nil {
+				return nil, err
+			}
+			nFat := 0
+			for v := 0; v < g.N(); v++ {
+				if g.Degree(v) >= tau {
+					nFat++
+				}
+			}
+			st := lab.Stats()
+			tb.AddRow(wl.name, r.name, fmt.Sprintf("%d", tau),
+				fmt.Sprintf("%d", nFat), fmtBits(st.Max), fmtF(st.Mean))
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"expected shape: on power-law inputs the thm4 rule beats the thm3 rule on max.bits; a degeneracy threshold makes nearly everything thin")
+	return []*Table{tb}, nil
+}
+
+// E10FatEncoding ablates the design choice inside the fat label of Theorem
+// 3/4: a k-bit bitmap over fat identifiers versus an explicit list of fat
+// neighbor identifiers. The bitmap is what makes the fat label independent
+// of its fat degree; the list wins only when fat-fat adjacency is sparse.
+func E10FatEncoding(cfg Config) ([]*Table, error) {
+	alpha := 2.5
+	n := 1 << 14
+	if cfg.Quick {
+		n = 1 << 12
+	}
+	tb := &Table{
+		ID:    "E10",
+		Title: fmt.Sprintf("fat-label encoding ablation (n=%d)", n),
+		Cols:  []string{"workload", "τ", "k=#fat", "bitmap.maxfat", "list.maxfat", "bitmap.avgfat", "list.avgfat", "win"},
+	}
+	cl, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// A dense-core control: a clique of hubs planted over a sparse graph,
+	// where fat-fat adjacency is dense and the bitmap must win.
+	dense, err := denseCoreGraph(n/4, 60, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, wl := range []struct {
+		name string
+		g    *graph.Graph
+		s    *core.FatThinScheme
+	}{
+		{"chunglu(α=2.5)", cl, core.NewPowerLawScheme(alpha)},
+		{"dense-core", dense, core.NewFixedThresholdScheme(30)},
+	} {
+		g := wl.g
+		tau, err := wl.s.Threshold(g)
+		if err != nil {
+			return nil, err
+		}
+		w := bitstr.WidthFor(uint64(g.N()))
+		var fat []int
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) >= tau {
+				fat = append(fat, v)
+			}
+		}
+		isFat := make(map[int]bool, len(fat))
+		for _, v := range fat {
+			isFat[v] = true
+		}
+		k := len(fat)
+		bitmapMax, listMax := 0, 0
+		var bitmapSum, listSum int64
+		for _, v := range fat {
+			fatDeg := 0
+			for _, u := range g.Neighbors(v) {
+				if isFat[int(u)] {
+					fatDeg++
+				}
+			}
+			bm := 1 + w + k        // header + bitmap
+			ls := 1 + w + fatDeg*w // header + explicit fat-neighbor ids
+			if bm > bitmapMax {
+				bitmapMax = bm
+			}
+			if ls > listMax {
+				listMax = ls
+			}
+			bitmapSum += int64(bm)
+			listSum += int64(ls)
+		}
+		if k == 0 {
+			tb.AddRow(wl.name, fmt.Sprintf("%d", tau), "0", "-", "-", "-", "-", "-")
+			continue
+		}
+		win := "bitmap"
+		if listMax < bitmapMax {
+			win = "list"
+		}
+		tb.AddRow(wl.name, fmt.Sprintf("%d", tau), fmt.Sprintf("%d", k),
+			fmtBits(bitmapMax), fmtBits(listMax),
+			fmtF(float64(bitmapSum)/float64(k)), fmtF(float64(listSum)/float64(k)), win)
+	}
+	tb.Notes = append(tb.Notes,
+		"the bitmap guarantees 1+w+k bits regardless of fat-fat density, which is what the Theorem 3/4 proofs charge for; lists lose exactly when hubs interconnect (dense-core)")
+	return []*Table{tb}, nil
+}
+
+// denseCoreGraph plants a clique of `core` hub vertices over a sparse ring.
+func denseCoreGraph(n, coreSize int, seed int64) (*graph.Graph, error) {
+	if coreSize > n {
+		coreSize = n
+	}
+	b := graph.NewBuilder(n)
+	for u := 0; u < coreSize; u++ {
+		for v := u + 1; v < coreSize; v++ {
+			if err := b.AddEdge(u, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for v := coreSize; v < n; v++ {
+		if err := b.AddEdge(v, rng.Intn(coreSize)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

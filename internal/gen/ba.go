@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// BarabasiAlbert generates a graph by the Barabási–Albert preferential
+// attachment process: starting from a small seed clique on m+1 vertices,
+// each new vertex attaches to m distinct existing vertices chosen with
+// probability proportional to their current degree. The resulting degree
+// distribution is asymptotically power-law with α = 3 (Section 6 of the
+// paper), and the graph has arboricity O(m).
+func BarabasiAlbert(n, m int, seed int64) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gen: BA attachment parameter m must be >= 1, got %d", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("gen: BA needs n >= m+1 (n=%d, m=%d)", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+
+	// repeated holds one copy of each edge endpoint; sampling uniformly from
+	// it realises degree-proportional selection in O(1).
+	repeated := make([]int32, 0, 2*m*n)
+	addEdge := func(u, v int) {
+		mustEdge(b, u, v)
+		repeated = append(repeated, int32(u), int32(v))
+	}
+
+	// Seed: a clique on m+1 vertices so every vertex starts with degree >= m.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			addEdge(u, v)
+		}
+	}
+
+	targets := make(map[int]struct{}, m)
+	picked := make([]int, 0, m)
+	for v := m + 1; v < n; v++ {
+		for k := range targets {
+			delete(targets, k)
+		}
+		picked = picked[:0]
+		for len(targets) < m {
+			t := int(repeated[rng.Intn(len(repeated))])
+			if _, dup := targets[t]; dup {
+				continue
+			}
+			targets[t] = struct{}{}
+			picked = append(picked, t)
+		}
+		// Iterate in pick order, not map order: the repeated array feeds
+		// future sampling, so iteration order must be deterministic.
+		for _, t := range picked {
+			addEdge(t, v)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,52 @@
+package gen_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/powerlaw"
+)
+
+// ExampleChungLuPowerLaw generates the workhorse workload of the
+// experiments: a Chung–Lu expected-degree graph with a power-law tail.
+func ExampleChungLuPowerLaw() {
+	g, err := gen.ChungLuPowerLaw(5000, 2.5, 2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.N(), g.M() > 0, g.MaxDegree() > 50)
+	// Output: 5000 true true
+}
+
+// ExamplePlEmbed runs the Section 5 lower-bound construction: an arbitrary
+// graph H on i₁ vertices embedded into a member of P_l.
+func ExamplePlEmbed() {
+	p, err := powerlaw.NewParams(2.5, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := gen.Complete(p.I1) // the hardest H: a clique
+	emb, err := gen.PlEmbed(p, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inPl := powerlaw.CheckPl(emb.G, p) == nil
+	sub, err := emb.G.InducedSubgraph(emb.Host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=%d inPl=%v cliqueEdges=%d\n", emb.G.N(), inPl, sub.M())
+	// Output: n=10000 inPl=true cliqueEdges=351
+}
+
+// ExampleBarabasiAlbert grows a preferential-attachment graph, the model
+// behind Proposition 5's O(m log n) labels.
+func ExampleBarabasiAlbert() {
+	g, err := gen.BarabasiAlbert(1000, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.N(), g.M())
+	// Output: 1000 2994
+}

@@ -1,0 +1,173 @@
+// Package gen provides deterministic graph generators used as workloads by
+// the experiments and tests: classical fixtures, Erdős–Rényi, random trees,
+// Barabási–Albert preferential attachment, Chung–Lu expected-degree graphs,
+// the power-law configuration model, Waxman's geometric model, and the
+// paper's Section-5 constructive embedding into the P_l family.
+//
+// All generators take an explicit seed (or *rand.Rand) so that every
+// experiment is reproducible bit-for-bit.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Path returns the path graph on n vertices: 0-1-...-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		mustEdge(b, i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices (n >= 3 for a proper cycle;
+// smaller n degrade to a path).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		mustEdge(b, i, i+1)
+	}
+	if n >= 3 {
+		mustEdge(b, n-1, 0)
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustEdge(b, 0, i)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustEdge(b, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	bl := graph.NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			mustEdge(bl, u, v)
+		}
+	}
+	return bl.Build()
+}
+
+// Grid returns the rows×cols grid graph.
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustEdge(b, id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				mustEdge(b, id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi returns a G(n, p) sample using geometric edge skipping, which
+// runs in O(n + m) expected time.
+func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Batagelj–Brandes geometric skipping: u is the larger endpoint, w the
+	// smaller; row u has cells w = 0..u-1.
+	lnq := logOneMinus(p)
+	u, w := 1, -1
+	for u < n {
+		r := rng.Float64()
+		w += 1 + int(logf(1-r)/lnq)
+		for w >= u && u < n {
+			w -= u
+			u++
+		}
+		if u < n {
+			mustEdge(b, u, w)
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyiM returns a uniform graph with exactly m distinct edges
+// (m is clamped to the number of available vertex pairs).
+func ErdosRenyiM(n, m int, seed int64) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	added := 0
+	for added < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || b.HasEdge(u, v) {
+			continue
+		}
+		mustEdge(b, u, v)
+		added++
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform-attachment random tree on n vertices:
+// vertex i attaches to a uniformly random earlier vertex.
+func RandomTree(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		mustEdge(b, rng.Intn(v), v)
+	}
+	return b.Build()
+}
+
+func mustEdge(b *graph.Builder, u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		// Generators construct edges from in-range loop indices; an error
+		// here is a programming bug, not a runtime condition.
+		panic(fmt.Sprintf("gen: internal edge error: %v", err))
+	}
+}
+
+// logf and logOneMinus wrap math.Log with guards for the skipping sampler.
+func logf(x float64) float64 {
+	if x <= 0 {
+		x = 1e-300
+	}
+	return math.Log(x)
+}
+
+func logOneMinus(p float64) float64 {
+	q := 1 - p
+	if q <= 0 {
+		q = 1e-300
+	}
+	return math.Log(q)
+}

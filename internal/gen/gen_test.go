@@ -1,0 +1,427 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPathCycleStar(t *testing.T) {
+	p := Path(5)
+	if p.N() != 5 || p.M() != 4 {
+		t.Errorf("path: n=%d m=%d", p.N(), p.M())
+	}
+	c := Cycle(5)
+	if c.M() != 5 {
+		t.Errorf("cycle: m=%d", c.M())
+	}
+	for v := 0; v < 5; v++ {
+		if c.Degree(v) != 2 {
+			t.Errorf("cycle degree(%d)=%d", v, c.Degree(v))
+		}
+	}
+	s := Star(6)
+	if s.Degree(0) != 5 || s.M() != 5 {
+		t.Errorf("star: center=%d m=%d", s.Degree(0), s.M())
+	}
+	// Degenerate sizes must not panic.
+	if Path(0).N() != 0 || Cycle(1).N() != 1 || Star(1).M() != 0 {
+		t.Error("degenerate fixtures wrong")
+	}
+}
+
+func TestCompleteAndBipartite(t *testing.T) {
+	k := Complete(6)
+	if k.M() != 15 {
+		t.Errorf("K6 m=%d", k.M())
+	}
+	kb := CompleteBipartite(3, 4)
+	if kb.M() != 12 || kb.N() != 7 {
+		t.Errorf("K(3,4): n=%d m=%d", kb.N(), kb.M())
+	}
+	if kb.HasEdge(0, 1) {
+		t.Error("edge within bipartite part")
+	}
+	if !kb.HasEdge(0, 3) {
+		t.Error("missing cross edge")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Errorf("n=%d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Errorf("m=%d, want 17", g.M())
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	if g := ErdosRenyi(10, 0, 1); g.M() != 0 {
+		t.Errorf("p=0: m=%d", g.M())
+	}
+	if g := ErdosRenyi(6, 1, 1); g.M() != 15 {
+		t.Errorf("p=1: m=%d", g.M())
+	}
+	if g := ErdosRenyi(1, 0.5, 1); g.N() != 1 || g.M() != 0 {
+		t.Error("n=1 wrong")
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	n, p := 500, 0.05
+	g := ErdosRenyi(n, p, 42)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.M())
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("m=%v, expected near %v", got, want)
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 0.1, 7)
+	b := ErdosRenyi(100, 0.1, 7)
+	if !graph.EqualGraph(a, b) {
+		t.Error("same seed produced different graphs")
+	}
+	c := ErdosRenyi(100, 0.1, 8)
+	if graph.EqualGraph(a, c) {
+		t.Error("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestErdosRenyiM(t *testing.T) {
+	g := ErdosRenyiM(50, 100, 3)
+	if g.M() != 100 {
+		t.Errorf("m=%d, want 100", g.M())
+	}
+	// Clamp beyond max possible.
+	g2 := ErdosRenyiM(5, 1000, 3)
+	if g2.M() != 10 {
+		t.Errorf("clamped m=%d, want 10", g2.M())
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(200, 11)
+	if g.M() != 199 {
+		t.Errorf("tree edges=%d", g.M())
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Errorf("tree components=%d", count)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(10, 0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(3, 3, 1); err == nil {
+		t.Error("n < m+1 accepted")
+	}
+}
+
+func TestBarabasiAlbertStructure(t *testing.T) {
+	n, m := 500, 3
+	g, err := BarabasiAlbert(n, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Errorf("n=%d", g.N())
+	}
+	wantM := m*(m+1)/2 + m*(n-m-1)
+	if g.M() != wantM {
+		t.Errorf("m=%d, want %d", g.M(), wantM)
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) < m {
+			t.Errorf("degree(%d)=%d < m", v, g.Degree(v))
+		}
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Errorf("BA graph disconnected: %d components", count)
+	}
+}
+
+func TestBarabasiAlbertHubGrowth(t *testing.T) {
+	// Preferential attachment must produce hubs far above the minimum
+	// degree; uniform attachment would cap near O(log n).
+	g, err := BarabasiAlbert(3000, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() < 30 {
+		t.Errorf("max degree %d suspiciously small for BA", g.MaxDegree())
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	if _, err := PowerLawWeights(10, 2.0, 1); err == nil {
+		t.Error("alpha=2 accepted")
+	}
+	if _, err := PowerLawWeights(10, 2.5, 0); err == nil {
+		t.Error("wmin=0 accepted")
+	}
+	w, err := PowerLawWeights(1000, 2.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-increasing and bounded below by wmin-ish at the tail.
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1]+1e-12 {
+			t.Fatalf("weights increase at %d", i)
+		}
+	}
+	if w[len(w)-1] < 1.9 {
+		t.Errorf("tail weight %v below wmin", w[len(w)-1])
+	}
+}
+
+func TestChungLuMeanDegree(t *testing.T) {
+	n := 5000
+	alpha, wmin := 2.5, 2.0
+	g, err := ChungLuPowerLaw(n, alpha, wmin, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean weight ≈ wmin(α-1)/(α-2) = 6; realized mean degree should be in
+	// the same ballpark (cap and sampling lose a little).
+	mean := 2 * float64(g.M()) / float64(n)
+	if mean < 2 || mean > 12 {
+		t.Errorf("mean degree %.2f outside sane window", mean)
+	}
+}
+
+func TestChungLuDeterministic(t *testing.T) {
+	a, err := ChungLuPowerLaw(500, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChungLuPowerLaw(500, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraph(a, b) {
+		t.Error("same seed produced different Chung–Lu graphs")
+	}
+}
+
+func TestChungLuHeavyTail(t *testing.T) {
+	g, err := ChungLuPowerLaw(10000, 2.2, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A power-law graph must have a hub much larger than the mean degree.
+	mean := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 8*mean {
+		t.Errorf("max degree %d vs mean %.1f: tail too light", g.MaxDegree(), mean)
+	}
+}
+
+func TestZetaSampler(t *testing.T) {
+	if _, err := NewZetaDegreeSampler(1.0, 10); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	if _, err := NewZetaDegreeSampler(2.5, 0); err == nil {
+		t.Error("kmax=0 accepted")
+	}
+	s, err := NewZetaDegreeSampler(3.0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRand(1)
+	var sum float64
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		sum += float64(s.Sample(rng))
+	}
+	mean := sum / samples
+	// E[K] = ζ(2)/ζ(3) ≈ 1.3684 for α=3.
+	want := (math.Pi * math.Pi / 6) / 1.2020569
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("zeta sample mean %.3f, want ≈ %.3f", mean, want)
+	}
+}
+
+func TestPowerLawDegreeSequenceEven(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		deg, err := PowerLawDegreeSequence(101, 2.5, 100, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, d := range deg {
+			sum += d
+		}
+		if sum%2 != 0 {
+			t.Errorf("seed %d: odd degree sum %d", seed, sum)
+		}
+	}
+}
+
+func TestConfigurationModelValidation(t *testing.T) {
+	if _, err := ConfigurationModel([]int{1, 1, 1}, 1); err == nil {
+		t.Error("odd sum accepted")
+	}
+	if _, err := ConfigurationModel([]int{-1, 1}, 1); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := ConfigurationModel([]int{3, 1}, 1); err == nil {
+		t.Error("degree >= n accepted")
+	}
+}
+
+func TestConfigurationModelRealizesBounds(t *testing.T) {
+	deg := []int{3, 2, 2, 2, 1, 1, 1, 2} // sum 14, even
+	g, err := ConfigurationModel(deg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range deg {
+		if g.Degree(v) > want {
+			t.Errorf("vertex %d: degree %d exceeds requested %d", v, g.Degree(v), want)
+		}
+	}
+	// Erased model may drop a few, but most stubs should survive.
+	if g.M() < 4 {
+		t.Errorf("only %d edges realized", g.M())
+	}
+}
+
+func TestPowerLawConfiguration(t *testing.T) {
+	g, err := PowerLawConfiguration(2000, 2.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Errorf("n=%d", g.N())
+	}
+	// Most vertices have degree 1 under a zeta distribution.
+	h := g.DegreeHistogram()
+	if len(h) > 1 && h[1] < 1000 {
+		t.Errorf("|V_1| = %d, expected majority", h[1])
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	if _, err := Waxman(10, -0.1, 0.5, 1); err == nil {
+		t.Error("beta<0 accepted")
+	}
+	if _, err := Waxman(10, 0.5, 0, 1); err == nil {
+		t.Error("gamma=0 accepted")
+	}
+	g, err := Waxman(50, 0, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 0 {
+		t.Errorf("beta=0 produced %d edges", g.M())
+	}
+}
+
+func TestWaxmanDensityScalesWithBeta(t *testing.T) {
+	lo, err := Waxman(200, 0.1, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Waxman(200, 0.9, 0.3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.M() <= lo.M() {
+		t.Errorf("beta=0.9 gave %d edges vs %d at beta=0.1", hi.M(), lo.M())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(400, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(400, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraph(a, b) {
+		t.Error("same seed produced different BA graphs")
+	}
+}
+
+func TestLogNormalWeights(t *testing.T) {
+	if _, err := LogNormalWeights(10, 1, 0, 1); err == nil {
+		t.Error("sigma=0 accepted")
+	}
+	if _, err := LogNormalWeights(-1, 1, 1, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+	w, err := LogNormalWeights(5000, 1.0, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range w {
+		if x < 1 {
+			t.Fatalf("weight %v below the floor", x)
+		}
+	}
+}
+
+func TestChungLuLogNormal(t *testing.T) {
+	g, err := ChungLuLogNormal(3000, 1.0, 1.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3000 || g.M() == 0 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+	// Lognormal tails are lighter than power laws but still produce hubs.
+	if g.MaxDegree() < 3*int(g.MeanDegree()) {
+		t.Errorf("maxdeg %d vs mean %.1f: no hubs at all", g.MaxDegree(), g.MeanDegree())
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	if _, err := Hierarchical(0, 4, 8, 0.2, 1); err == nil {
+		t.Error("levels=0 accepted")
+	}
+	if _, err := Hierarchical(2, 1, 8, 0.2, 1); err == nil {
+		t.Error("fanout=1 accepted")
+	}
+	if _, err := Hierarchical(2, 4, 1, 0.2, 1); err == nil {
+		t.Error("leafSize=1 accepted")
+	}
+	if _, err := Hierarchical(2, 4, 8, 0, 1); err == nil {
+		t.Error("pIntra=0 accepted")
+	}
+}
+
+func TestHierarchicalStructure(t *testing.T) {
+	g, err := Hierarchical(3, 4, 16, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 16*16 {
+		t.Fatalf("n=%d, want 256", g.N())
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Errorf("hierarchical topology disconnected: %d components", count)
+	}
+	// Clustering should be clearly nonzero (dense leaf domains), unlike a
+	// Chung–Lu graph of similar density.
+	if cc := g.GlobalClustering(); cc < 0.05 {
+		t.Errorf("clustering %v suspiciously low for dense leaf domains", cc)
+	}
+}
+
+func TestHierarchicalSingleLevel(t *testing.T) {
+	g, err := Hierarchical(1, 4, 20, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 {
+		t.Errorf("single-level n=%d, want 20", g.N())
+	}
+}

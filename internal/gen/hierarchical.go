@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Hierarchical generates an N-level hierarchical topology in the spirit of
+// Calvert–Doar–Zegura (the "N-level Hierarchical" model the paper's
+// Section 6 lists among generative models with no obviously small labels):
+// the vertex set is partitioned into a tree of domains with fanout children
+// per level; vertices connect densely inside leaf domains, and each domain
+// is linked to its sibling domains through randomly chosen border vertices.
+//
+// levels >= 1; fanout >= 2. The vertex count is leafSize · fanout^(levels-1).
+func Hierarchical(levels, fanout, leafSize int, pIntra float64, seed int64) (*graph.Graph, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("gen: hierarchical levels must be >= 1, got %d", levels)
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("gen: hierarchical fanout must be >= 2, got %d", fanout)
+	}
+	if leafSize < 2 {
+		return nil, fmt.Errorf("gen: hierarchical leaf size must be >= 2, got %d", leafSize)
+	}
+	if pIntra <= 0 || pIntra > 1 {
+		return nil, fmt.Errorf("gen: pIntra must be in (0,1], got %v", pIntra)
+	}
+	leaves := 1
+	for i := 1; i < levels; i++ {
+		leaves *= fanout
+	}
+	n := leaves * leafSize
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+
+	// Leaf domains: G(leafSize, pIntra) inside each, plus a spanning path so
+	// domains are internally connected.
+	leafStart := func(leaf int) int { return leaf * leafSize }
+	for leaf := 0; leaf < leaves; leaf++ {
+		s := leafStart(leaf)
+		for i := 0; i+1 < leafSize; i++ {
+			mustEdge(b, s+i, s+i+1)
+		}
+		for i := 0; i < leafSize; i++ {
+			for j := i + 2; j < leafSize; j++ {
+				if rng.Float64() < pIntra {
+					if !b.HasEdge(s+i, s+j) {
+						mustEdge(b, s+i, s+j)
+					}
+				}
+			}
+		}
+	}
+
+	// Inter-domain links: at every level, connect each group of `fanout`
+	// sibling subtrees in a ring through random border vertices.
+	groupSize := leafSize // vertices per subtree at the current level
+	for level := levels - 1; level >= 1; level-- {
+		groups := n / (groupSize * fanout)
+		for gI := 0; gI < groups; gI++ {
+			base := gI * groupSize * fanout
+			for c := 0; c < fanout; c++ {
+				next := (c + 1) % fanout
+				u := base + c*groupSize + rng.Intn(groupSize)
+				v := base + next*groupSize + rng.Intn(groupSize)
+				if u != v && !b.HasEdge(u, v) {
+					mustEdge(b, u, v)
+				}
+			}
+		}
+		groupSize *= fanout
+	}
+	return b.Build(), nil
+}

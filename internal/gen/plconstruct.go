@@ -1,0 +1,274 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/powerlaw"
+)
+
+// PlEmbedding is the result of the Section-5 construction: a graph G in the
+// family P_l(α) together with the vertex IDs of G hosting the embedded graph
+// H as an induced subgraph (Host[i] hosts H's vertex i).
+type PlEmbedding struct {
+	G    *graph.Graph
+	Host []int
+}
+
+// PlEmbed implements the constructive proof of Theorem 6: given the paper's
+// parameters for (α, n) and an arbitrary graph H on exactly i₁ = Θ(n^(1/α))
+// vertices, it builds an n-vertex graph G ∈ P_l containing H as an induced
+// subgraph. Because adjacency labels for G restrict to labels for the
+// arbitrary H, any labeling scheme for P_l needs ⌊i₁/2⌋-bit labels.
+//
+// The construction follows the paper exactly: target degree classes
+// V_1, ..., V_n are sized per Definition 2; H is planted on i₁ of the
+// singleton high-degree classes; then three phases of edge padding raise
+// every vertex to its target degree.
+func PlEmbed(p powerlaw.Params, h *graph.Graph) (*PlEmbedding, error) {
+	n := p.N
+	i1 := p.I1
+	if h.N() != i1 {
+		return nil, fmt.Errorf("gen: H must have exactly i₁=%d vertices, got %d", i1, h.N())
+	}
+	cn := p.C * float64(n)
+
+	// Size the degree classes. class sizes: |V_1| = ⌊Cn⌋ - i₁,
+	// |V_i| = ⌊Cn/i^α⌋ for 2 <= i <= i₁-1, then n-n' singletons with target
+	// degrees i₁, i₁+1, ..., and empty classes beyond.
+	size1 := int(math.Floor(cn)) - i1
+	if size1 < 0 {
+		return nil, fmt.Errorf("gen: n=%d too small for α=%v (⌊Cn⌋-i₁ = %d < 0)", n, p.Alpha, size1)
+	}
+	classSize := make([]int, i1) // classSize[i] for degrees 1..i1-1; index 0 unused
+	if i1 >= 2 {
+		classSize[1] = size1
+	}
+	nPrime := size1
+	for i := 2; i < i1; i++ {
+		s := int(math.Floor(cn / math.Pow(float64(i), p.Alpha)))
+		classSize[i] = s
+		nPrime += s
+	}
+	singles := n - nPrime // number of singleton classes V_{i₁}..V_{i₁+singles-1}
+	if singles < i1 {
+		return nil, fmt.Errorf("gen: construction needs n-n' >= i₁ (have %d < %d); increase n", singles, i1)
+	}
+
+	// Assign vertex IDs: V_1 first, then V_2, ..., V_{i₁-1}, then singletons.
+	target := make([]int, n) // target degree per vertex
+	id := 0
+	for i := 1; i < i1; i++ {
+		for k := 0; k < classSize[i]; k++ {
+			target[id] = i
+			id++
+		}
+	}
+	firstSingle := id
+	for k := 0; k < singles; k++ {
+		target[id] = i1 + k
+		id++
+	}
+	if id != n {
+		return nil, fmt.Errorf("gen: internal: assigned %d of %d vertices", id, n)
+	}
+
+	b := graph.NewBuilder(n)
+	deg := make([]int, n)
+	addEdge := func(u, v int) error {
+		if err := b.AddEdge(u, v); err != nil {
+			return err
+		}
+		deg[u]++
+		deg[v]++
+		return nil
+	}
+
+	// Plant H on the first i₁ singleton classes (targets i₁..2i₁-1, all of
+	// which exceed H's maximum possible degree i₁-1).
+	host := make([]int, i1)
+	for i := range host {
+		host[i] = firstSingle + i
+	}
+	var edgeErr error
+	h.Edges(func(u, v int) {
+		if edgeErr == nil {
+			edgeErr = addEdge(host[u], host[v])
+		}
+	})
+	if edgeErr != nil {
+		return nil, edgeErr
+	}
+
+	inHost := make([]bool, n)
+	for _, v := range host {
+		inHost[v] = true
+	}
+	// V' = V \ (V_1 ∪ V_H): vertices with target >= 2 that are not hosts.
+	var vPrime []int
+	for v := 0; v < n; v++ {
+		if target[v] >= 2 && !inHost[v] {
+			vPrime = append(vPrime, v)
+		}
+	}
+
+	// Phase 1: raise every host vertex to its target degree using fresh V'
+	// partners. A queue over V' guarantees each (host, partner) pair is used
+	// at most once.
+	queue := make([]int, len(vPrime))
+	copy(queue, vPrime)
+	qHead := 0
+	for _, hv := range host {
+		for deg[hv] < target[hv] {
+			// Find the next V' vertex with remaining capacity that is not
+			// already adjacent to hv.
+			found := -1
+			for probe := qHead; probe < len(queue); probe++ {
+				u := queue[probe]
+				if deg[u] < target[u] && !b.HasEdge(u, hv) {
+					found = probe
+					break
+				}
+			}
+			if found == -1 {
+				return nil, fmt.Errorf("gen: phase 1 exhausted V' capacity (n too small for α=%v)", p.Alpha)
+			}
+			// Compact the queue head past filled vertices.
+			u := queue[found]
+			if err := addEdge(u, hv); err != nil {
+				return nil, err
+			}
+			for qHead < len(queue) && deg[queue[qHead]] >= target[queue[qHead]] {
+				qHead++
+			}
+		}
+	}
+
+	// Phase 2: realize the residual degrees within V' by a bucket-based
+	// Havel–Hakimi: repeatedly extract a vertex with maximum deficit d and
+	// connect it to d vertices of next-largest deficits. The extracted
+	// vertex never reappears, and the only pre-existing V'-incident edges go
+	// to hosts, so no duplicate edge can be attempted among live V' pairs.
+	// A vertex whose deficit exceeds the number of remaining live vertices
+	// is set aside as a leftover and later satisfied from V_1, exactly as in
+	// the paper's Phase 2 tail step.
+	type defVertex struct{ v, deficit int }
+	maxTarget := 0
+	for _, v := range vPrime {
+		if target[v] > maxTarget {
+			maxTarget = target[v]
+		}
+	}
+	buckets := make([][]int, maxTarget+1) // buckets[d] = vertices with deficit d
+	deficit := make(map[int]int, len(vPrime))
+	for _, v := range vPrime {
+		if d := target[v] - deg[v]; d > 0 {
+			buckets[d] = append(buckets[d], v)
+			deficit[v] = d
+		}
+	}
+	// pop removes and returns any vertex from buckets[d].
+	pop := func(d int) int {
+		lst := buckets[d]
+		v := lst[len(lst)-1]
+		buckets[d] = lst[:len(lst)-1]
+		return v
+	}
+	var leftovers []defVertex
+	maxD := maxTarget
+	for {
+		for maxD > 0 && len(buckets[maxD]) == 0 {
+			maxD--
+		}
+		if maxD == 0 {
+			break
+		}
+		top := pop(maxD)
+		d := maxD
+		delete(deficit, top)
+		// Collect up to d partners, scanning deficits from high to low.
+		partners := make([]int, 0, d)
+		scan := maxD
+		for len(partners) < d && scan > 0 {
+			if len(buckets[scan]) == 0 {
+				scan--
+				continue
+			}
+			partners = append(partners, pop(scan))
+		}
+		for _, u := range partners {
+			if err := addEdge(top, u); err != nil {
+				return nil, err
+			}
+			nd := deficit[u] - 1
+			if nd > 0 {
+				deficit[u] = nd
+				buckets[nd] = append(buckets[nd], u)
+			} else {
+				delete(deficit, u)
+			}
+		}
+		if len(partners) < d {
+			leftovers = append(leftovers, defVertex{v: top, deficit: d - len(partners)})
+		}
+	}
+
+	// Vertices of V_1 (target degree 1), all still at degree 0.
+	var v1 []int
+	for v := 0; v < n; v++ {
+		if target[v] == 1 {
+			v1 = append(v1, v)
+		}
+	}
+	v1Pos := 0
+	// Satisfy Phase-2 leftovers from degree-0 V_1 vertices.
+	for _, lo := range leftovers {
+		for k := 0; k < lo.deficit; k++ {
+			if v1Pos >= len(v1) {
+				return nil, fmt.Errorf("gen: phase 2 leftover needs %d more V_1 vertices", lo.deficit-k)
+			}
+			if err := addEdge(lo.v, v1[v1Pos]); err != nil {
+				return nil, err
+			}
+			v1Pos++
+		}
+	}
+
+	// Phase 3: pair up the remaining degree-0 V_1 vertices.
+	var unprocessed []int
+	for _, v := range v1[v1Pos:] {
+		if deg[v] == 0 {
+			unprocessed = append(unprocessed, v)
+		}
+	}
+	for i := 0; i+1 < len(unprocessed); i += 2 {
+		if err := addEdge(unprocessed[i], unprocessed[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	if len(unprocessed)%2 == 1 {
+		// One degree-0 vertex w remains: connect it to a processed V_1
+		// vertex w', moving w' into V_2. Definition 2's slack on |V_1| and
+		// |V_2| absorbs this.
+		w := unprocessed[len(unprocessed)-1]
+		placed := false
+		for _, cand := range v1 {
+			if cand != w && deg[cand] == 1 && !b.HasEdge(w, cand) {
+				if err := addEdge(w, cand); err != nil {
+					return nil, err
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("gen: phase 3 could not place final V_1 vertex")
+		}
+	}
+
+	g := b.Build()
+	// Construction invariant: every vertex hits its target degree (modulo
+	// the single w' promoted from V_1 to V_2 in phase 3).
+	return &PlEmbedding{G: g, Host: host}, nil
+}

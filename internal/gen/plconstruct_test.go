@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/powerlaw"
+)
+
+// newTestRand returns a deterministic rand source for tests in this package.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func plParams(t *testing.T, alpha float64, n int) powerlaw.Params {
+	t.Helper()
+	p, err := powerlaw.NewParams(alpha, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlEmbedRejectsWrongH(t *testing.T) {
+	p := plParams(t, 2.5, 10000)
+	if _, err := PlEmbed(p, Path(p.I1+1)); err == nil {
+		t.Error("wrong-sized H accepted")
+	}
+}
+
+func TestPlEmbedMembershipAndInducedSubgraph(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		n     int
+	}{
+		{2.2, 5000},
+		{2.5, 10000},
+		{2.5, 30000},
+		{3.0, 20000},
+	}
+	for _, tc := range cases {
+		p := plParams(t, tc.alpha, tc.n)
+		// H: a random graph on i₁ vertices — the "arbitrary graph" of the
+		// lower-bound proof.
+		rng := newTestRand(int64(tc.n))
+		hb := graph.NewBuilder(p.I1)
+		for u := 0; u < p.I1; u++ {
+			for v := u + 1; v < p.I1; v++ {
+				if rng.Intn(2) == 0 {
+					if err := hb.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		h := hb.Build()
+
+		emb, err := PlEmbed(p, h)
+		if err != nil {
+			t.Fatalf("α=%v n=%d: %v", tc.alpha, tc.n, err)
+		}
+		if emb.G.N() != tc.n {
+			t.Fatalf("α=%v n=%d: graph has %d vertices", tc.alpha, tc.n, emb.G.N())
+		}
+
+		// G must be a member of P_l (Definition 2), verified exactly.
+		if err := powerlaw.CheckPl(emb.G, p); err != nil {
+			t.Errorf("α=%v n=%d: not in P_l: %v", tc.alpha, tc.n, err)
+		}
+
+		// H must be an induced subgraph of G on the host vertices.
+		sub, err := emb.G.InducedSubgraph(emb.Host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.EqualGraph(sub, h) {
+			t.Errorf("α=%v n=%d: induced subgraph differs from H", tc.alpha, tc.n)
+		}
+
+		// Proposition 1: the max degree must respect the P_l bound.
+		if got, bound := emb.G.MaxDegree(), p.MaxDegreeBoundPl(); float64(got) > bound {
+			t.Errorf("α=%v n=%d: max degree %d exceeds Proposition 1 bound %.1f", tc.alpha, tc.n, got, bound)
+		}
+
+		// Proposition 3: P_l ⊆ P_h — the same graph passes the P_h check.
+		if rep := powerlaw.CheckPh(emb.G, p, 1); !rep.Member {
+			t.Errorf("α=%v n=%d: P_l member fails P_h check (worst k=%d ratio=%.3f)",
+				tc.alpha, tc.n, rep.WorstK, rep.WorstRatio)
+		}
+	}
+}
+
+func TestPlEmbedCliqueH(t *testing.T) {
+	// The hardest H: a clique, maximizing host degrees.
+	p := plParams(t, 2.5, 10000)
+	h := Complete(p.I1)
+	emb, err := PlEmbed(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := powerlaw.CheckPl(emb.G, p); err != nil {
+		t.Errorf("clique embedding not in P_l: %v", err)
+	}
+	sub, err := emb.G.InducedSubgraph(emb.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraph(sub, h) {
+		t.Error("induced subgraph differs from clique")
+	}
+}
+
+func TestPlEmbedEmptyH(t *testing.T) {
+	p := plParams(t, 2.5, 10000)
+	h := graph.Empty(p.I1)
+	emb, err := PlEmbed(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := powerlaw.CheckPl(emb.G, p); err != nil {
+		t.Errorf("empty-H embedding not in P_l: %v", err)
+	}
+	sub, err := emb.G.InducedSubgraph(emb.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.M() != 0 {
+		t.Errorf("induced subgraph has %d edges, want 0", sub.M())
+	}
+}
+
+func TestPlEmbedSparsity(t *testing.T) {
+	// Proposition 2: for α > 2, members of P_l are sparse; verify against
+	// the explicit Proposition 2 edge bound.
+	p := plParams(t, 2.5, 20000)
+	emb, err := PlEmbed(p, Path(p.I1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bound := float64(emb.G.M()), p.SparsityBoundPl(); got > bound {
+		t.Errorf("edge count %v exceeds Proposition 2 bound %v", got, bound)
+	}
+}
+
+func TestPlEmbedDeterministic(t *testing.T) {
+	p := plParams(t, 2.5, 8000)
+	h := Cycle(p.I1)
+	a, err := PlEmbed(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlEmbed(p, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraph(a.G, b.G) {
+		t.Error("PlEmbed is not deterministic")
+	}
+}

@@ -1,0 +1,42 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Waxman generates a Waxman random geometric graph: n points uniform in the
+// unit square, with each pair {u,v} connected independently with probability
+// β·exp(-d(u,v)/(L·γ)) where L = √2 is the maximal distance. This is one of
+// the non-power-law generative models the paper contrasts with (Section 6);
+// it serves as a control workload. Runs in O(n²) and is intended for the
+// modest sizes used in experiments.
+func Waxman(n int, beta, gamma float64, seed int64) (*graph.Graph, error) {
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: Waxman beta must be in [0,1], got %v", beta)
+	}
+	if gamma <= 0 {
+		return nil, fmt.Errorf("gen: Waxman gamma must be positive, got %v", gamma)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	l := math.Sqrt2
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+			if rng.Float64() < beta*math.Exp(-d/(l*gamma)) {
+				mustEdge(b, u, v)
+			}
+		}
+	}
+	return b.Build(), nil
+}

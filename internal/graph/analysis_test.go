@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// buildComplete returns K_n without importing gen (avoiding a cycle).
+func buildComplete(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(t, b, u, v)
+		}
+	}
+	return b.Build()
+}
+
+func TestTrianglesKnown(t *testing.T) {
+	if got := buildComplete(t, 4).Triangles(); got != 4 {
+		t.Errorf("K4 triangles = %d, want 4", got)
+	}
+	if got := buildComplete(t, 5).Triangles(); got != 10 {
+		t.Errorf("K5 triangles = %d, want 10", got)
+	}
+	if got := buildPath(t, 10).Triangles(); got != 0 {
+		t.Errorf("path triangles = %d", got)
+	}
+	// Star has no triangles.
+	b := NewBuilder(6)
+	for v := 1; v < 6; v++ {
+		mustAdd(t, b, 0, v)
+	}
+	if got := b.Build().Triangles(); got != 0 {
+		t.Errorf("star triangles = %d", got)
+	}
+	// One explicit triangle plus a pendant.
+	b2 := NewBuilder(4)
+	mustAdd(t, b2, 0, 1)
+	mustAdd(t, b2, 1, 2)
+	mustAdd(t, b2, 0, 2)
+	mustAdd(t, b2, 2, 3)
+	if got := b2.Build().Triangles(); got != 1 {
+		t.Errorf("triangle+pendant = %d, want 1", got)
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	if got := buildComplete(t, 6).GlobalClustering(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("K6 clustering = %v, want 1", got)
+	}
+	if got := buildPath(t, 8).GlobalClustering(); got != 0 {
+		t.Errorf("path clustering = %v, want 0", got)
+	}
+	if got := Empty(5).GlobalClustering(); got != 0 {
+		t.Errorf("empty clustering = %v", got)
+	}
+}
+
+func TestMeanDegree(t *testing.T) {
+	if got := buildComplete(t, 5).MeanDegree(); got != 4 {
+		t.Errorf("K5 mean degree = %v", got)
+	}
+	if got := Empty(0).MeanDegree(); got != 0 {
+		t.Errorf("empty mean degree = %v", got)
+	}
+}
+
+func TestAssortativityExtremes(t *testing.T) {
+	// A star is maximally disassortative: r = -1.
+	b := NewBuilder(8)
+	for v := 1; v < 8; v++ {
+		mustAdd(t, b, 0, v)
+	}
+	if got := b.Build().DegreeAssortativity(); math.Abs(got+1) > 1e-9 {
+		t.Errorf("star assortativity = %v, want -1", got)
+	}
+	// A regular graph has zero degree variance: defined as 0 here.
+	if got := buildComplete(t, 6).DegreeAssortativity(); got != 0 {
+		t.Errorf("K6 assortativity = %v, want 0 (degenerate)", got)
+	}
+	if got := Empty(4).DegreeAssortativity(); got != 0 {
+		t.Errorf("empty assortativity = %v", got)
+	}
+	// Two disjoint edges joined into a path of length 3: ends (deg 1)
+	// attach to middles (deg 2): disassortative.
+	p := buildPath(t, 4)
+	if got := p.DegreeAssortativity(); got >= 0 {
+		t.Errorf("P4 assortativity = %v, want negative", got)
+	}
+}

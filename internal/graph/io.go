@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the graph in a plain-text edge-list format:
+// a header line "# n <vertices> m <edges>" followed by one "u v" pair per
+// line with u < v. The format round-trips through ReadEdgeList.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# n %d m %d\n", g.n, g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		// strconv is much faster than fmt for hot loops.
+		line := strconv.Itoa(u) + " " + strconv.Itoa(v) + "\n"
+		if _, err := bw.WriteString(line); err != nil {
+			werr = err
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the header, and blank lines, are ignored. If no header
+// is present, the vertex count is inferred as max ID + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	n := -1
+	type edge struct{ u, v int }
+	var edges []edge
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var hn, hm int
+			if _, err := fmt.Sscanf(line, "# n %d m %d", &hn, &hm); err == nil {
+				n = hn
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two vertex IDs, got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex ID", lineNo)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, edge{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("graph: vertex ID %d exceeds declared n=%d", maxID, n)
+	}
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if e.u == e.v {
+			continue // tolerate self-loops in external data by dropping them
+		}
+		if err := b.AddEdge(e.u, e.v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

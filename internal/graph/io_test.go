@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := buildRandom(t, 40, 0.1, 3)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualGraph(g, g2) {
+		t.Error("round-tripped graph differs")
+	}
+}
+
+func TestEdgeListHeaderPreservesIsolated(t *testing.T) {
+	// Vertex 4 is isolated; the header must preserve n=5.
+	b := NewBuilder(5)
+	mustAdd(t, b, 0, 1)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 5 {
+		t.Errorf("N = %d, want 5", g2.N())
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n0 1\n# another\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2", g.M())
+	}
+}
+
+func TestReadEdgeListDropsSelfLoops(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 0\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1 (self-loop dropped)", g.M())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"a b\n",            // non-numeric
+		"0 -2\n",           // negative
+		"# n 2 m 1\n0 5\n", // ID exceeds declared n
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}

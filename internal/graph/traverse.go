@@ -1,0 +1,142 @@
+package graph
+
+// Unreachable is the distance value reported for vertices not reachable
+// from the BFS source.
+const Unreachable = -1
+
+// BFS returns the array of hop distances from src to every vertex, with
+// Unreachable (-1) for vertices in other components.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	queue := make([]int32, 0, 64)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := int(queue[head])
+		du := dist[u]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == Unreachable {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSBounded performs a BFS from src that stops expanding at depth maxDist
+// and only traverses vertices for which allow returns true (src itself is
+// always allowed). It returns the set of reached vertices and their
+// distances. Vertices at distance maxDist are reported but not expanded.
+// This implements the "shortest path through thin vertices only" tables of
+// Lemma 7 when allow excludes fat vertices.
+func (g *Graph) BFSBounded(src, maxDist int, allow func(v int) bool) map[int]int {
+	out := make(map[int]int)
+	if src < 0 || src >= g.n || maxDist < 0 {
+		return out
+	}
+	out[src] = 0
+	queue := []int32{int32(src)}
+	for head := 0; head < len(queue); head++ {
+		u := int(queue[head])
+		du := out[u]
+		if du == maxDist {
+			continue
+		}
+		for _, wi := range g.Neighbors(u) {
+			w := int(wi)
+			if _, seen := out[w]; seen {
+				continue
+			}
+			if allow != nil && !allow(w) {
+				// Record the distance to a disallowed frontier vertex but do
+				// not expand through it; callers that do not want frontier
+				// vertices filter on allow themselves.
+				continue
+			}
+			out[w] = du + 1
+			queue = append(queue, wi)
+		}
+	}
+	return out
+}
+
+// ConnectedComponents returns a component ID per vertex (IDs are dense,
+// starting at 0) and the number of components.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	comp = make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	for v := 0; v < g.n; v++ {
+		if comp[v] != -1 {
+			continue
+		}
+		comp[v] = count
+		queue = append(queue[:0], int32(v))
+		for head := 0; head < len(queue); head++ {
+			u := int(queue[head])
+			for _, w := range g.Neighbors(u) {
+				if comp[w] == -1 {
+					comp[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// Diameter returns the exact hop diameter of the largest connected
+// component, computed by running a BFS from every vertex of that component.
+// It is intended for the modest graph sizes used in tests and experiments.
+func (g *Graph) Diameter() int {
+	comp, count := g.ConnectedComponents()
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	big := 0
+	for c, s := range sizes {
+		if s > sizes[big] {
+			big = c
+		}
+		_ = c
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		if comp[v] != big {
+			continue
+		}
+		for _, d := range g.BFS(v) {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Dist returns the exact hop distance between u and v (Unreachable if they
+// are in different components). It runs a single BFS and is intended for
+// spot-checking; batch users should call BFS directly.
+func (g *Graph) Dist(u, v int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return Unreachable
+	}
+	if u == v {
+		return 0
+	}
+	return g.BFS(u)[v]
+}

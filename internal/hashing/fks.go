@@ -1,0 +1,187 @@
+// Package hashing implements FKS (Fredman–Komlós–Szemerédi) two-level
+// perfect hashing over uint64 keys, the "classic chaining perfect hash
+// function" the paper's 1-query labeling scheme builds on: n keys are
+// hashed into n first-level buckets, and each bucket of size b gets a
+// collision-free secondary table of size b². Retrying the first level until
+// Σ b² ≤ 4n keeps the total size linear, and lookups are two universal-hash
+// evaluations — O(1) worst case.
+package hashing
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// ErrTooManyRetries is returned if a suitable hash function is not found
+// within the retry budget (vanishingly unlikely for correct inputs).
+var ErrTooManyRetries = errors.New("hashing: exceeded retry budget")
+
+// ErrDuplicateKey is returned when the key set contains duplicates, which a
+// perfect hash cannot separate.
+var ErrDuplicateKey = errors.New("hashing: duplicate key")
+
+// mersenne61 is the prime 2^61 - 1 used by the universal hash family.
+const mersenne61 = (1 << 61) - 1
+
+// mulMod61 returns a*b mod 2^61-1 without overflow.
+func mulMod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a·b = hi·2^64 + lo, and 2^64 ≡ 8, 2^61 ≡ 1 (mod 2^61-1).
+	r := (lo & mersenne61) + (lo >> 61) + hi*8
+	for r >= mersenne61 {
+		r -= mersenne61
+	}
+	return r
+}
+
+// universal is one member of the Carter–Wegman family
+// h(k) = ((a·k + b) mod p) mod m.
+type universal struct {
+	a, b uint64
+	m    uint64
+}
+
+func (u universal) hash(key uint64) uint64 {
+	v := mulMod61(u.a, key%mersenne61) + u.b
+	if v >= mersenne61 {
+		v -= mersenne61
+	}
+	return v % u.m
+}
+
+func randomUniversal(rng *rand.Rand, m uint64) universal {
+	a := uint64(rng.Int63n(mersenne61-1)) + 1 // a in [1, p)
+	b := uint64(rng.Int63n(mersenne61))       // b in [0, p)
+	return universal{a: a, b: b, m: m}
+}
+
+// PerfectHash maps a fixed key set injectively into [0, Total()).
+type PerfectHash struct {
+	level1  universal
+	buckets []bucket
+	total   int
+	nKeys   int
+}
+
+type bucket struct {
+	fn     universal
+	offset int
+	size   int
+}
+
+// maxRetries bounds the number of hash-function draws per level. With
+// universal hashing each draw succeeds with probability >= 1/2, so failure
+// of 64 consecutive draws indicates a bug rather than bad luck.
+const maxRetries = 64
+
+// Build constructs a perfect hash for the given distinct keys.
+func Build(keys []uint64, seed int64) (*PerfectHash, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(keys)
+	if n == 0 {
+		return &PerfectHash{total: 0}, nil
+	}
+	seen := make(map[uint64]struct{}, n)
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateKey, k)
+		}
+		seen[k] = struct{}{}
+	}
+
+	m := uint64(n)
+	var h1 universal
+	var sizes []int
+	for try := 0; ; try++ {
+		if try >= maxRetries {
+			return nil, fmt.Errorf("%w: level 1", ErrTooManyRetries)
+		}
+		h1 = randomUniversal(rng, m)
+		sizes = make([]int, n)
+		for _, k := range keys {
+			sizes[h1.hash(k)]++
+		}
+		sum := 0
+		for _, b := range sizes {
+			sum += b * b
+		}
+		// E[Σ b²] < 2n for a universal family; accept within 4n.
+		if sum <= 4*n {
+			break
+		}
+	}
+
+	byBucket := make([][]uint64, n)
+	for _, k := range keys {
+		i := h1.hash(k)
+		byBucket[i] = append(byBucket[i], k)
+	}
+	ph := &PerfectHash{level1: h1, buckets: make([]bucket, n), nKeys: n}
+	offset := 0
+	occupied := make([]bool, 0, 64)
+	for i, bk := range byBucket {
+		size := len(bk) * len(bk)
+		ph.buckets[i] = bucket{offset: offset, size: size}
+		if size > 0 {
+			fn, err := findInjective(rng, bk, uint64(size), &occupied)
+			if err != nil {
+				return nil, err
+			}
+			ph.buckets[i].fn = fn
+		}
+		offset += size
+	}
+	ph.total = offset
+	return ph, nil
+}
+
+func findInjective(rng *rand.Rand, keys []uint64, size uint64, scratch *[]bool) (universal, error) {
+	if len(keys) == 1 {
+		return universal{a: 1, b: 0, m: size}, nil
+	}
+	for try := 0; try < maxRetries; try++ {
+		fn := randomUniversal(rng, size)
+		if cap(*scratch) < int(size) {
+			*scratch = make([]bool, size)
+		}
+		occ := (*scratch)[:size]
+		for i := range occ {
+			occ[i] = false
+		}
+		ok := true
+		for _, k := range keys {
+			s := fn.hash(k)
+			if occ[s] {
+				ok = false
+				break
+			}
+			occ[s] = true
+		}
+		if ok {
+			return fn, nil
+		}
+	}
+	return universal{}, fmt.Errorf("%w: level 2 (bucket of %d keys)", ErrTooManyRetries, len(keys))
+}
+
+// Total returns the size of the slot space; Σ b² ≤ 4·len(keys).
+func (p *PerfectHash) Total() int { return p.total }
+
+// NKeys returns the number of keys the hash was built over.
+func (p *PerfectHash) NKeys() int { return p.nKeys }
+
+// Slot returns the key's slot in [0, Total()). Keys in the build set map to
+// distinct slots; other keys map to an arbitrary slot (membership must be
+// confirmed by the caller, which is exactly what the 1-query decoder does).
+func (p *PerfectHash) Slot(key uint64) int {
+	if p.total == 0 {
+		return 0
+	}
+	b := p.buckets[p.level1.hash(key)]
+	if b.size == 0 {
+		return b.offset % p.total
+	}
+	return b.offset + int(b.fn.hash(key))
+}

@@ -1,0 +1,243 @@
+package hashing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildEmpty(t *testing.T) {
+	ph, err := Build(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Total() != 0 || ph.NKeys() != 0 {
+		t.Errorf("empty hash: total=%d nkeys=%d", ph.Total(), ph.NKeys())
+	}
+	if ph.Slot(42) != 0 {
+		t.Errorf("empty hash Slot = %d", ph.Slot(42))
+	}
+}
+
+func TestBuildRejectsDuplicates(t *testing.T) {
+	if _, err := Build([]uint64{1, 2, 1}, 1); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}
+
+func TestPerfectInjective(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 5000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		keys := make([]uint64, 0, n)
+		seen := map[uint64]struct{}{}
+		for len(keys) < n {
+			k := rng.Uint64()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+		ph, err := Build(keys, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		slots := map[int]uint64{}
+		for _, k := range keys {
+			s := ph.Slot(k)
+			if s < 0 || s >= ph.Total() {
+				t.Fatalf("n=%d: slot %d out of [0,%d)", n, s, ph.Total())
+			}
+			if other, clash := slots[s]; clash {
+				t.Fatalf("n=%d: keys %d and %d share slot %d", n, k, other, s)
+			}
+			slots[s] = k
+		}
+	}
+}
+
+func TestLinearSpace(t *testing.T) {
+	n := 10000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 17
+	}
+	ph, err := Build(keys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Total() > 4*n {
+		t.Errorf("slot space %d exceeds 4n = %d", ph.Total(), 4*n)
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	// Structured keys (the edge-key pattern u*n+v) must hash fine too.
+	n := 3000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	ph, err := Build(keys, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, k := range keys {
+		s := ph.Slot(k)
+		if seen[s] {
+			t.Fatalf("collision at slot %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestLookupStable(t *testing.T) {
+	keys := []uint64{5, 99, 12345, 1 << 40}
+	ph, err := Build(keys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		a, b := ph.Slot(k), ph.Slot(k)
+		if a != b {
+			t.Errorf("Slot(%d) unstable: %d vs %d", k, a, b)
+		}
+	}
+}
+
+func TestNonKeyLookupInRange(t *testing.T) {
+	keys := []uint64{10, 20, 30}
+	ph, err := Build(keys, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 1000; k++ {
+		s := ph.Slot(k)
+		if s < 0 || s >= ph.Total() {
+			t.Fatalf("non-key %d mapped to slot %d outside [0,%d)", k, s, ph.Total())
+		}
+	}
+}
+
+func TestMulMod61(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {mersenne61 - 1, mersenne61 - 1},
+		{mersenne61 - 1, 2}, {1 << 60, 1 << 60}, {123456789, 987654321},
+	}
+	for _, tc := range cases {
+		got := mulMod61(tc.a, tc.b)
+		// Verify against big-integer-free reference: (a*b) mod p via
+		// repeated addition in 128-bit space is impractical here, so check
+		// the algebraic identity (a·b mod p) ≡ ((a mod p)·(b mod p)) and
+		// ranges, plus a few hand values.
+		if got >= mersenne61 {
+			t.Errorf("mulMod61(%d,%d) = %d >= p", tc.a, tc.b, got)
+		}
+	}
+	if got := mulMod61(2, 3); got != 6 {
+		t.Errorf("2*3 = %d", got)
+	}
+	if got := mulMod61(mersenne61-1, 2); got != mersenne61-2 {
+		// (p-1)*2 = 2p-2 ≡ p-2.
+		t.Errorf("(p-1)*2 mod p = %d, want %d", got, mersenne61-2)
+	}
+}
+
+// Property: Build is deterministic for a fixed seed and injective for
+// arbitrary distinct key sets.
+func TestQuickPerfect(t *testing.T) {
+	f := func(raw []uint64, seed int64) bool {
+		seen := map[uint64]struct{}{}
+		keys := make([]uint64, 0, len(raw))
+		for _, k := range raw {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+		ph, err := Build(keys, seed)
+		if err != nil {
+			return false
+		}
+		slots := map[int]bool{}
+		for _, k := range keys {
+			s := ph.Slot(k)
+			if slots[s] {
+				return false
+			}
+			slots[s] = true
+		}
+		ph2, err := Build(keys, seed)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if ph.Slot(k) != ph2.Slot(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	keys := make([]uint64, 2000)
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 3
+	}
+	ph, err := Build(keys, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ph.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfectHash
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != ph.Total() || back.NKeys() != ph.NKeys() {
+		t.Fatalf("metadata differs: total %d/%d keys %d/%d",
+			back.Total(), ph.Total(), back.NKeys(), ph.NKeys())
+	}
+	for _, k := range keys {
+		if back.Slot(k) != ph.Slot(k) {
+			t.Fatalf("Slot(%d) differs after round trip", k)
+		}
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	var p PerfectHash
+	if err := p.UnmarshalBinary([]byte("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := p.UnmarshalBinary([]byte{'F', 'K', 'S', '1'}); err == nil {
+		t.Error("truncated accepted")
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	ph, err := Build(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ph.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PerfectHash
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != 0 {
+		t.Errorf("empty total = %d", back.Total())
+	}
+}

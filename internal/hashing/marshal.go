@@ -1,0 +1,97 @@
+package hashing
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// fksMagic guards the serialized form.
+var fksMagic = [4]byte{'F', 'K', 'S', '1'}
+
+// MarshalBinary serializes the hash description — the shared state a
+// decoder needs besides the labels. Its size quantifies the deviation noted
+// in the onequery package: the paper sketches an O(log n)-bit description,
+// while a concrete FKS table costs Θ(n) words (level-1 params, then per
+// bucket: size and, when occupied, its universal-hash parameters). Offsets
+// are reconstructed from the sizes, so they are not stored.
+func (p *PerfectHash) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(fksMagic[:])
+	var scratch [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	putUv(uint64(p.nKeys))
+	putUv(p.level1.a)
+	putUv(p.level1.b)
+	putUv(p.level1.m)
+	putUv(uint64(len(p.buckets)))
+	for _, bk := range p.buckets {
+		putUv(uint64(bk.size))
+		if bk.size > 0 {
+			putUv(bk.fn.a)
+			putUv(bk.fn.b)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary reconstructs a hash from MarshalBinary output.
+func (p *PerfectHash) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != fksMagic {
+		return fmt.Errorf("hashing: bad magic")
+	}
+	getUv := func() (uint64, error) { return binary.ReadUvarint(r) }
+	nKeys, err := getUv()
+	if err != nil {
+		return fmt.Errorf("hashing: nKeys: %w", err)
+	}
+	a1, err := getUv()
+	if err != nil {
+		return fmt.Errorf("hashing: level1.a: %w", err)
+	}
+	b1, err := getUv()
+	if err != nil {
+		return fmt.Errorf("hashing: level1.b: %w", err)
+	}
+	m1, err := getUv()
+	if err != nil {
+		return fmt.Errorf("hashing: level1.m: %w", err)
+	}
+	nBuckets, err := getUv()
+	if err != nil {
+		return fmt.Errorf("hashing: bucket count: %w", err)
+	}
+	const maxBuckets = 1 << 31
+	if nBuckets > maxBuckets {
+		return fmt.Errorf("hashing: %d buckets", nBuckets)
+	}
+	p.nKeys = int(nKeys)
+	p.level1 = universal{a: a1, b: b1, m: m1}
+	p.buckets = make([]bucket, nBuckets)
+	offset := 0
+	for i := range p.buckets {
+		size, err := getUv()
+		if err != nil {
+			return fmt.Errorf("hashing: bucket %d size: %w", i, err)
+		}
+		bk := bucket{offset: offset, size: int(size)}
+		if size > 0 {
+			if bk.fn.a, err = getUv(); err != nil {
+				return fmt.Errorf("hashing: bucket %d a: %w", i, err)
+			}
+			if bk.fn.b, err = getUv(); err != nil {
+				return fmt.Errorf("hashing: bucket %d b: %w", i, err)
+			}
+			bk.fn.m = size
+		}
+		p.buckets[i] = bk
+		offset += int(size)
+	}
+	p.total = offset
+	return nil
+}

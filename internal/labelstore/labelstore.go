@@ -1,0 +1,215 @@
+// Package labelstore persists labelings to a compact binary format, so that
+// labels can be computed once and then distributed to the peers that answer
+// queries (the deployment model of Section 1: structural information
+// disseminated to vertices and stored locally).
+//
+// Format (all integers little-endian or uvarint):
+//
+//	magic   "PLLB"               4 bytes
+//	version u8                   currently 1
+//	scheme  uvarint len + bytes  scheme name (informational)
+//	params  uvarint count, then  key/value string pairs (decoder metadata,
+//	        per pair: len+bytes   e.g. "n", "w")
+//	n       uvarint              number of labels
+//	labels  n × (uvarint bit length + ceil(len/8) bytes)
+package labelstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/bitstr"
+)
+
+// ErrFormat is returned when the input is not a valid label store.
+var ErrFormat = errors.New("labelstore: malformed input")
+
+var magic = [4]byte{'P', 'L', 'L', 'B'}
+
+const version = 1
+
+// File is an in-memory representation of a label store.
+type File struct {
+	Scheme string
+	Params map[string]string
+	Labels []bitstr.String
+}
+
+// N returns the number of labels.
+func (f *File) N() int { return len(f.Labels) }
+
+// IntParam returns an integer metadata parameter.
+func (f *File) IntParam(key string) (int, error) {
+	v, ok := f.Params[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: missing param %q", ErrFormat, key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%w: param %q: %v", ErrFormat, key, err)
+	}
+	return n, nil
+}
+
+// Write serializes the store.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return err
+	}
+	if err := writeString(bw, f.Scheme); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(f.Params))
+	for k := range f.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic files
+	if err := writeUvarint(bw, uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := writeString(bw, k); err != nil {
+			return err
+		}
+		if err := writeString(bw, f.Params[k]); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(f.Labels))); err != nil {
+		return err
+	}
+	for _, l := range f.Labels {
+		if err := writeUvarint(bw, uint64(l.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(l.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a store written by Write.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: version: %v", ErrFormat, err)
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, ver)
+	}
+	scheme, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	nParams, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: param count: %v", ErrFormat, err)
+	}
+	const maxParams = 1 << 16
+	if nParams > maxParams {
+		return nil, fmt.Errorf("%w: %d params", ErrFormat, nParams)
+	}
+	params := make(map[string]string, nParams)
+	for i := uint64(0); i < nParams; i++ {
+		k, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		params[k] = v
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: label count: %v", ErrFormat, err)
+	}
+	const maxLabels = 1 << 31
+	if n > maxLabels {
+		return nil, fmt.Errorf("%w: %d labels", ErrFormat, n)
+	}
+	labels := make([]bitstr.String, n)
+	for i := uint64(0); i < n; i++ {
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: label %d length: %v", ErrFormat, i, err)
+		}
+		if bits > 1<<34 {
+			return nil, fmt.Errorf("%w: label %d has %d bits", ErrFormat, i, bits)
+		}
+		nBytes := (bits + 7) / 8
+		buf := make([]byte, nBytes)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: label %d payload: %v", ErrFormat, i, err)
+		}
+		labels[i], err = stringFromBytes(buf, int(bits))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &File{Scheme: scheme, Params: params, Labels: labels}, nil
+}
+
+// stringFromBytes rebuilds a bit string of exactly nBits from its byte form.
+func stringFromBytes(data []byte, nBits int) (bitstr.String, error) {
+	var b bitstr.Builder
+	b.Grow(nBits)
+	for i := 0; i < nBits; i += 8 {
+		w := nBits - i
+		if w > 8 {
+			w = 8
+		}
+		b.AppendUint(uint64(data[i>>3])>>(8-uint(w)), w)
+	}
+	return b.String(), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", fmt.Errorf("%w: string length: %v", ErrFormat, err)
+	}
+	const maxString = 1 << 20
+	if n > maxString {
+		return "", fmt.Errorf("%w: string of %d bytes", ErrFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: string payload: %v", ErrFormat, err)
+	}
+	return string(buf), nil
+}

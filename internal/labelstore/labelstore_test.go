@@ -1,0 +1,196 @@
+package labelstore
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func sampleFile(t *testing.T) *File {
+	t.Helper()
+	g := gen.ErdosRenyi(50, 0.1, 1)
+	lab, err := core.NewSparseScheme(2).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]bitstr.String, g.N())
+	for v := 0; v < g.N(); v++ {
+		l, err := lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels[v] = l
+	}
+	return &File{
+		Scheme: lab.Scheme(),
+		Params: map[string]string{"n": "50"},
+		Labels: labels,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != f.Scheme {
+		t.Errorf("scheme %q, want %q", got.Scheme, f.Scheme)
+	}
+	if got.Params["n"] != "50" {
+		t.Errorf("params = %v", got.Params)
+	}
+	if got.N() != f.N() {
+		t.Fatalf("N = %d, want %d", got.N(), f.N())
+	}
+	for i := range f.Labels {
+		if !got.Labels[i].Equal(f.Labels[i]) {
+			t.Fatalf("label %d differs after round trip", i)
+		}
+	}
+}
+
+func TestRoundTripDecodes(t *testing.T) {
+	// Labels loaded from disk must still answer queries.
+	g := gen.ErdosRenyi(40, 0.15, 2)
+	lab, err := core.NewSparseScheme(2).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]bitstr.String, g.N())
+	for v := range labels {
+		labels[v], err = lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, &File{Scheme: "sparse", Params: map[string]string{"n": "40"}, Labels: labels}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := loaded.IntParam("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := core.NewFatThinDecoder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			got, err := dec.Adjacent(loaded.Labels[u], loaded.Labels[v])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != g.HasEdge(u, v) {
+				t.Fatalf("loaded labels wrong at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestIntParam(t *testing.T) {
+	f := &File{Params: map[string]string{"n": "7", "bad": "x"}}
+	if v, err := f.IntParam("n"); err != nil || v != 7 {
+		t.Errorf("IntParam(n) = %d, %v", v, err)
+	}
+	if _, err := f.IntParam("missing"); !errors.Is(err, ErrFormat) {
+		t.Errorf("missing param err = %v", err)
+	}
+	if _, err := f.IntParam("bad"); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad param err = %v", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"XXXX",
+		"PLLB",            // truncated after magic
+		"PLLB\x09",        // bad version
+		"PLLB\x01\x05abc", // truncated scheme string
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); !errors.Is(err, ErrFormat) {
+			t.Errorf("input %q: err = %v, want ErrFormat", in, err)
+		}
+	}
+}
+
+func TestReadTruncatedLabels(t *testing.T) {
+	f := sampleFile(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-3])); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated file err = %v", err)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &File{Scheme: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 || got.Scheme != "x" {
+		t.Errorf("empty store: %+v", got)
+	}
+}
+
+// Property: arbitrary label payloads round-trip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, trims []uint8) bool {
+		labels := make([]bitstr.String, len(payloads))
+		for i, p := range payloads {
+			var b bitstr.Builder
+			for _, by := range p {
+				b.AppendUint(uint64(by), 8)
+			}
+			// Trim to a ragged bit length.
+			if len(trims) > 0 {
+				t := int(trims[i%len(trims)]) % 8
+				for j := 0; j < t; j++ {
+					b.AppendBit(j%2 == 0)
+				}
+			}
+			labels[i] = b.String()
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, &File{Scheme: "q", Labels: labels}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.N() != len(labels) {
+			return false
+		}
+		for i := range labels {
+			if !got.Labels[i].Equal(labels[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package powerlaw_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/powerlaw"
+)
+
+// ExampleZeta evaluates the Riemann zeta normalisation used throughout the
+// paper's Definition 2 (C = 1/ζ(α)).
+func ExampleZeta() {
+	z, err := powerlaw.Zeta(2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.6f\n", z) // π²/6
+	// Output: 1.644934
+}
+
+// ExampleNewParams derives the Section 3 constants for an n-vertex graph.
+func ExampleNewParams() {
+	p, err := powerlaw.NewParams(2.5, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C=%.4f i1=%d lowerBound=%d bits\n", p.C, p.I1, p.AdjacencyLowerBound())
+	// Output: C=0.7454 i1=68 lowerBound=34 bits
+}
+
+// ExampleParams_PowerLawThreshold computes the Theorem 4 degree threshold.
+func ExampleParams_PowerLawThreshold() {
+	p, err := powerlaw.NewParams(2.5, 65536)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.PowerLawThreshold())
+	// Output: 173
+}
+
+// ExampleFitAlphaAt estimates the exponent from a degree sample.
+func ExampleFitAlphaAt() {
+	// Degrees with an exact k^-2 histogram shape over a small support.
+	var degrees []int
+	for k := 1; k <= 8; k++ {
+		count := 256 / (k * k)
+		for i := 0; i < count; i++ {
+			degrees = append(degrees, k)
+		}
+	}
+	fit, err := powerlaw.FitAlphaAt(degrees, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alpha within [1.7, 2.3]: %v\n", fit.Alpha > 1.7 && fit.Alpha < 2.3)
+	// Output: alpha within [1.7, 2.3]: true
+}

@@ -1,0 +1,145 @@
+package powerlaw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned when a fit is attempted on an empty sample.
+var ErrNoData = errors.New("powerlaw: no degrees >= xmin to fit")
+
+// Fit holds the result of fitting a discrete power law to a degree sample.
+type Fit struct {
+	Alpha float64 // fitted exponent
+	Xmin  int     // lower cutoff at which the power law begins
+	KS    float64 // Kolmogorov–Smirnov distance of the fit above Xmin
+	NTail int     // number of samples >= Xmin
+}
+
+// FitAlphaAt estimates α by discrete maximum likelihood for the tail
+// degrees >= xmin, using the Clauset–Shalizi–Newman approximation
+// α ≈ 1 + n / Σ ln(x_i / (xmin - 1/2)), which is accurate for xmin ≳ 2 and
+// adequate at xmin = 1 for our use (threshold prediction, where only the
+// rough scale of α matters).
+func FitAlphaAt(degrees []int, xmin int) (Fit, error) {
+	if xmin < 1 {
+		xmin = 1
+	}
+	var sumLog float64
+	nTail := 0
+	for _, d := range degrees {
+		if d >= xmin {
+			sumLog += math.Log(float64(d) / (float64(xmin) - 0.5))
+			nTail++
+		}
+	}
+	if nTail == 0 || sumLog <= 0 {
+		return Fit{}, fmt.Errorf("%w (xmin=%d)", ErrNoData, xmin)
+	}
+	alpha := 1 + float64(nTail)/sumLog
+	f := Fit{Alpha: alpha, Xmin: xmin, NTail: nTail}
+	f.KS = ksDistance(degrees, alpha, xmin)
+	return f, nil
+}
+
+// FitAlpha scans xmin over the distinct degree values (capped at maxXmin
+// candidates) and returns the fit minimizing the KS distance, following the
+// standard Clauset–Shalizi–Newman procedure.
+func FitAlpha(degrees []int) (Fit, error) {
+	if len(degrees) == 0 {
+		return Fit{}, ErrNoData
+	}
+	distinct := distinctSorted(degrees)
+	const maxCandidates = 50
+	if len(distinct) > maxCandidates {
+		distinct = distinct[:maxCandidates]
+	}
+	best := Fit{KS: math.Inf(1)}
+	var firstErr error
+	for _, xmin := range distinct {
+		f, err := FitAlphaAt(degrees, xmin)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Require a minimally meaningful tail.
+		if f.NTail < 10 && best.NTail > 0 {
+			continue
+		}
+		if f.KS < best.KS {
+			best = f
+		}
+	}
+	if math.IsInf(best.KS, 1) {
+		if firstErr != nil {
+			return Fit{}, firstErr
+		}
+		return Fit{}, ErrNoData
+	}
+	return best, nil
+}
+
+func distinctSorted(xs []int) []int {
+	seen := make(map[int]struct{}, len(xs))
+	for _, x := range xs {
+		if x >= 1 {
+			seen[x] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ksDistance computes the Kolmogorov–Smirnov distance between the empirical
+// CDF of the sample tail (values >= xmin) and the fitted discrete power-law
+// CDF with exponent alpha.
+func ksDistance(degrees []int, alpha float64, xmin int) float64 {
+	var tail []int
+	for _, d := range degrees {
+		if d >= xmin {
+			tail = append(tail, d)
+		}
+	}
+	if len(tail) == 0 {
+		return math.Inf(1)
+	}
+	sort.Ints(tail)
+	zx, err := HurwitzZeta(alpha, float64(xmin))
+	if err != nil || zx <= 0 {
+		return math.Inf(1)
+	}
+	n := float64(len(tail))
+	maxDiff := 0.0
+	// Walk distinct values ascending; empirical CDF steps at each, model CDF
+	// is 1 - ζ(α, x+1)/ζ(α, xmin). The shift identity
+	// ζ(α, q+1) = ζ(α, q) - q^{-α} turns the tail zetas into one running
+	// subtraction instead of a fresh series evaluation per distinct value.
+	zTail := zx // ζ(α, xmin); becomes ζ(α, x+1) as x advances
+	prevX := xmin - 1
+	for i := 0; i < len(tail); {
+		j := i
+		for j < len(tail) && tail[j] == tail[i] {
+			j++
+		}
+		x := tail[i]
+		for k := prevX + 1; k <= x; k++ {
+			zTail -= math.Pow(float64(k), -alpha)
+		}
+		prevX = x
+		emp := float64(j) / n
+		model := 1 - zTail/zx
+		if d := math.Abs(emp - model); d > maxDiff {
+			maxDiff = d
+		}
+		i = j
+	}
+	return maxDiff
+}

@@ -1,0 +1,153 @@
+package powerlaw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// PhReport describes the outcome of a P_h membership check.
+type PhReport struct {
+	Member bool
+	// WorstK is the degree k at which the tail bound was tightest (or first
+	// violated), and WorstRatio is (Σ_{i≥k}|V_i|) / (C'·n/k^(α-1)) there.
+	WorstK     int
+	WorstRatio float64
+}
+
+// CheckPh verifies Definition 1: for all integers k in [χ(n), n-1],
+// Σ_{i=k}^{n-1} |V_i| ≤ C'·n/k^(α-1). chi is the cutoff function value χ(n);
+// pass 1 to require the bound across the whole degree range.
+func CheckPh(g *graph.Graph, p Params, chi int) PhReport {
+	if chi < 1 {
+		chi = 1
+	}
+	n := g.N()
+	tails := g.TailCounts()
+	rep := PhReport{Member: true}
+	maxK := n - 1
+	if maxK >= len(tails) {
+		maxK = len(tails) - 1
+	}
+	for k := chi; k <= maxK; k++ {
+		tail := float64(tails[k])
+		bound := p.CPrim * float64(n) / math.Pow(float64(k), p.Alpha-1)
+		ratio := 0.0
+		if bound > 0 {
+			ratio = tail / bound
+		}
+		if ratio > rep.WorstRatio {
+			rep.WorstRatio = ratio
+			rep.WorstK = k
+		}
+		if tail > bound {
+			rep.Member = false
+		}
+	}
+	// Degrees above len(tails)-1 have zero tail and trivially satisfy the
+	// bound, so the loop range above is exhaustive.
+	return rep
+}
+
+// PlViolation describes why a graph fails P_l membership.
+type PlViolation struct {
+	Rule   int    // which numbered condition of Definition 2 failed (1-4)
+	Degree int    // the degree k at which it failed
+	Detail string // human-readable description
+}
+
+func (v *PlViolation) Error() string {
+	return fmt.Sprintf("powerlaw: P_l condition %d violated at degree %d: %s", v.Rule, v.Degree, v.Detail)
+}
+
+// CheckPl verifies Definition 2 exactly:
+//  1. ⌊Cn⌋ - i₁ - 1 ≤ |V_1| ≤ ⌈Cn⌉,
+//  2. ⌊Cn/2^α⌋ ≤ |V_2| ≤ ⌈Cn/2^α⌉ + 1,
+//  3. for 3 ≤ i ≤ n: |V_i| ∈ {⌊Cn/i^α⌋, ⌈Cn/i^α⌉},
+//  4. for 2 ≤ i ≤ n-1: |V_i| ≥ |V_{i+1}|.
+//
+// A nil return means the graph is a member of P_l(α).
+func CheckPl(g *graph.Graph, p Params) error {
+	n := g.N()
+	if n != p.N {
+		return fmt.Errorf("powerlaw: params built for n=%d but graph has n=%d", p.N, n)
+	}
+	hist := g.DegreeHistogram()
+	sizeAt := func(k int) int {
+		if k < len(hist) {
+			return hist[k]
+		}
+		return 0
+	}
+	cn := p.C * float64(n)
+
+	v1 := sizeAt(1)
+	lo1 := int(math.Floor(cn)) - p.I1 - 1
+	hi1 := int(math.Ceil(cn))
+	if v1 < lo1 || v1 > hi1 {
+		return &PlViolation{Rule: 1, Degree: 1,
+			Detail: fmt.Sprintf("|V_1| = %d not in [%d, %d]", v1, lo1, hi1)}
+	}
+
+	e2 := cn / math.Pow(2, p.Alpha)
+	v2 := sizeAt(2)
+	lo2, hi2 := int(math.Floor(e2)), int(math.Ceil(e2))+1
+	if v2 < lo2 || v2 > hi2 {
+		return &PlViolation{Rule: 2, Degree: 2,
+			Detail: fmt.Sprintf("|V_2| = %d not in [%d, %d]", v2, lo2, hi2)}
+	}
+
+	// Conditions 3 and 4 must hold up to degree n; degrees beyond the
+	// histogram length have |V_i| = 0 which is only acceptable when the
+	// expected count rounds down to 0. Since ⌊Cn/i^α⌋ = 0 for all i ≥ i₁+1
+	// or so, scanning up to max(len(hist), i₁)+1 suffices; beyond that the
+	// expected floor is 0 and |V_i| = 0 always satisfies condition 3.
+	upper := len(hist)
+	if p.I1+2 > upper {
+		upper = p.I1 + 2
+	}
+	if upper > n {
+		upper = n
+	}
+	for i := 3; i <= upper; i++ {
+		e := cn / math.Pow(float64(i), p.Alpha)
+		lo, hi := int(math.Floor(e)), int(math.Ceil(e))
+		vi := sizeAt(i)
+		if vi < lo || vi > hi {
+			return &PlViolation{Rule: 3, Degree: i,
+				Detail: fmt.Sprintf("|V_%d| = %d not in {%d, %d}", i, vi, lo, hi)}
+		}
+	}
+	maxD := g.MaxDegree()
+	for i := 2; i < maxD; i++ {
+		if sizeAt(i) < sizeAt(i+1) {
+			return &PlViolation{Rule: 4, Degree: i,
+				Detail: fmt.Sprintf("|V_%d| = %d < |V_%d| = %d", i, sizeAt(i), i+1, sizeAt(i+1))}
+		}
+	}
+	return nil
+}
+
+// MaxDegreeBoundPl returns Proposition 1's bound on the maximum degree of an
+// n-vertex member of P_l: (C/(α-1) + 2)·n^(1/α) + i₁ + 3.
+func (p Params) MaxDegreeBoundPl() float64 {
+	return (p.C/(p.Alpha-1)+2)*math.Pow(float64(p.N), 1/p.Alpha) + float64(p.I1) + 3
+}
+
+// SparsityBoundPl returns an upper bound on the edge count of an n-vertex
+// member of P_l following the Proposition 2 computation:
+// 1 + k'(k'+1)/4 + C·n·ζ(α-1) where k' is the Proposition 1 degree bound.
+// Only meaningful for α > 2 (otherwise ζ(α-1) diverges and math.Inf is
+// returned).
+func (p Params) SparsityBoundPl() float64 {
+	if p.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	k := p.MaxDegreeBoundPl()
+	z, err := Zeta(p.Alpha - 1)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return 1 + k*(k+1)/4 + p.C*float64(p.N)*z
+}

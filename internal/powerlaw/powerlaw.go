@@ -1,0 +1,177 @@
+// Package powerlaw implements the number-theoretic and statistical machinery
+// behind the paper's power-law graph families: the Riemann/Hurwitz zeta
+// functions, the constants C = 1/ζ(α), i₁ and C' from Section 3, the
+// degree thresholds of Theorems 3 and 4, membership verifiers for the P_h
+// and P_l families, and a discrete maximum-likelihood estimator for the
+// power-law exponent α (Clauset–Shalizi–Newman).
+package powerlaw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrAlphaRange is returned when α is outside the supported domain (α > 1).
+var ErrAlphaRange = errors.New("powerlaw: alpha must be > 1")
+
+// Zeta returns the Riemann zeta function ζ(α) for α > 1, computed by direct
+// summation with an Euler–Maclaurin tail correction. Absolute error is far
+// below 1e-10 across the α range used in this repository (α ∈ (1, 10]).
+func Zeta(alpha float64) (float64, error) {
+	return HurwitzZeta(alpha, 1)
+}
+
+// HurwitzZeta returns ζ(α, q) = Σ_{k≥0} (q+k)^{-α} for α > 1, q >= 1.
+func HurwitzZeta(alpha, q float64) (float64, error) {
+	if alpha <= 1 {
+		return 0, fmt.Errorf("%w: got %v", ErrAlphaRange, alpha)
+	}
+	if q < 1 {
+		return 0, fmt.Errorf("powerlaw: hurwitz q must be >= 1, got %v", q)
+	}
+	const cutoff = 1 << 11
+	var sum float64
+	for k := 0; k < cutoff; k++ {
+		sum += math.Pow(q+float64(k), -alpha)
+	}
+	// Euler–Maclaurin tail starting at N = q + cutoff:
+	// ∫_N^∞ x^{-α} dx + N^{-α}/2 + α N^{-α-1}/12 - α(α+1)(α+2) N^{-α-3}/720
+	n := q + cutoff
+	sum += math.Pow(n, 1-alpha)/(alpha-1) + math.Pow(n, -alpha)/2
+	sum += alpha * math.Pow(n, -alpha-1) / 12
+	sum -= alpha * (alpha + 1) * (alpha + 2) * math.Pow(n, -alpha-3) / 720
+	return sum, nil
+}
+
+// Params bundles the constants of Section 3 for a given α and n.
+type Params struct {
+	Alpha float64 // power-law exponent, α > 1
+	N     int     // number of vertices
+	C     float64 // normalisation constant 1/ζ(α)
+	I1    int     // smallest integer with ⌊C·n/i₁^α⌋ ≤ 1; i₁ = Θ(n^(1/α))
+	CPrim float64 // the constant C' from Section 3 (tail bound of P_h)
+}
+
+// NewParams computes the paper's constants for an n-vertex power-law graph
+// with exponent α.
+func NewParams(alpha float64, n int) (Params, error) {
+	if alpha <= 1 {
+		return Params{}, fmt.Errorf("%w: got %v", ErrAlphaRange, alpha)
+	}
+	if n < 1 {
+		return Params{}, fmt.Errorf("powerlaw: n must be >= 1, got %d", n)
+	}
+	z, err := Zeta(alpha)
+	if err != nil {
+		return Params{}, err
+	}
+	c := 1 / z
+	i1 := smallestI1(c, alpha, n)
+	// C' ≥ (C/(α-1) + i₁/n^(1/α) + 5)^α + C/(α-1); we take equality.
+	nRoot := math.Pow(float64(n), 1/alpha)
+	base := c/(alpha-1) + float64(i1)/nRoot + 5
+	cPrim := math.Pow(base, alpha) + c/(alpha-1)
+	return Params{Alpha: alpha, N: n, C: c, I1: i1, CPrim: cPrim}, nil
+}
+
+// smallestI1 returns the smallest positive integer i with ⌊c·n/i^α⌋ ≤ 1.
+func smallestI1(c, alpha float64, n int) int {
+	// ⌊c·n/i^α⌋ ≤ 1  ⇔  c·n/i^α < 2  ⇔  i > (c·n/2)^(1/α).
+	// Start from the analytic estimate and adjust to be exact.
+	i := int(math.Pow(c*float64(n)/2, 1/alpha))
+	if i < 1 {
+		i = 1
+	}
+	for i > 1 && math.Floor(c*float64(n)/math.Pow(float64(i-1), alpha)) <= 1 {
+		i--
+	}
+	for math.Floor(c*float64(n)/math.Pow(float64(i), alpha)) > 1 {
+		i++
+	}
+	return i
+}
+
+// ExpectedHistogram returns the ideal P_l degree histogram sizes
+// ⌊C·n/k^α⌋ for k = 1..kmax (index 0 unused, set to 0).
+func (p Params) ExpectedHistogram(kmax int) []int {
+	h := make([]int, kmax+1)
+	for k := 1; k <= kmax; k++ {
+		h[k] = int(math.Floor(p.C * float64(p.N) / math.Pow(float64(k), p.Alpha)))
+	}
+	return h
+}
+
+// Log2 returns log₂(n) as used in the paper's label-size formulas, with
+// Log2(1) = 1 to keep widths positive on degenerate inputs.
+func Log2(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}
+
+// SparseThreshold returns the degree threshold τ(n) = ⌈√(2cn / log n)⌉ of
+// Theorem 3 for c-sparse graphs.
+func SparseThreshold(c float64, n int) int {
+	if n < 2 {
+		return 1
+	}
+	x := math.Sqrt(2 * c * float64(n) / Log2(n))
+	t := int(math.Ceil(x))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// SparseLabelBound returns Theorem 3's guaranteed maximum label size in bits
+// for c-sparse n-vertex graphs: √(2cn·log n) + 2·log n + 1.
+func SparseLabelBound(c float64, n int) float64 {
+	return math.Sqrt(2*c*float64(n)*Log2(n)) + 2*Log2(n) + 1
+}
+
+// PowerLawThreshold returns the degree threshold
+// τ(n) = ⌈(C'·n / log n)^(1/α)⌉ of Theorem 4.
+func (p Params) PowerLawThreshold() int {
+	x := math.Pow(p.CPrim*float64(p.N)/Log2(p.N), 1/p.Alpha)
+	t := int(math.Ceil(x))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// PowerLawLabelBound returns Theorem 4's guaranteed maximum label size in
+// bits: (C'n)^(1/α)·(log n)^(1-1/α) + 2·log n + 1.
+func (p Params) PowerLawLabelBound() float64 {
+	n := float64(p.N)
+	return math.Pow(p.CPrim*n, 1/p.Alpha)*math.Pow(Log2(p.N), 1-1/p.Alpha) + 2*Log2(p.N) + 1
+}
+
+// AdjacencyLowerBound returns the paper's Ω(n^(1/α)) lower bound witness
+// value ⌊i₁/2⌋: any adjacency labeling scheme for P_l must assign labels of
+// at least this many bits to some vertex of some n-vertex member (Thm 6).
+func (p Params) AdjacencyLowerBound() int {
+	return p.I1 / 2
+}
+
+// SparseLowerBound returns Proposition 4's lower bound ⌊√(cn)/2⌋ for
+// c-sparse graphs.
+func SparseLowerBound(c float64, n int) int {
+	return int(math.Floor(math.Sqrt(c*float64(n)) / 2))
+}
+
+// DistanceFatThreshold returns the fat-degree threshold n^(1/(α-1+f)) used
+// by the f(n)-distance labeling scheme of Lemma 7.
+func (p Params) DistanceFatThreshold(f int) int {
+	if f < 1 {
+		f = 1
+	}
+	x := math.Pow(float64(p.N), 1/(p.Alpha-1+float64(f)))
+	t := int(math.Ceil(x))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

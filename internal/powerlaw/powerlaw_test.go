@@ -1,0 +1,304 @@
+package powerlaw
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestZetaKnownValues(t *testing.T) {
+	tests := []struct {
+		alpha, want float64
+	}{
+		{2, math.Pi * math.Pi / 6},
+		{4, math.Pow(math.Pi, 4) / 90},
+		{3, 1.2020569031595942},
+		{1.5, 2.612375348685488},
+		{2.5, 1.3414872572509171},
+	}
+	for _, tc := range tests {
+		got, err := Zeta(tc.alpha)
+		if err != nil {
+			t.Fatalf("Zeta(%v): %v", tc.alpha, err)
+		}
+		if !almostEqual(got, tc.want, 1e-9) {
+			t.Errorf("Zeta(%v) = %.12f, want %.12f", tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestZetaRejectsBadAlpha(t *testing.T) {
+	for _, a := range []float64{1, 0.5, 0, -2} {
+		if _, err := Zeta(a); !errors.Is(err, ErrAlphaRange) {
+			t.Errorf("Zeta(%v) err = %v, want ErrAlphaRange", a, err)
+		}
+	}
+}
+
+func TestHurwitzShiftIdentity(t *testing.T) {
+	// ζ(α, q+1) = ζ(α, q) - q^{-α}.
+	for _, alpha := range []float64{1.7, 2.2, 3.5} {
+		for _, q := range []float64{1, 2, 5, 10} {
+			zq, err := HurwitzZeta(alpha, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zq1, err := HurwitzZeta(alpha, q+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(zq1, zq-math.Pow(q, -alpha), 1e-9) {
+				t.Errorf("Hurwitz shift identity fails at α=%v q=%v", alpha, q)
+			}
+		}
+	}
+}
+
+func TestNewParamsBasic(t *testing.T) {
+	p, err := NewParams(2.5, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p.C, 1/1.3414872572509171, 1e-9) {
+		t.Errorf("C = %v", p.C)
+	}
+	// i₁ must be the smallest i with ⌊Cn/i^α⌋ ≤ 1.
+	fl := func(i int) float64 {
+		return math.Floor(p.C * float64(p.N) / math.Pow(float64(i), p.Alpha))
+	}
+	if fl(p.I1) > 1 {
+		t.Errorf("⌊Cn/i₁^α⌋ = %v > 1", fl(p.I1))
+	}
+	if p.I1 > 1 && fl(p.I1-1) <= 1 {
+		t.Errorf("i₁ = %d not minimal", p.I1)
+	}
+	// i₁ = Θ(n^(1/α)): sanity window.
+	nRoot := math.Pow(float64(p.N), 1/p.Alpha)
+	if float64(p.I1) < 0.3*nRoot || float64(p.I1) > 3*nRoot {
+		t.Errorf("i₁ = %d not within Θ(n^(1/α)) window around %.1f", p.I1, nRoot)
+	}
+	if p.CPrim <= p.C/(p.Alpha-1) {
+		t.Errorf("C' = %v too small", p.CPrim)
+	}
+}
+
+func TestNewParamsErrors(t *testing.T) {
+	if _, err := NewParams(1.0, 100); !errors.Is(err, ErrAlphaRange) {
+		t.Errorf("alpha=1 err = %v", err)
+	}
+	if _, err := NewParams(2.5, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSmallestI1EdgeCases(t *testing.T) {
+	// Tiny n: i₁ should be 1 when ⌊Cn⌋ ≤ 1 already.
+	p, err := NewParams(2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.I1 != 1 {
+		t.Errorf("i₁ for n=1: %d, want 1", p.I1)
+	}
+}
+
+func TestSparseThresholdMatchesFormula(t *testing.T) {
+	for _, n := range []int{100, 1000, 100000} {
+		for _, c := range []float64{1, 2, 5} {
+			got := SparseThreshold(c, n)
+			want := int(math.Ceil(math.Sqrt(2 * c * float64(n) / math.Log2(float64(n)))))
+			if got != want {
+				t.Errorf("SparseThreshold(%v,%d) = %d, want %d", c, n, got, want)
+			}
+		}
+	}
+}
+
+func TestThresholdBalancesParts(t *testing.T) {
+	// At the chosen threshold, thin cost τ·log n and fat cost 2cn/τ should be
+	// within a factor ~2+ of each other (they cross at the optimum).
+	n, c := 1<<16, 2.0
+	tau := float64(SparseThreshold(c, n))
+	thin := tau * math.Log2(float64(n))
+	fat := 2 * c * float64(n) / tau
+	if thin < fat/4 || thin > fat*4 {
+		t.Errorf("unbalanced parts at threshold: thin=%v fat=%v", thin, fat)
+	}
+}
+
+func TestPowerLawThresholdMatchesFormula(t *testing.T) {
+	p, err := NewParams(2.5, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(math.Pow(p.CPrim*float64(p.N)/math.Log2(float64(p.N)), 1/p.Alpha)))
+	if got := p.PowerLawThreshold(); got != want {
+		t.Errorf("PowerLawThreshold = %d, want %d", got, want)
+	}
+	// Theorem 4 requires τ(n) ≥ (n/log n)^(1/α).
+	min := math.Pow(float64(p.N)/math.Log2(float64(p.N)), 1/p.Alpha)
+	if float64(p.PowerLawThreshold()) < min {
+		t.Errorf("threshold %d below Definition 1 floor %.2f", p.PowerLawThreshold(), min)
+	}
+}
+
+func TestBoundsMonotoneInN(t *testing.T) {
+	prevSparse, prevPl := 0.0, 0.0
+	for _, n := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18} {
+		s := SparseLabelBound(2, n)
+		p, err := NewParams(2.5, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := p.PowerLawLabelBound()
+		if s <= prevSparse || pl <= prevPl {
+			t.Errorf("bounds not increasing at n=%d: sparse %v→%v, pl %v→%v", n, prevSparse, s, prevPl, pl)
+		}
+		prevSparse, prevPl = s, pl
+	}
+}
+
+func TestPowerLawBeatsSparseAsymptotically(t *testing.T) {
+	// For α > 2 the n^(1/α) power-law bound must undercut the √n sparse
+	// bound for large n (the paper's headline comparison).
+	n := 1 << 22
+	p, err := NewParams(2.5, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PowerLawLabelBound() >= SparseLabelBound(2, n) {
+		t.Errorf("power-law bound %.0f >= sparse bound %.0f at n=%d",
+			p.PowerLawLabelBound(), SparseLabelBound(2, n), n)
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	p, err := NewParams(2.5, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AdjacencyLowerBound() != p.I1/2 {
+		t.Errorf("AdjacencyLowerBound = %d, want %d", p.AdjacencyLowerBound(), p.I1/2)
+	}
+	if got, want := SparseLowerBound(4, 10000), int(math.Floor(math.Sqrt(40000)/2)); got != want {
+		t.Errorf("SparseLowerBound = %d, want %d", got, want)
+	}
+}
+
+func TestDistanceFatThreshold(t *testing.T) {
+	p, err := NewParams(2.5, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []int{1, 2, 3, 10} {
+		got := p.DistanceFatThreshold(f)
+		want := int(math.Ceil(math.Pow(float64(p.N), 1/(p.Alpha-1+float64(f)))))
+		if got != want {
+			t.Errorf("DistanceFatThreshold(%d) = %d, want %d", f, got, want)
+		}
+	}
+	// Larger f ⇒ lower threshold (more vertices become fat).
+	if p.DistanceFatThreshold(2) > p.DistanceFatThreshold(1) {
+		t.Error("threshold should be non-increasing in f")
+	}
+	if p.DistanceFatThreshold(0) != p.DistanceFatThreshold(1) {
+		t.Error("f<1 should clamp to f=1")
+	}
+}
+
+func TestExpectedHistogram(t *testing.T) {
+	p, err := NewParams(2.0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.ExpectedHistogram(5)
+	for k := 1; k <= 5; k++ {
+		want := int(math.Floor(p.C * 1000 / math.Pow(float64(k), 2)))
+		if h[k] != want {
+			t.Errorf("h[%d] = %d, want %d", k, h[k], want)
+		}
+	}
+	if h[0] != 0 {
+		t.Errorf("h[0] = %d, want 0", h[0])
+	}
+}
+
+// Property: Params constants satisfy the paper's defining inequalities for
+// arbitrary α ∈ (2, 3.5] and n.
+func TestQuickParamsInvariants(t *testing.T) {
+	f := func(aRaw, nRaw uint16) bool {
+		alpha := 2.0 + 1.5*float64(aRaw)/65535.0 + 1e-6
+		n := int(nRaw)%100000 + 10
+		p, err := NewParams(alpha, n)
+		if err != nil {
+			return false
+		}
+		// Definition of i₁.
+		if math.Floor(p.C*float64(n)/math.Pow(float64(p.I1), alpha)) > 1 {
+			return false
+		}
+		// C' inequality from Section 3.
+		base := p.C/(alpha-1) + float64(p.I1)/math.Pow(float64(n), 1/alpha) + 5
+		return p.CPrim >= math.Pow(base, alpha)+p.C/(alpha-1)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFitAlphaRecoversZetaExponent feeds the estimator samples drawn from
+// the exact discrete power law and requires the MLE to recover the true
+// exponent within a tight tolerance — the statistical backbone of the
+// paper's "fit a power-law curve to the degree distribution" step.
+func TestFitAlphaRecoversZetaExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, alpha := range []float64{2.2, 2.5, 3.0} {
+		z, err := Zeta(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inverse-CDF sampling from P(k) = k^{-α}/ζ(α), truncated at 10^6.
+		const kmax = 1 << 20
+		cdf := make([]float64, 0, 4096)
+		sum := 0.0
+		for k := 1; k <= kmax && sum < 0.999999; k++ {
+			sum += math.Pow(float64(k), -alpha) / z
+			cdf = append(cdf, sum)
+		}
+		const samples = 30000
+		degrees := make([]int, samples)
+		for i := range degrees {
+			u := rng.Float64() * sum
+			lo, hi := 0, len(cdf)-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cdf[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			degrees[i] = lo + 1
+		}
+		fit, err := FitAlpha(degrees)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if math.Abs(fit.Alpha-alpha) > 0.12 {
+			t.Errorf("alpha=%v: fitted %.3f (xmin=%d, ks=%.4f)", alpha, fit.Alpha, fit.Xmin, fit.KS)
+		}
+	}
+}
+
+func TestFitAlphaNoData(t *testing.T) {
+	if _, err := FitAlpha(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := FitAlphaAt([]int{0, 0}, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("all-zero degrees err = %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package baseline implements the comparison labeling schemes the paper
+// measures its contribution against:
+//
+//   - AdjMatrix: the classical n/2 + O(log n) scheme for general graphs
+//     (Moon's bound shows this is optimal for the class of all graphs):
+//     vertex i stores one adjacency bit for each vertex with a smaller
+//     identifier.
+//   - NeighborList: each vertex stores the identifiers of all neighbors —
+//     the naive Θ(Δ·log n) scheme, equal to the fat/thin scheme with an
+//     infinite threshold.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// AdjMatrix is the adjacency-matrix-row labeling scheme for general graphs.
+type AdjMatrix struct{}
+
+var _ core.Scheme = AdjMatrix{}
+
+// Name implements core.Scheme.
+func (AdjMatrix) Name() string { return "adjmatrix" }
+
+// Encode implements core.Scheme. Label layout (w = ceil(log2 n)):
+//
+//	[own id: w][adjacency bits to vertices 0..id-1: id bits]
+//
+// The maximum label is w + n - 1 bits; the average is w + (n-1)/2.
+func (s AdjMatrix) Encode(g *graph.Graph) (*core.Labeling, error) {
+	n := g.N()
+	w := bitstr.WidthFor(uint64(n))
+	labels := make([]bitstr.String, n)
+	var b bitstr.Builder
+	for v := 0; v < n; v++ {
+		b.Reset()
+		b.AppendUint(uint64(v), w)
+		vec := bitstr.NewVector(v)
+		for _, u := range g.Neighbors(v) {
+			if int(u) < v {
+				vec.Set(int(u))
+			}
+		}
+		vec.Append(&b)
+		labels[v] = b.String()
+	}
+	return core.NewLabeling(s.Name(), labels, NewAdjMatrixDecoder(n)), nil
+}
+
+// AdjMatrixDecoder decodes adjacency-matrix-row labels; depends only on n.
+type AdjMatrixDecoder struct {
+	w int
+}
+
+var _ core.AdjacencyDecoder = (*AdjMatrixDecoder)(nil)
+
+// NewAdjMatrixDecoder returns the decoder for n-vertex labelings.
+func NewAdjMatrixDecoder(n int) *AdjMatrixDecoder {
+	return &AdjMatrixDecoder{w: bitstr.WidthFor(uint64(n))}
+}
+
+// Adjacent implements core.AdjacencyDecoder in O(1).
+func (d *AdjMatrixDecoder) Adjacent(a, b bitstr.String) (bool, error) {
+	ida, err := d.ownID(a)
+	if err != nil {
+		return false, err
+	}
+	idb, err := d.ownID(b)
+	if err != nil {
+		return false, err
+	}
+	if ida == idb {
+		return false, nil
+	}
+	// The higher-ID label holds the bit for the lower ID.
+	hi, lo := a, idb
+	if idb > ida {
+		hi, lo = b, ida
+	}
+	bit, err := hi.Bit(d.w + int(lo))
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+	}
+	return bit, nil
+}
+
+func (d *AdjMatrixDecoder) ownID(s bitstr.String) (uint64, error) {
+	if s.Len() < d.w {
+		return 0, fmt.Errorf("%w: adjmatrix label of %d bits", core.ErrBadLabel, s.Len())
+	}
+	r := bitstr.NewReader(s)
+	return r.ReadUint(d.w)
+}
+
+// NeighborList is the naive all-neighbors labeling scheme.
+type NeighborList struct{}
+
+var _ core.Scheme = NeighborList{}
+
+// Name implements core.Scheme.
+func (NeighborList) Name() string { return "nbrlist" }
+
+// Encode implements core.Scheme. Labels share the thin-label layout of the
+// fat/thin scheme: [0][own id: w][neighbor ids: deg·w].
+func (s NeighborList) Encode(g *graph.Graph) (*core.Labeling, error) {
+	n := g.N()
+	w := bitstr.WidthFor(uint64(n))
+	labels := make([]bitstr.String, n)
+	var b bitstr.Builder
+	for v := 0; v < n; v++ {
+		b.Reset()
+		b.AppendBit(false)
+		b.AppendUint(uint64(v), w)
+		for _, u := range g.Neighbors(v) {
+			b.AppendUint(uint64(u), w)
+		}
+		labels[v] = b.String()
+	}
+	return core.NewLabeling(s.Name(), labels, core.NewFatThinDecoder(n)), nil
+}

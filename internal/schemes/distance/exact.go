@@ -1,0 +1,138 @@
+package distance
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/graph"
+)
+
+// ExactScheme is the trivial exact distance labeling baseline: every vertex
+// stores its full distance vector. Labels are n·ceil(log2(D+2)) bits where D
+// is the diameter — the upper extreme Lemma 7's bounded scheme is measured
+// against. Encoding runs n BFS traversals, so it is intended for modest n.
+type ExactScheme struct{}
+
+// Name identifies the scheme in experiment output.
+func (ExactScheme) Name() string { return "dist-exact" }
+
+// Encode labels every vertex of g with its distance vector.
+//
+// Label layout: [own id: w][dist to 0: dw]...[dist to n-1: dw] with
+// unreachable stored as the sentinel D+1.
+func (s ExactScheme) Encode(g *graph.Graph) (*ExactLabeling, error) {
+	n := g.N()
+	all := make([][]int, n)
+	diam := 0
+	for v := 0; v < n; v++ {
+		all[v] = g.BFS(v)
+		for _, d := range all[v] {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	w := bitstr.WidthFor(uint64(n))
+	dw := bitstr.WidthFor(uint64(diam + 2))
+	sentinel := diam + 1
+	labels := make([]bitstr.String, n)
+	var b bitstr.Builder
+	for v := 0; v < n; v++ {
+		b.Reset()
+		b.AppendUint(uint64(v), w)
+		for _, d := range all[v] {
+			if d == graph.Unreachable {
+				d = sentinel
+			}
+			b.AppendUint(uint64(d), dw)
+		}
+		labels[v] = b.String()
+	}
+	return &ExactLabeling{labels: labels, dec: &ExactDecoder{n: n, w: w, dw: dw, sentinel: sentinel}}, nil
+}
+
+// ExactLabeling holds exact distance labels.
+type ExactLabeling struct {
+	labels []bitstr.String
+	dec    *ExactDecoder
+}
+
+// N returns the number of labeled vertices.
+func (l *ExactLabeling) N() int { return len(l.labels) }
+
+// Label returns vertex v's label.
+func (l *ExactLabeling) Label(v int) (bitstr.String, error) {
+	if v < 0 || v >= len(l.labels) {
+		return bitstr.String{}, fmt.Errorf("distance: vertex %d of %d", v, len(l.labels))
+	}
+	return l.labels[v], nil
+}
+
+// DistLabels answers a query directly from two raw labels.
+func (l *ExactLabeling) DistLabels(a, b bitstr.String) (int, error) {
+	return l.dec.Dist(a, b)
+}
+
+// Dist answers an exact distance query (graph.Unreachable for disconnected
+// pairs).
+func (l *ExactLabeling) Dist(u, v int) (int, error) {
+	lu, err := l.Label(u)
+	if err != nil {
+		return 0, err
+	}
+	lv, err := l.Label(v)
+	if err != nil {
+		return 0, err
+	}
+	return l.dec.Dist(lu, lv)
+}
+
+// Stats reports label-size statistics in bits.
+func (l *ExactLabeling) Stats() (min, max int, mean float64) {
+	if len(l.labels) == 0 {
+		return 0, 0, 0
+	}
+	min = l.labels[0].Len()
+	var total int64
+	for _, s := range l.labels {
+		n := s.Len()
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		total += int64(n)
+	}
+	return min, max, float64(total) / float64(len(l.labels))
+}
+
+// ExactDecoder answers exact distance queries from two full-vector labels.
+type ExactDecoder struct {
+	n, w, dw, sentinel int
+}
+
+// Dist reads dist(a → id(b)) from a's vector.
+func (d *ExactDecoder) Dist(a, b bitstr.String) (int, error) {
+	want := d.w + d.n*d.dw
+	if a.Len() != want || b.Len() != want {
+		return 0, fmt.Errorf("%w: exact labels of %d/%d bits, want %d", ErrBadLabel, a.Len(), b.Len(), want)
+	}
+	rb := bitstr.NewReader(b)
+	idb, err := rb.ReadUint(d.w)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	ra := bitstr.NewReader(a)
+	if err := ra.Seek(d.w + int(idb)*d.dw); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	v, err := ra.ReadUint(d.dw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	if int(v) == d.sentinel {
+		return graph.Unreachable, nil
+	}
+	return int(v), nil
+}

@@ -1,0 +1,297 @@
+package distance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstr"
+	"repro/internal/graph"
+)
+
+// PLLScheme is pruned landmark labeling (Akiba–Iwata–Yoshida), the standard
+// practical exact distance labeling for small-world graphs. It stands in
+// for the "competing labeling schemes" of Section 7 (Alstrup et al. /
+// Gawrychowski et al. target the same exact-distance regime; see DESIGN.md
+// for the substitution note): landmarks are processed in decreasing-degree
+// order — which is precisely what makes PLL effective on power-law graphs,
+// where a few hubs cover most shortest paths — and each BFS is pruned
+// wherever existing labels already certify the distance.
+//
+// Unlike Lemma 7's scheme, PLL answers *every* distance exactly; the E5
+// comparison measures what Lemma 7's f-bounded contract buys in label size.
+type PLLScheme struct{}
+
+// Name identifies the scheme in experiment output.
+func (PLLScheme) Name() string { return "dist-pll" }
+
+// pllEntry is one (landmark rank, distance) pair.
+type pllEntry struct {
+	rank int32
+	dist int32
+}
+
+// Encode builds pruned landmark labels for g.
+//
+// Label layout (w = ceil(log2 n), dw sized to the largest stored distance):
+//
+//	[own id: w][entry count: w][rank: w, dist: dw] × count
+//
+// Entries are sorted by landmark rank, enabling merge-scan queries.
+func (s PLLScheme) Encode(g *graph.Graph) (*PLLLabeling, error) {
+	n := g.N()
+	order := g.VerticesByDegreeDesc()
+	entries := make([][]pllEntry, n)
+
+	// query returns the current upper bound on dist(u, v) from labels.
+	query := func(u, v int) int32 {
+		const inf = int32(1 << 30)
+		best := inf
+		eu, ev := entries[u], entries[v]
+		i, j := 0, 0
+		for i < len(eu) && j < len(ev) {
+			switch {
+			case eu[i].rank == ev[j].rank:
+				if d := eu[i].dist + ev[j].dist; d < best {
+					best = d
+				}
+				i++
+				j++
+			case eu[i].rank < ev[j].rank:
+				i++
+			default:
+				j++
+			}
+		}
+		return best
+	}
+
+	// Pruned BFS from each landmark in rank order.
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, 256)
+	var touched []int32
+	maxDist := int32(0)
+	for r, vk := range order {
+		queue = queue[:0]
+		touched = touched[:0]
+		dist[vk] = 0
+		queue = append(queue, int32(vk))
+		touched = append(touched, int32(vk))
+		for head := 0; head < len(queue); head++ {
+			u := int(queue[head])
+			du := dist[u]
+			// Prune: if the existing labels already certify dist(vk,u) <= du,
+			// u needs no new entry and its subtree is covered via vk's
+			// earlier landmarks.
+			if query(vk, u) <= du {
+				continue
+			}
+			entries[u] = append(entries[u], pllEntry{rank: int32(r), dist: du})
+			if du > maxDist {
+				maxDist = du
+			}
+			for _, wv := range g.Neighbors(u) {
+				if dist[wv] < 0 {
+					dist[wv] = du + 1
+					queue = append(queue, wv)
+					touched = append(touched, wv)
+				}
+			}
+		}
+		for _, u := range touched {
+			dist[u] = -1
+		}
+	}
+
+	w := bitstr.WidthFor(uint64(n))
+	if w == 0 {
+		w = 1
+	}
+	wCnt := bitstr.WidthFor(uint64(n) + 1) // entry counts range over [0, n]
+	if wCnt == 0 {
+		wCnt = 1
+	}
+	dw := bitstr.WidthFor(uint64(maxDist) + 2)
+	if dw == 0 {
+		dw = 1
+	}
+	labels := make([]bitstr.String, n)
+	var b bitstr.Builder
+	for v := 0; v < n; v++ {
+		b.Reset()
+		b.AppendUint(uint64(v), w)
+		b.AppendUint(uint64(len(entries[v])), wCnt)
+		// Entries were appended in increasing rank order already; assert it
+		// cheaply in sorted order for safety.
+		es := entries[v]
+		sort.Slice(es, func(i, j int) bool { return es[i].rank < es[j].rank })
+		for _, e := range es {
+			b.AppendUint(uint64(e.rank), w)
+			b.AppendUint(uint64(e.dist), dw)
+		}
+		labels[v] = b.String()
+	}
+	return &PLLLabeling{labels: labels, dec: &PLLDecoder{n: n, w: w, wCnt: wCnt, dw: dw}}, nil
+}
+
+// PLLLabeling holds pruned landmark labels.
+type PLLLabeling struct {
+	labels []bitstr.String
+	dec    *PLLDecoder
+}
+
+// N returns the number of labeled vertices.
+func (l *PLLLabeling) N() int { return len(l.labels) }
+
+// Label returns vertex v's label.
+func (l *PLLLabeling) Label(v int) (bitstr.String, error) {
+	if v < 0 || v >= len(l.labels) {
+		return bitstr.String{}, fmt.Errorf("distance: vertex %d of %d", v, len(l.labels))
+	}
+	return l.labels[v], nil
+}
+
+// DistLabels answers a query directly from two raw labels.
+func (l *PLLLabeling) DistLabels(a, b bitstr.String) (int, error) {
+	return l.dec.Dist(a, b)
+}
+
+// Dist answers an exact distance query from the two labels
+// (graph.Unreachable for disconnected pairs).
+func (l *PLLLabeling) Dist(u, v int) (int, error) {
+	lu, err := l.Label(u)
+	if err != nil {
+		return 0, err
+	}
+	lv, err := l.Label(v)
+	if err != nil {
+		return 0, err
+	}
+	return l.dec.Dist(lu, lv)
+}
+
+// Stats reports label-size statistics in bits.
+func (l *PLLLabeling) Stats() (min, max int, mean float64) {
+	if len(l.labels) == 0 {
+		return 0, 0, 0
+	}
+	min = l.labels[0].Len()
+	var total int64
+	for _, s := range l.labels {
+		n := s.Len()
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		total += int64(n)
+	}
+	return min, max, float64(total) / float64(len(l.labels))
+}
+
+// PLLDecoder answers exact distance queries over PLL labels.
+type PLLDecoder struct {
+	n, w, wCnt, dw int
+}
+
+type pllParsed struct {
+	id    uint64
+	count int
+	body  int
+	s     bitstr.String
+}
+
+func (d *PLLDecoder) parse(s bitstr.String) (pllParsed, error) {
+	r := bitstr.NewReader(s)
+	id, err := r.ReadUint(d.w)
+	if err != nil {
+		return pllParsed{}, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	cnt, err := r.ReadUint(d.wCnt)
+	if err != nil {
+		return pllParsed{}, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	body := d.w + d.wCnt
+	if want := body + int(cnt)*(d.w+d.dw); s.Len() != want {
+		return pllParsed{}, fmt.Errorf("%w: pll label of %d bits, want %d", ErrBadLabel, s.Len(), want)
+	}
+	return pllParsed{id: id, count: int(cnt), body: body, s: s}, nil
+}
+
+// Dist merges the two sorted landmark lists and returns the minimum summed
+// distance (graph.Unreachable when the lists share no landmark).
+func (d *PLLDecoder) Dist(a, b bitstr.String) (int, error) {
+	pa, err := d.parse(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := d.parse(b)
+	if err != nil {
+		return 0, err
+	}
+	if pa.id == pb.id {
+		return 0, nil
+	}
+	ra := bitstr.NewReader(pa.s)
+	rb := bitstr.NewReader(pb.s)
+	if err := ra.Seek(pa.body); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	if err := rb.Seek(pb.body); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+	}
+	const inf = 1 << 30
+	best := inf
+	i, j := 0, 0
+	var (
+		rankA, distA uint64
+		rankB, distB uint64
+		haveA, haveB bool
+	)
+	for i < pa.count || j < pb.count {
+		if !haveA && i < pa.count {
+			if rankA, err = ra.ReadUint(d.w); err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+			}
+			if distA, err = ra.ReadUint(d.dw); err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+			}
+			haveA = true
+		}
+		if !haveB && j < pb.count {
+			if rankB, err = rb.ReadUint(d.w); err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+			}
+			if distB, err = rb.ReadUint(d.dw); err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrBadLabel, err)
+			}
+			haveB = true
+		}
+		switch {
+		case !haveA:
+			j = pb.count // A exhausted: no more common landmarks
+		case !haveB:
+			i = pa.count
+		case rankA == rankB:
+			if s := int(distA + distB); s < best {
+				best = s
+			}
+			haveA, haveB = false, false
+			i++
+			j++
+		case rankA < rankB:
+			haveA = false
+			i++
+		default:
+			haveB = false
+			j++
+		}
+	}
+	if best == inf {
+		return graph.Unreachable, nil
+	}
+	return best, nil
+}

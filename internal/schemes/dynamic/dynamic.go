@@ -1,0 +1,529 @@
+// Package dynamic implements the dynamic-network extension the paper's
+// future-work section calls for: a fat/thin adjacency labeling scheme that
+// maintains labels under vertex insertions and edge insertions/deletions,
+// while counting the communication cost — the number of re-labels and the
+// number of label bits rewritten — that the paper says "an analysis is
+// required to account for".
+//
+// # Design
+//
+// The static scheme's labels break under updates because identifiers encode
+// the fat/thin split (fat vertices own the bitmap indexes 0..k-1). The
+// dynamic variant decouples the two numbering systems:
+//
+//	thin label: [0][stable id: w][neighbor stable ids: deg·w]
+//	fat label:  [1][stable id: w][fat index: w][bitmap over fat indexes]
+//
+// Stable ids never change while an epoch lasts, so promoting a vertex to
+// fat rewrites only that vertex's label: its thin neighbors keep listing it
+// by stable id, and fat/fat adjacency involving the newcomer lives in the
+// newcomer's bitmap, which is long enough to cover every older fat index.
+// The decoder ORs the two bitmaps (reading out-of-range bits as absent), so
+// differently-aged fat labels stay mutually consistent; insertions and
+// deletions write the bit on every side long enough to hold it.
+//
+// Epochs bound the drift: when the vertex count outgrows the identifier
+// width or the fat count outgrows its budget, the whole labeling is rebuilt
+// from scratch (threshold re-fitted, fat indexes reassigned). Rebuilds are
+// triggered by at least a constant-factor growth, so their Θ(n) relabels
+// amortize to O(1) per update — the bound experiment E11 measures.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrVertexRange is returned for operations on unknown vertices.
+var ErrVertexRange = errors.New("dynamic: vertex out of range")
+
+// ErrEdgeState is returned when adding an existing edge or removing a
+// missing one.
+var ErrEdgeState = errors.New("dynamic: edge state conflict")
+
+// Stats accumulates the communication cost of the update sequence.
+type Stats struct {
+	Updates       int64 // AddVertex + AddEdge + RemoveEdge calls
+	Relabels      int64 // labels rewritten (the paper's "number of re-labels")
+	BitsRewritten int64 // total size of rewritten labels
+	Promotions    int64 // thin→fat transitions
+	Rebuilds      int64 // full epoch rebuilds
+}
+
+// Scheme is a dynamic fat/thin adjacency labeling over a mutable graph.
+// The zero value is not usable; construct with New.
+type Scheme struct {
+	alpha float64
+
+	n      int
+	adj    []map[int32]struct{}
+	fatIdx []int32 // fat index per vertex, -1 when thin
+
+	w         int // identifier width for this epoch
+	capacity  int // vertex capacity for this epoch (2^w)
+	tau       int // promotion threshold for this epoch
+	fatCount  int
+	fatBudget int
+
+	labels []bitstr.String
+	dead   []bool // tombstones from RemoveVertex (ids never reused)
+	stats  Stats
+}
+
+// New returns an empty dynamic labeling for graphs expected to follow a
+// power law with the given exponent. initialCapacity sizes the first epoch
+// (it grows automatically).
+func New(alpha float64, initialCapacity int) (*Scheme, error) {
+	if alpha <= 1 {
+		return nil, fmt.Errorf("dynamic: alpha must be > 1, got %v", alpha)
+	}
+	if initialCapacity < 2 {
+		initialCapacity = 2
+	}
+	s := &Scheme{alpha: alpha}
+	s.setEpoch(initialCapacity, 0)
+	return s, nil
+}
+
+// setEpoch fixes the epoch parameters for a capacity and current size.
+func (s *Scheme) setEpoch(capacity, n int) {
+	if capacity < 2 {
+		capacity = 2
+	}
+	s.capacity = capacity
+	s.w = bitstr.WidthFor(uint64(capacity))
+	if s.w == 0 {
+		s.w = 1
+	}
+	s.tau = s.predictThreshold(n)
+	s.fatBudget = s.predictFatBudget(n)
+}
+
+// predictThreshold applies the paper's practical prediction
+// τ = ceil((n/log n)^(1/α)) to the current size (≥ 2 vertices).
+func (s *Scheme) predictThreshold(n int) int {
+	if n < 4 {
+		return 2
+	}
+	x := powF(float64(n)/log2F(n), 1/s.alpha)
+	t := int(x) + 1
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// predictFatBudget bounds the fat count before a rebuild: twice the
+// balanced-point estimate n/τ^(α-1), with a generous floor so tiny graphs
+// don't thrash. The real graph's tail constant can exceed the ideal
+// power law's, so rebuild raises the budget to twice the observed fat
+// count — the doubling rule that makes rebuilds amortize to O(1).
+func (s *Scheme) predictFatBudget(n int) int {
+	if n < 4 {
+		return 16
+	}
+	est := float64(n) / powF(float64(s.tau), s.alpha-1)
+	b := int(2*est) + 16
+	return b
+}
+
+// N returns the current number of vertices.
+func (s *Scheme) N() int { return s.n }
+
+// M returns the current number of edges.
+func (s *Scheme) M() int {
+	total := 0
+	for _, a := range s.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Stats returns the accumulated communication cost.
+func (s *Scheme) Stats() Stats { return s.stats }
+
+// Threshold returns the current epoch's promotion threshold.
+func (s *Scheme) Threshold() int { return s.tau }
+
+// Label returns vertex v's current label.
+func (s *Scheme) Label(v int) (bitstr.String, error) {
+	if !s.alive(v) {
+		return bitstr.String{}, fmt.Errorf("%w: %d of %d", ErrVertexRange, v, s.n)
+	}
+	return s.labels[v], nil
+}
+
+// MaxLabelBits returns the current maximum label size.
+func (s *Scheme) MaxLabelBits() int {
+	max := 0
+	for _, l := range s.labels {
+		if l.Len() > max {
+			max = l.Len()
+		}
+	}
+	return max
+}
+
+// AddVertex adds an isolated vertex and returns its id.
+func (s *Scheme) AddVertex() int {
+	s.stats.Updates++
+	if s.n >= s.capacity {
+		s.rebuild(s.capacity * 2)
+	}
+	v := s.n
+	s.n++
+	s.adj = append(s.adj, make(map[int32]struct{}))
+	s.fatIdx = append(s.fatIdx, -1)
+	s.labels = append(s.labels, bitstr.String{})
+	s.writeLabel(v)
+	return v
+}
+
+// AddEdge inserts the undirected edge {u, v}.
+func (s *Scheme) AddEdge(u, v int) error {
+	if err := s.checkPair(u, v); err != nil {
+		return err
+	}
+	if _, exists := s.adj[u][int32(v)]; exists {
+		return fmt.Errorf("%w: edge (%d,%d) already present", ErrEdgeState, u, v)
+	}
+	s.stats.Updates++
+	s.adj[u][int32(v)] = struct{}{}
+	s.adj[v][int32(u)] = struct{}{}
+
+	// Relabel the endpoints whose labels store the adjacency: thin labels
+	// always change; a fat label changes only for a fat/fat edge (the bit
+	// lives in whichever bitmaps are long enough, which writeLabel rebuilds
+	// from the adjacency set anyway).
+	s.refreshEndpoint(u, v)
+	s.refreshEndpoint(v, u)
+
+	// Promotions after both adjacency sets are updated.
+	s.maybePromote(u)
+	s.maybePromote(v)
+	if s.fatCount > s.fatBudget {
+		s.rebuild(s.capacity)
+	}
+	return nil
+}
+
+// RemoveVertex deletes vertex v: all its incident edges are removed (with
+// the usual relabeling of the surviving endpoints) and the vertex is
+// tombstoned — its identifier is never reused within the scheme's lifetime,
+// so surviving labels stay valid. Operations on a removed vertex fail with
+// ErrVertexRange.
+func (s *Scheme) RemoveVertex(v int) error {
+	if v < 0 || v >= s.n {
+		return fmt.Errorf("%w: %d of %d", ErrVertexRange, v, s.n)
+	}
+	if s.dead != nil && s.dead[v] {
+		return fmt.Errorf("%w: vertex %d already removed", ErrVertexRange, v)
+	}
+	s.stats.Updates++
+	// Detach every incident edge.
+	nbrs := make([]int32, 0, len(s.adj[v]))
+	for w := range s.adj[v] {
+		nbrs = append(nbrs, w)
+	}
+	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	for _, w := range nbrs {
+		delete(s.adj[v], w)
+		delete(s.adj[int(w)], int32(v))
+		s.refreshEndpoint(int(w), v)
+	}
+	if s.dead == nil {
+		s.dead = make([]bool, s.capacity)
+	}
+	for len(s.dead) < s.n {
+		s.dead = append(s.dead, false)
+	}
+	s.dead[v] = true
+	if s.fatIdx[v] >= 0 {
+		s.fatIdx[v] = -1
+	}
+	s.labels[v] = bitstr.String{}
+	return nil
+}
+
+// alive reports whether v exists and has not been removed.
+func (s *Scheme) alive(v int) bool {
+	if v < 0 || v >= s.n {
+		return false
+	}
+	return s.dead == nil || v >= len(s.dead) || !s.dead[v]
+}
+
+// RemoveEdge deletes the undirected edge {u, v}.
+func (s *Scheme) RemoveEdge(u, v int) error {
+	if err := s.checkPair(u, v); err != nil {
+		return err
+	}
+	if _, exists := s.adj[u][int32(v)]; !exists {
+		return fmt.Errorf("%w: edge (%d,%d) not present", ErrEdgeState, u, v)
+	}
+	s.stats.Updates++
+	delete(s.adj[u], int32(v))
+	delete(s.adj[v], int32(u))
+	// Fat vertices stay fat until the next rebuild (hysteresis keeps
+	// deletions cheap); labels are refreshed to drop the edge.
+	s.refreshEndpoint(u, v)
+	s.refreshEndpoint(v, u)
+	return nil
+}
+
+func (s *Scheme) checkPair(u, v int) error {
+	if !s.alive(u) || !s.alive(v) {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, s.n)
+	}
+	if u == v {
+		return fmt.Errorf("dynamic: self-loop (%d,%d)", u, v)
+	}
+	return nil
+}
+
+// refreshEndpoint rewrites u's label after a change to edge {u, other} if
+// the label stores that adjacency (thin: always; fat: only fat/fat edges).
+func (s *Scheme) refreshEndpoint(u, other int) {
+	if s.fatIdx[u] >= 0 && s.fatIdx[other] < 0 {
+		return // fat/thin adjacency lives only in the thin label
+	}
+	s.writeLabel(u)
+}
+
+// maybePromote turns u fat when its degree reaches the epoch threshold.
+// Only u's own label changes: thin neighbors keep listing u's stable id,
+// and u's new bitmap covers every existing fat index.
+func (s *Scheme) maybePromote(u int) {
+	if s.fatIdx[u] >= 0 || len(s.adj[u]) < s.tau {
+		return
+	}
+	s.fatIdx[u] = int32(s.fatCount)
+	s.fatCount++
+	s.stats.Promotions++
+	s.writeLabel(u)
+}
+
+// writeLabel rebuilds vertex v's label from the current adjacency set and
+// charges the relabel to the stats.
+func (s *Scheme) writeLabel(v int) {
+	var b bitstr.Builder
+	if fi := s.fatIdx[v]; fi >= 0 {
+		b.AppendBit(true)
+		b.AppendUint(uint64(v), s.w)
+		b.AppendUint(uint64(fi), s.w)
+		// Bitmap over fat indexes 0..fatCount-1 (covers every older vertex).
+		vec := bitstr.NewVector(s.fatCount)
+		for w := range s.adj[v] {
+			if wi := s.fatIdx[w]; wi >= 0 && int(wi) < s.fatCount {
+				vec.Set(int(wi))
+			}
+		}
+		vec.Append(&b)
+	} else {
+		b.AppendBit(false)
+		b.AppendUint(uint64(v), s.w)
+		// Deterministic neighbor order keeps labels reproducible.
+		ids := make([]int, 0, len(s.adj[v]))
+		for w := range s.adj[v] {
+			ids = append(ids, int(w))
+		}
+		sort.Ints(ids)
+		for _, w := range ids {
+			b.AppendUint(uint64(w), s.w)
+		}
+	}
+	s.labels[v] = b.String()
+	s.stats.Relabels++
+	s.stats.BitsRewritten += int64(s.labels[v].Len())
+}
+
+// rebuild starts a new epoch: recompute width/threshold, reassign fat
+// indexes by decreasing degree, and rewrite every label.
+func (s *Scheme) rebuild(capacity int) {
+	s.stats.Rebuilds++
+	s.setEpoch(capacity, s.n)
+	order := make([]int, s.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := len(s.adj[order[i]]), len(s.adj[order[j]])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	s.fatCount = 0
+	for _, v := range order {
+		if !s.alive(v) {
+			s.fatIdx[v] = -1
+			continue
+		}
+		if len(s.adj[v]) >= s.tau {
+			s.fatIdx[v] = int32(s.fatCount)
+			s.fatCount++
+		} else {
+			s.fatIdx[v] = -1
+		}
+	}
+	// Doubling rule: the next fat-overflow rebuild happens only after the
+	// fat population doubles, so the Θ(n) relabel cost amortizes.
+	if b := 2 * s.fatCount; b > s.fatBudget {
+		s.fatBudget = b
+	}
+	for v := 0; v < s.n; v++ {
+		if !s.alive(v) {
+			continue
+		}
+		s.writeLabel(v)
+	}
+}
+
+// Adjacent answers a query through the current labels (and only the
+// labels; see Decoder for the label-pair algorithm).
+func (s *Scheme) Adjacent(u, v int) (bool, error) {
+	lu, err := s.Label(u)
+	if err != nil {
+		return false, err
+	}
+	lv, err := s.Label(v)
+	if err != nil {
+		return false, err
+	}
+	return (&Decoder{W: s.w}).Adjacent(lu, lv)
+}
+
+// Snapshot exports the current graph (for verification in tests and
+// experiments).
+func (s *Scheme) Snapshot() *graph.Graph {
+	b := graph.NewBuilder(s.n)
+	for u := 0; u < s.n; u++ {
+		for w := range s.adj[u] {
+			if int(w) > u {
+				// Adjacency sets are symmetric by construction.
+				if err := b.AddEdge(u, int(w)); err != nil {
+					// Unreachable: u and w are in range and u != w.
+					panic(fmt.Sprintf("dynamic: snapshot: %v", err))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Decoder answers adjacency from two dynamic labels; it depends only on the
+// epoch's identifier width W.
+type Decoder struct {
+	W int
+}
+
+var _ core.AdjacencyDecoder = (*Decoder)(nil)
+
+type parsed struct {
+	fat    bool
+	id     uint64
+	fatIdx uint64
+	body   int // bit offset of neighbor list / bitmap
+	s      bitstr.String
+}
+
+func (d *Decoder) parse(s bitstr.String) (parsed, error) {
+	if d.W < 1 {
+		return parsed{}, fmt.Errorf("%w: decoder width %d", core.ErrBadLabel, d.W)
+	}
+	r := bitstr.NewReader(s)
+	fat, err := r.ReadBit()
+	if err != nil {
+		return parsed{}, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+	}
+	id, err := r.ReadUint(d.W)
+	if err != nil {
+		return parsed{}, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+	}
+	p := parsed{fat: fat, id: id, body: 1 + d.W, s: s}
+	if fat {
+		fi, err := r.ReadUint(d.W)
+		if err != nil {
+			return parsed{}, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+		}
+		p.fatIdx = fi
+		p.body = 1 + 2*d.W
+	} else if body := s.Len() - p.body; body%d.W != 0 {
+		return parsed{}, fmt.Errorf("%w: thin body %d bits, id width %d", core.ErrBadLabel, body, d.W)
+	}
+	return p, nil
+}
+
+// Adjacent implements core.AdjacencyDecoder for dynamic labels: thin labels
+// are scanned for the partner's stable id; fat/fat pairs OR the two bitmaps
+// (bits beyond a bitmap's length read as absent, which is what makes labels
+// written in different "generations" of the same epoch mutually consistent).
+func (d *Decoder) Adjacent(a, b bitstr.String) (bool, error) {
+	pa, err := d.parse(a)
+	if err != nil {
+		return false, err
+	}
+	pb, err := d.parse(b)
+	if err != nil {
+		return false, err
+	}
+	if pa.id == pb.id {
+		return false, nil
+	}
+	switch {
+	case !pa.fat:
+		return d.thinContains(pa, pb.id)
+	case !pb.fat:
+		return d.thinContains(pb, pa.id)
+	default:
+		hit, err := d.bitmapBit(pa, pb.fatIdx)
+		if err != nil || hit {
+			return hit, err
+		}
+		return d.bitmapBit(pb, pa.fatIdx)
+	}
+}
+
+func (d *Decoder) thinContains(p parsed, target uint64) (bool, error) {
+	r := bitstr.NewReader(p.s)
+	if err := r.Seek(p.body); err != nil {
+		return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+	}
+	for r.Remaining() >= d.W {
+		v, err := r.ReadUint(d.W)
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+		}
+		if v == target {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (d *Decoder) bitmapBit(p parsed, i uint64) (bool, error) {
+	k := p.s.Len() - p.body
+	if i >= uint64(k) {
+		return false, nil // out of range = written before that fat index existed
+	}
+	bit, err := p.s.Bit(p.body + int(i))
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+	}
+	return bit, nil
+}
+
+func powF(base, exp float64) float64 { return math.Pow(base, exp) }
+
+func log2F(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}

@@ -1,0 +1,484 @@
+package dynamic
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// verifyAll checks the dynamic labeling against its own snapshot on every
+// vertex pair.
+func verifyAll(t *testing.T, s *Scheme) {
+	t.Helper()
+	g := s.Snapshot()
+	for u := 0; u < s.N(); u++ {
+		for v := 0; v < s.N(); v++ {
+			got, err := s.Adjacent(u, v)
+			if err != nil {
+				t.Fatalf("Adjacent(%d,%d): %v", u, v, err)
+			}
+			if want := g.HasEdge(u, v); got != want {
+				t.Fatalf("Adjacent(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func newScheme(t *testing.T, alpha float64, capacity int) *Scheme {
+	t.Helper()
+	s, err := New(alpha, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1.0, 8); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	s, err := New(2.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 0 {
+		t.Errorf("fresh scheme has %d vertices", s.N())
+	}
+}
+
+func TestAddVerticesAndEdges(t *testing.T) {
+	s := newScheme(t, 2.5, 8)
+	for i := 0; i < 6; i++ {
+		if got := s.AddVertex(); got != i {
+			t.Fatalf("AddVertex returned %d, want %d", got, i)
+		}
+	}
+	mustEdge := func(u, v int) {
+		t.Helper()
+		if err := s.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(0, 1)
+	mustEdge(1, 2)
+	mustEdge(0, 5)
+	if s.M() != 3 {
+		t.Errorf("M = %d, want 3", s.M())
+	}
+	verifyAll(t, s)
+}
+
+func TestEdgeStateErrors(t *testing.T) {
+	s := newScheme(t, 2.5, 8)
+	s.AddVertex()
+	s.AddVertex()
+	if err := s.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := s.AddEdge(0, 5); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out of range err = %v", err)
+	}
+	if err := s.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(1, 0); !errors.Is(err, ErrEdgeState) {
+		t.Errorf("duplicate edge err = %v", err)
+	}
+	if err := s.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveEdge(0, 1); !errors.Is(err, ErrEdgeState) {
+		t.Errorf("double remove err = %v", err)
+	}
+}
+
+func TestCapacityGrowth(t *testing.T) {
+	s := newScheme(t, 2.5, 2)
+	for i := 0; i < 100; i++ {
+		s.AddVertex()
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Stats().Rebuilds == 0 {
+		t.Error("capacity growth should have triggered rebuilds")
+	}
+	// Labels must still decode after the growth rebuilds.
+	if err := s.AddEdge(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Adjacent(0, 99)
+	if err != nil || !ok {
+		t.Fatalf("Adjacent(0,99) = %v, %v", ok, err)
+	}
+}
+
+func TestPromotionKeepsQueriesCorrect(t *testing.T) {
+	// Grow a star until the hub crosses the threshold; verify before and
+	// after the promotion.
+	s := newScheme(t, 2.5, 64)
+	hub := s.AddVertex()
+	for i := 0; i < 40; i++ {
+		leaf := s.AddVertex()
+		if err := s.AddEdge(hub, leaf); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			verifyAll(t, s)
+		}
+	}
+	if s.Stats().Promotions == 0 {
+		t.Error("hub never promoted despite degree 40")
+	}
+	verifyAll(t, s)
+}
+
+func TestFatFatAcrossGenerations(t *testing.T) {
+	// Two hubs promoted at different times, then connected, then
+	// disconnected: the OR-of-bitmaps decode must stay exact throughout.
+	s := newScheme(t, 2.5, 256)
+	hubA := s.AddVertex()
+	hubB := s.AddVertex()
+	var leaves []int
+	for i := 0; i < 60; i++ {
+		leaves = append(leaves, s.AddVertex())
+	}
+	// Promote A first.
+	for i := 0; i < 30; i++ {
+		if err := s.AddEdge(hubA, leaves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Then B.
+	for i := 30; i < 60; i++ {
+		if err := s.AddEdge(hubB, leaves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Promotions < 2 {
+		t.Fatalf("expected both hubs promoted, got %d promotions", s.Stats().Promotions)
+	}
+	if err := s.AddEdge(hubA, hubB); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Adjacent(hubA, hubB)
+	if err != nil || !ok {
+		t.Fatalf("fat/fat edge not decoded: %v, %v", ok, err)
+	}
+	if err := s.RemoveEdge(hubA, hubB); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = s.Adjacent(hubA, hubB)
+	if err != nil || ok {
+		t.Fatalf("fat/fat edge still decoded after removal: %v, %v", ok, err)
+	}
+	verifyAll(t, s)
+}
+
+func TestRemoveEdgeHysteresis(t *testing.T) {
+	// Dropping a fat vertex below the threshold must not corrupt queries
+	// (the vertex stays fat until the next rebuild).
+	s := newScheme(t, 2.5, 128)
+	hub := s.AddVertex()
+	var leaves []int
+	for i := 0; i < 30; i++ {
+		leaves = append(leaves, s.AddVertex())
+		if err := s.AddEdge(hub, leaves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, leaf := range leaves[:25] {
+		if err := s.RemoveEdge(hub, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifyAll(t, s)
+}
+
+func TestDynamicMatchesStaticAdjacency(t *testing.T) {
+	// Build a Chung–Lu graph edge-by-edge through the dynamic scheme; the
+	// final labeling must agree with the graph everywhere.
+	g, err := gen.ChungLuPowerLaw(300, 2.5, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheme(t, 2.5, 4)
+	for i := 0; i < g.N(); i++ {
+		s.AddVertex()
+	}
+	g.Edges(func(u, v int) {
+		if err := s.AddEdge(u, v); err != nil {
+			t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+		}
+	})
+	verifyAll(t, s)
+}
+
+func TestAmortizedRelabels(t *testing.T) {
+	// The headline dynamic claim: O(1) amortized relabels per update. Grow
+	// a preferential-attachment graph through the scheme and check the
+	// ratio stays small.
+	g, err := gen.BarabasiAlbert(2000, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheme(t, 3.0, 4)
+	for i := 0; i < g.N(); i++ {
+		s.AddVertex()
+	}
+	g.Edges(func(u, v int) {
+		if err := s.AddEdge(u, v); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	})
+	st := s.Stats()
+	ratio := float64(st.Relabels) / float64(st.Updates)
+	// Each edge insertion rewrites at most 2 labels plus amortized
+	// promotion/rebuild cost; allow generous headroom.
+	if ratio > 8 {
+		t.Errorf("amortized relabels per update = %.2f, want O(1) (stats: %+v)", ratio, st)
+	}
+	if st.Rebuilds == 0 {
+		t.Error("expected at least one rebuild during growth")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newScheme(t, 2.5, 8)
+	s.AddVertex()
+	s.AddVertex()
+	if err := s.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Updates != 3 {
+		t.Errorf("Updates = %d, want 3", st.Updates)
+	}
+	if st.Relabels < 3 { // 2 vertex labels + 2 edge endpoint relabels
+		t.Errorf("Relabels = %d, want >= 3", st.Relabels)
+	}
+	if st.BitsRewritten <= 0 {
+		t.Errorf("BitsRewritten = %d", st.BitsRewritten)
+	}
+}
+
+func TestLabelOutOfRange(t *testing.T) {
+	s := newScheme(t, 2.5, 8)
+	if _, err := s.Label(0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("Label on empty err = %v", err)
+	}
+}
+
+func TestMaxLabelTracksStaticScale(t *testing.T) {
+	// After incremental growth the max label should be within a small
+	// factor of what a fresh static encode of the same graph produces.
+	g, err := gen.ChungLuPowerLaw(1000, 2.5, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheme(t, 2.5, 4)
+	for i := 0; i < g.N(); i++ {
+		s.AddVertex()
+	}
+	g.Edges(func(u, v int) {
+		if err := s.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	dynMax := s.MaxLabelBits()
+	// Static reference at the paper's fitted threshold.
+	staticLab, err := core.NewPowerLawSchemeAuto().Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticMax := staticLab.Stats().Max
+	if dynMax > 4*staticMax {
+		t.Errorf("dynamic max label %d vs static %d: drift too large", dynMax, staticMax)
+	}
+}
+
+// Property: arbitrary interleaved add/remove sequences keep decode exact.
+func TestQuickRandomUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(2.5, 4)
+		if err != nil {
+			return false
+		}
+		n := 18
+		for i := 0; i < n; i++ {
+			s.AddVertex()
+		}
+		present := map[[2]int]bool{}
+		for step := 0; step < 150; step++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := [2]int{u, v}
+			if present[key] {
+				if err := s.RemoveEdge(u, v); err != nil {
+					return false
+				}
+				delete(present, key)
+			} else {
+				if err := s.AddEdge(u, v); err != nil {
+					return false
+				}
+				present[key] = true
+			}
+		}
+		g := s.Snapshot()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got, err := s.Adjacent(u, v)
+				if err != nil || got != g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	s := newScheme(t, 2.5, 32)
+	for i := 0; i < 10; i++ {
+		s.AddVertex()
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 5}, {5, 6}} {
+		if err := s.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RemoveVertex(1); err != nil {
+		t.Fatal(err)
+	}
+	// Operations on the tombstoned vertex fail.
+	if _, err := s.Label(1); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("Label on removed vertex err = %v", err)
+	}
+	if err := s.AddEdge(1, 7); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("AddEdge on removed vertex err = %v", err)
+	}
+	if err := s.RemoveVertex(1); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("double RemoveVertex err = %v", err)
+	}
+	// Survivors decode correctly: 0-1, 1-2, 1-5 edges are gone; 2-3 and 5-6 remain.
+	g := s.Snapshot()
+	if g.HasEdge(0, 1) || g.HasEdge(1, 2) || g.HasEdge(1, 5) {
+		t.Error("edges incident to removed vertex survive in snapshot")
+	}
+	for _, pair := range [][2]int{{2, 3}, {5, 6}, {0, 2}, {3, 5}} {
+		got, err := s.Adjacent(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != g.HasEdge(pair[0], pair[1]) {
+			t.Fatalf("post-removal query (%d,%d) wrong", pair[0], pair[1])
+		}
+	}
+}
+
+func TestRemoveFatVertex(t *testing.T) {
+	// Removing a hub that had been promoted must leave fat/fat decode for
+	// the others intact.
+	s := newScheme(t, 2.5, 256)
+	hubA := s.AddVertex()
+	hubB := s.AddVertex()
+	var leaves []int
+	for i := 0; i < 60; i++ {
+		leaves = append(leaves, s.AddVertex())
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.AddEdge(hubA, leaves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 30; i < 60; i++ {
+		if err := s.AddEdge(hubB, leaves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddEdge(hubA, hubB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveVertex(hubA); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Adjacent(hubB, leaves[30])
+	if err != nil || !ok {
+		t.Fatalf("surviving hub broken: %v %v", ok, err)
+	}
+	// Survive a rebuild with tombstones present.
+	for i := 0; i < 300; i++ {
+		s.AddVertex()
+	}
+	if s.Stats().Rebuilds == 0 {
+		t.Fatal("expected rebuild")
+	}
+	ok, err = s.Adjacent(hubB, leaves[31])
+	if err != nil || !ok {
+		t.Fatalf("post-rebuild query broken: %v %v", ok, err)
+	}
+}
+
+func TestRemoveVertexThenChurn(t *testing.T) {
+	// Interleave removals with edge churn and verify decode at the end.
+	s := newScheme(t, 2.5, 16)
+	for i := 0; i < 30; i++ {
+		s.AddVertex()
+	}
+	rng := rand.New(rand.NewSource(6))
+	removed := map[int]bool{}
+	for step := 0; step < 400; step++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		if u == v || removed[u] || removed[v] {
+			continue
+		}
+		switch step % 7 {
+		case 6:
+			if len(removed) < 8 {
+				if err := s.RemoveVertex(u); err != nil {
+					t.Fatal(err)
+				}
+				removed[u] = true
+			}
+		default:
+			if ok, err := s.Adjacent(u, v); err == nil && !ok {
+				if err := s.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			} else if err == nil && ok {
+				if err := s.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g := s.Snapshot()
+	for u := 0; u < 30; u++ {
+		for v := 0; v < 30; v++ {
+			if removed[u] || removed[v] {
+				continue
+			}
+			got, err := s.Adjacent(u, v)
+			if err != nil {
+				t.Fatalf("(%d,%d): %v", u, v, err)
+			}
+			if got != g.HasEdge(u, v) {
+				t.Fatalf("(%d,%d) decode wrong after churn+removals", u, v)
+			}
+		}
+	}
+}

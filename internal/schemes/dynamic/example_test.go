@@ -1,0 +1,43 @@
+package dynamic_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/schemes/dynamic"
+)
+
+// Example maintains labels through inserts, a deletion and a vertex
+// removal; every query is answered from the current labels.
+func Example() {
+	s, err := dynamic.New(2.5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, b, c := s.AddVertex(), s.AddVertex(), s.AddVertex()
+	if err := s.AddEdge(a, b); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.AddEdge(b, c); err != nil {
+		log.Fatal(err)
+	}
+	ab, _ := s.Adjacent(a, b)
+	ac, _ := s.Adjacent(a, c)
+	fmt.Println(ab, ac)
+
+	if err := s.RemoveEdge(a, b); err != nil {
+		log.Fatal(err)
+	}
+	ab, _ = s.Adjacent(a, b)
+	fmt.Println(ab)
+
+	if err := s.RemoveVertex(c); err != nil {
+		log.Fatal(err)
+	}
+	_, err = s.Adjacent(b, c)
+	fmt.Println(err != nil) // queries on removed vertices fail
+	// Output:
+	// true false
+	// false
+	// true
+}

@@ -1,0 +1,108 @@
+package forest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestForestSchemeCorrectness(t *testing.T) {
+	ba, err := gen.BarabasiAlbert(150, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"empty":  graph.Empty(0),
+		"single": graph.Empty(1),
+		"path":   gen.Path(15),
+		"cycle":  gen.Cycle(12),
+		"K7":     gen.Complete(7),
+		"grid":   gen.Grid(5, 6),
+		"er":     gen.ErdosRenyi(90, 0.08, 2),
+		"ba":     ba,
+		"tree":   gen.RandomTree(60, 3),
+	}
+	s := Scheme{}
+	for name, g := range cases {
+		lab, err := s.Encode(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := lab.Verify(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestForestLabelSizeBA(t *testing.T) {
+	// Proposition 5: BA graphs get (k+1)·ceil(log2 n) bit labels with
+	// k <= 2m forests.
+	n, m := 3000, 3
+	g, err := gen.BarabasiAlbert(n, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scheme{}
+	k := s.Forests(g)
+	if k > 2*m {
+		t.Errorf("forest count %d exceeds 2m = %d", k, 2*m)
+	}
+	lab, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitstr.WidthFor(uint64(n))
+	if got, want := lab.Stats().Max, (k+1)*w; got != want {
+		t.Errorf("max label = %d, want exactly %d", got, want)
+	}
+}
+
+func TestForestBeatsFatThinOnBA(t *testing.T) {
+	// The point of Proposition 5: on BA graphs the forest labels
+	// (O(m log n)) are far below the power-law scheme's Θ(n^(1/3)) bitmap
+	// labels for large n.
+	g, err := gen.BarabasiAlbert(5000, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := (Scheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Stats().Max > 200 {
+		t.Errorf("forest labels unexpectedly large: %d bits", lab.Stats().Max)
+	}
+}
+
+func TestForestDecoderTreeEquivalence(t *testing.T) {
+	// On a tree the decomposition is a single forest and the scheme must
+	// agree with plain parent labels semantically.
+	g := gen.RandomTree(80, 9)
+	lab, err := (Scheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lab.Verify(g); err != nil {
+		t.Error(err)
+	}
+	if k := (Scheme{}).Forests(g); k != 1 {
+		t.Errorf("tree decomposed into %d forests", k)
+	}
+}
+
+func TestQuickForestCorrectness(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(40, 0.15, seed)
+		lab, err := (Scheme{}).Encode(g)
+		if err != nil {
+			return false
+		}
+		return lab.Verify(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package forest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// EncodeBAOnline realizes the paper's tightening of Proposition 5: "if the
+// encoder operates at the same time as the creation of the graph,
+// Proposition 5 can be tightened to yield an m·log n labeling scheme, by
+// storing the identifiers of the vertices to the node introduced."
+//
+// The Barabási–Albert process is run here with the encoder in the loop:
+// every vertex's label records exactly the m attachment targets it chose at
+// birth (seed-clique vertices record their earlier clique neighbors).
+// Each edge is thus stored at exactly one endpoint — the younger one — and
+// labels are (m'+1)·ceil(log2 n) bits where m' ≤ max(m, seed-clique
+// degree). The same forest Decoder answers queries: the "parents" of a
+// vertex are its birth targets.
+//
+// It returns the generated graph together with its labeling.
+func EncodeBAOnline(n, m int, seed int64) (*graph.Graph, *core.Labeling, error) {
+	if m < 1 {
+		return nil, nil, fmt.Errorf("forest: BA attachment parameter m must be >= 1, got %d", m)
+	}
+	if n < m+1 {
+		return nil, nil, fmt.Errorf("forest: BA needs n >= m+1 (n=%d, m=%d)", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	birth := make([][]int32, n) // attachment targets chosen at creation
+
+	repeated := make([]int32, 0, 2*m*n)
+	addEdge := func(younger, older int) error {
+		if err := b.AddEdge(younger, older); err != nil {
+			return err
+		}
+		birth[younger] = append(birth[younger], int32(older))
+		repeated = append(repeated, int32(younger), int32(older))
+		return nil
+	}
+
+	// Seed clique on m+1 vertices: vertex u records its edges to the
+	// earlier vertices 0..u-1.
+	for u := 1; u <= m; u++ {
+		for v := 0; v < u; v++ {
+			if err := addEdge(u, v); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	targets := make(map[int]struct{}, m)
+	picked := make([]int, 0, m)
+	for v := m + 1; v < n; v++ {
+		for k := range targets {
+			delete(targets, k)
+		}
+		picked = picked[:0]
+		for len(targets) < m {
+			t := int(repeated[rng.Intn(len(repeated))])
+			if _, dup := targets[t]; dup {
+				continue
+			}
+			targets[t] = struct{}{}
+			picked = append(picked, t)
+		}
+		// Pick order, not map order, for bit-reproducible labels.
+		for _, t := range picked {
+			if err := addEdge(v, t); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	g := b.Build()
+	w := bitstr.WidthFor(uint64(n))
+	labels := make([]bitstr.String, n)
+	var bb bitstr.Builder
+	for v := 0; v < n; v++ {
+		bb.Reset()
+		bb.AppendUint(uint64(v), w)
+		for _, t := range birth[v] {
+			bb.AppendUint(uint64(t), w)
+		}
+		labels[v] = bb.String()
+	}
+	return g, core.NewLabeling("ba-online", labels, NewDecoder(n)), nil
+}

@@ -1,0 +1,86 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func TestEncodeBAOnlineValidation(t *testing.T) {
+	if _, _, err := EncodeBAOnline(10, 0, 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, _, err := EncodeBAOnline(2, 2, 1); err == nil {
+		t.Error("n < m+1 accepted")
+	}
+}
+
+func TestEncodeBAOnlineCorrectness(t *testing.T) {
+	for _, m := range []int{1, 2, 4} {
+		g, lab, err := EncodeBAOnline(300, m, int64(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N() != 300 {
+			t.Fatalf("m=%d: n=%d", m, g.N())
+		}
+		if err := lab.Verify(g); err != nil {
+			t.Errorf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestEncodeBAOnlineLabelBound(t *testing.T) {
+	// The tightened Proposition 5 claim: labels are at most (m+1)·log n
+	// bits (own id + the m birth targets).
+	n, m := 2000, 3
+	_, lab, err := EncodeBAOnline(n, m, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitstr.WidthFor(uint64(n))
+	if got, want := lab.Stats().Max, (m+1)*w; got != want {
+		t.Errorf("max label = %d bits, want exactly %d", got, want)
+	}
+}
+
+func TestEncodeBAOnlineBeatsDecomposition(t *testing.T) {
+	// Online labels (m+1)·w must not exceed the offline decomposition's
+	// (k+1)·w with k <= 2m.
+	n, m := 2000, 3
+	g, lab, err := EncodeBAOnline(n, m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := (Scheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.Stats().Max > offline.Stats().Max {
+		t.Errorf("online max %d > offline max %d", lab.Stats().Max, offline.Stats().Max)
+	}
+}
+
+func TestEncodeBAOnlineDeterministic(t *testing.T) {
+	_, a, err := EncodeBAOnline(500, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := EncodeBAOnline(500, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 500; v++ {
+		la, err := a.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := b.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !la.Equal(lb) {
+			t.Fatalf("label %d differs across identical seeds", v)
+		}
+	}
+}

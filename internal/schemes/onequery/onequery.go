@@ -1,0 +1,200 @@
+// Package onequery implements the paper's 1-query adjacency labeling scheme
+// (Section 6): labels are O(log n) bits for sparse — hence power-law —
+// graphs, at the price of letting the decoder fetch one additional label.
+//
+// Every edge {u,v} is hashed by an FKS perfect hash to a slot, and the slot
+// owner (slot mod n) stores the tuple <u,v> in its label. To answer a query
+// the decoder hashes the two queried identifiers, fetches the owner's label
+// (the "1 query"), and scans its constant-size tuple list. Because the FKS
+// slot space is linear in the edge count, each vertex owns O(1) slots and
+// labels stay at O(log n) bits.
+//
+// Deviation noted in DESIGN.md: the shared decoder description (the FKS
+// function table) is Θ(n) machine words here, whereas the paper sketches a
+// hash description of O(log n) bits; per-label sizes — the quantity the
+// scheme is about — match the paper.
+package onequery
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hashing"
+)
+
+// ErrNoFetch is returned when the decoder cannot fetch the third label.
+var ErrNoFetch = errors.New("onequery: label fetch failed")
+
+// Scheme is the 1-query adjacency labeling scheme.
+type Scheme struct {
+	// Seed drives the perfect-hash construction; fixed for reproducibility.
+	Seed int64
+}
+
+// Name identifies the scheme in experiment output.
+func (Scheme) Name() string { return "onequery" }
+
+// Encode labels g. The returned Encoded bundles the labels with the decoder
+// holding the shared hash description.
+func (s Scheme) Encode(g *graph.Graph) (*Encoded, error) {
+	n := g.N()
+	keys := make([]uint64, 0, g.M())
+	g.Edges(func(u, v int) {
+		keys = append(keys, edgeKey(n, u, v))
+	})
+	ph, err := hashing.Build(keys, s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("onequery: build hash: %w", err)
+	}
+	// Distribute tuples to slot owners.
+	tuples := make([][][2]int32, n)
+	g.Edges(func(u, v int) {
+		owner := 0
+		if n > 0 {
+			owner = ph.Slot(edgeKey(n, u, v)) % n
+		}
+		tuples[owner] = append(tuples[owner], [2]int32{int32(u), int32(v)})
+	})
+	w := bitstr.WidthFor(uint64(n))
+	labels := make([]bitstr.String, n)
+	var b bitstr.Builder
+	for v := 0; v < n; v++ {
+		b.Reset()
+		b.AppendUint(uint64(v), w)
+		for _, t := range tuples[v] {
+			b.AppendUint(uint64(t[0]), w)
+			b.AppendUint(uint64(t[1]), w)
+		}
+		labels[v] = b.String()
+	}
+	dec := &Decoder{ph: ph, n: n, w: w}
+	return &Encoded{
+		Labeling: core.NewLabeling(s.Name(), labels, &fetchAdapter{dec: dec, labels: labels}),
+		Dec:      dec,
+	}, nil
+}
+
+// Encoded is the result of encoding: labels plus the 1-query decoder.
+type Encoded struct {
+	*core.Labeling
+	Dec *Decoder
+}
+
+// DescriptionBytes returns the size of the serialized shared decoder
+// description (the FKS table). The paper sketches an O(log n)-bit
+// description for its chaining construction; this measures what the
+// concrete FKS realization costs (Θ(n) words), so experiments can report
+// the deviation honestly.
+func (e *Encoded) DescriptionBytes() (int, error) {
+	data, err := e.Dec.ph.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+func edgeKey(n, u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)*uint64(n) + uint64(v)
+}
+
+// Decoder answers 1-query adjacency: it reads the two labels, determines
+// the owner vertex of the hypothetical edge, and asks the caller for that
+// owner's label.
+type Decoder struct {
+	ph *hashing.PerfectHash
+	n  int
+	w  int
+}
+
+// Owner returns the vertex whose label would store the edge {u, v}.
+func (d *Decoder) Owner(u, v int) int {
+	if d.n == 0 {
+		return 0
+	}
+	return d.ph.Slot(edgeKey(d.n, u, v)) % d.n
+}
+
+// Adjacent decides adjacency of the vertices labeled a and b; fetch is
+// called at most once, with the ID of the third vertex whose label is
+// needed.
+func (d *Decoder) Adjacent(a, b bitstr.String, fetch func(v int) (bitstr.String, error)) (bool, error) {
+	idA, err := d.ownID(a)
+	if err != nil {
+		return false, err
+	}
+	idB, err := d.ownID(b)
+	if err != nil {
+		return false, err
+	}
+	if idA == idB {
+		return false, nil
+	}
+	owner := d.Owner(int(idA), int(idB))
+	third, err := fetch(owner)
+	if err != nil {
+		return false, fmt.Errorf("%w: vertex %d: %v", ErrNoFetch, owner, err)
+	}
+	return d.labelContainsTuple(third, idA, idB)
+}
+
+func (d *Decoder) ownID(s bitstr.String) (uint64, error) {
+	if s.Len() < d.w {
+		return 0, fmt.Errorf("%w: onequery label of %d bits, want >= %d", core.ErrBadLabel, s.Len(), d.w)
+	}
+	r := bitstr.NewReader(s)
+	return r.ReadUint(d.w)
+}
+
+func (d *Decoder) labelContainsTuple(s bitstr.String, idA, idB uint64) (bool, error) {
+	if idA > idB {
+		idA, idB = idB, idA
+	}
+	body := s.Len() - d.w
+	if d.w == 0 || body < 0 || body%(2*d.w) != 0 {
+		return false, fmt.Errorf("%w: onequery body of %d bits", core.ErrBadLabel, body)
+	}
+	r := bitstr.NewReader(s)
+	if err := r.Seek(d.w); err != nil {
+		return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+	}
+	for cnt := body / (2 * d.w); cnt > 0; cnt-- {
+		u, err := r.ReadUint(d.w)
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+		}
+		v, err := r.ReadUint(d.w)
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", core.ErrBadLabel, err)
+		}
+		if u == idA && v == idB {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// fetchAdapter exposes the 1-query decoder through the two-label
+// core.AdjacencyDecoder interface by serving the third-label fetch from the
+// stored label slice. This models the distributed setting where the decoder
+// can request one extra label from the network.
+type fetchAdapter struct {
+	dec    *Decoder
+	labels []bitstr.String
+}
+
+var _ core.AdjacencyDecoder = (*fetchAdapter)(nil)
+
+func (f *fetchAdapter) Adjacent(a, b bitstr.String) (bool, error) {
+	return f.dec.Adjacent(a, b, func(v int) (bitstr.String, error) {
+		if v < 0 || v >= len(f.labels) {
+			return bitstr.String{}, fmt.Errorf("vertex %d out of range", v)
+		}
+		return f.labels[v], nil
+	})
+}

@@ -1,0 +1,169 @@
+package onequery
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestOneQueryCorrectness(t *testing.T) {
+	ba, err := gen.BarabasiAlbert(120, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := gen.ChungLuPowerLaw(300, 2.5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"empty":  graph.Empty(0),
+		"single": graph.Empty(1),
+		"edge":   gen.Path(2),
+		"path":   gen.Path(25),
+		"star":   gen.Star(40),
+		"K8":     gen.Complete(8),
+		"er":     gen.ErdosRenyi(100, 0.07, 3),
+		"ba":     ba,
+		"cl":     cl,
+	}
+	s := Scheme{Seed: 42}
+	for name, g := range cases {
+		enc, err := s.Encode(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := enc.Verify(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOneQueryLogarithmicLabels(t *testing.T) {
+	// The headline: on sparse graphs labels are O(log n) — orders of
+	// magnitude below the Ω(n^(1/α)) bound for 2-label schemes.
+	g, err := gen.ChungLuPowerLaw(20000, 2.5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Scheme{Seed: 1}.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bitstr.WidthFor(uint64(g.N()))
+	st := enc.Stats()
+	// Max label = w + (tuples at the busiest owner)·2w. The FKS slot space
+	// is ≤ 4m + n slots spread round-robin, so the busiest owner holds
+	// O(m/n) tuples — single digits here.
+	if st.Max > w+2*w*16 {
+		t.Errorf("max 1-query label %d bits; expected O(log n) (w=%d)", st.Max, w)
+	}
+}
+
+func TestOneQueryExplicitFetch(t *testing.T) {
+	g := gen.ErdosRenyi(60, 0.12, 5)
+	enc, err := Scheme{Seed: 3}.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetches := 0
+	fetch := func(v int) (bitstr.String, error) {
+		fetches++
+		return enc.Label(v)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			lu, err := enc.Label(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv, err := enc.Label(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fetches = 0
+			got, err := enc.Dec.Adjacent(lu, lv, fetch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != g.HasEdge(u, v) {
+				t.Fatalf("(%d,%d): got %v", u, v, got)
+			}
+			if fetches > 1 {
+				t.Fatalf("(%d,%d): decoder fetched %d labels, may fetch at most 1", u, v, fetches)
+			}
+		}
+	}
+}
+
+func TestOneQueryFetchFailure(t *testing.T) {
+	g := gen.Path(10)
+	enc, err := Scheme{Seed: 3}.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := enc.Label(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := enc.Label(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("network down")
+	_, err = enc.Dec.Adjacent(l0, l1, func(int) (bitstr.String, error) {
+		return bitstr.String{}, boom
+	})
+	if !errors.Is(err, ErrNoFetch) {
+		t.Errorf("err = %v, want ErrNoFetch", err)
+	}
+}
+
+func TestOneQueryOwnerInRange(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.1, 7)
+	enc, err := Scheme{Seed: 4}.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if o := enc.Dec.Owner(u, v); o < 0 || o >= g.N() {
+				t.Fatalf("Owner(%d,%d) = %d", u, v, o)
+			}
+		}
+	}
+}
+
+func TestOneQuerySelfQuery(t *testing.T) {
+	g := gen.Complete(12)
+	enc, err := Scheme{Seed: 8}.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		got, err := enc.Adjacent(v, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Errorf("self-adjacency at %d", v)
+		}
+	}
+}
+
+func TestQuickOneQuery(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(35, 0.2, seed)
+		enc, err := Scheme{Seed: seed}.Encode(g)
+		if err != nil {
+			return false
+		}
+		return enc.Verify(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,25 @@
+package routing_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/schemes/routing"
+)
+
+// Example routes a packet across a star topology using labels only: every
+// hop decision comes from the current node's label plus the destination's.
+func Example() {
+	g := gen.Star(8) // hub 0, leaves 1..7
+	lab, err := (routing.Scheme{K: 1}).Encode(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := lab.Route(3, 6) // leaf to leaf: must go via the hub
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(path)
+	// Output: [3 0 6]
+}

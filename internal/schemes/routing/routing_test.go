@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func encode(t *testing.T, g *graph.Graph, k int) *Labeling {
+	t.Helper()
+	lab, err := (Scheme{K: k}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := (Scheme{K: 0}).Encode(gen.Path(4)); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+// checkRoutes verifies that every pair in the same component routes
+// successfully and that the realized path length matches TreeDist (and is
+// at least the true distance).
+func checkRoutes(t *testing.T, g *graph.Graph, k int) {
+	t.Helper()
+	lab := encode(t, g, k)
+	dec := lab.Decoder()
+	comp, _ := g.ConnectedComponents()
+	for u := 0; u < g.N(); u++ {
+		truth := g.BFS(u)
+		for v := 0; v < g.N(); v++ {
+			lu, err := lab.Label(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv, err := lab.Label(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comp[u] != comp[v] {
+				if _, err := dec.TreeDist(lu, lv); !errors.Is(err, ErrUnreachable) {
+					t.Fatalf("cross-component pair (%d,%d) err = %v", u, v, err)
+				}
+				continue
+			}
+			td, err := dec.TreeDist(lu, lv)
+			if err != nil {
+				t.Fatalf("TreeDist(%d,%d): %v", u, v, err)
+			}
+			if td < truth[v] {
+				t.Fatalf("TreeDist(%d,%d) = %d below true distance %d", u, v, td, truth[v])
+			}
+			path, err := lab.Route(u, v)
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", u, v, err)
+			}
+			// Path must be a real walk in g ending at v.
+			if path[0] != u || path[len(path)-1] != v {
+				t.Fatalf("Route(%d,%d) endpoints wrong: %v", u, v, path)
+			}
+			for i := 1; i < len(path); i++ {
+				if !g.HasEdge(path[i-1], path[i]) {
+					t.Fatalf("Route(%d,%d) uses non-edge (%d,%d)", u, v, path[i-1], path[i])
+				}
+			}
+			if hops := len(path) - 1; hops > td {
+				t.Fatalf("Route(%d,%d) took %d hops, TreeDist promised %d", u, v, hops, td)
+			}
+		}
+	}
+}
+
+func TestRoutingSmallGraphs(t *testing.T) {
+	cl, err := gen.ChungLuPowerLaw(120, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := gen.BarabasiAlbert(100, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*graph.Graph{
+		"path":  gen.Path(15),
+		"star":  gen.Star(20),
+		"cycle": gen.Cycle(12),
+		"grid":  gen.Grid(5, 5),
+		"er":    gen.ErdosRenyi(60, 0.08, 2), // possibly disconnected
+		"cl":    cl,
+		"ba":    ba,
+	}
+	for name, g := range cases {
+		for _, k := range []int{1, 2, 4} {
+			t.Run(name, func(t *testing.T) { checkRoutes(t, g, k) })
+		}
+	}
+}
+
+func TestRoutingSelf(t *testing.T) {
+	g := gen.Path(5)
+	lab := encode(t, g, 1)
+	path, err := lab.Route(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != 2 {
+		t.Errorf("self route = %v", path)
+	}
+}
+
+func TestMoreTreesReduceStretch(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(1500, 2.3, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretch := func(k int) int {
+		lab := encode(t, g, k)
+		dec := lab.Decoder()
+		total := 0
+		for u := 0; u < g.N(); u += 97 {
+			truth := g.BFS(u)
+			for v := 0; v < g.N(); v += 131 {
+				if truth[v] < 0 || u == v {
+					continue
+				}
+				lu, err := lab.Label(u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lv, err := lab.Label(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				td, err := dec.TreeDist(lu, lv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += td - truth[v]
+			}
+		}
+		return total
+	}
+	s1, s8 := stretch(1), stretch(8)
+	if s8 > s1 {
+		t.Errorf("8 trees gave total stretch %d > 1 tree's %d", s8, s1)
+	}
+}
+
+func TestCoreRoots(t *testing.T) {
+	g := gen.Star(10)
+	roots := (Scheme{K: 1}).CoreRoots(g)
+	if len(roots) != 1 || roots[0] != 0 {
+		t.Errorf("core of star = %v, want [0]", roots)
+	}
+	if got := (Scheme{K: 99}).CoreRoots(gen.Path(5)); len(got) != 5 {
+		t.Errorf("K clamping failed: %v", got)
+	}
+}
+
+func TestLabelSizesSmallWorld(t *testing.T) {
+	// On a BA graph labels are ≈ (avg depth · k · log n): comfortably below
+	// the adjacency fat/thin labels and flat-ish in n.
+	g, err := gen.BarabasiAlbert(5000, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := encode(t, g, 4)
+	_, max, _ := lab.Stats()
+	// Depth ≤ diameter ≈ 6, so max ≈ 13·(1 + 4·7) ≈ 380 bits.
+	if max > 1500 {
+		t.Errorf("routing labels unexpectedly large: %d bits", max)
+	}
+}
+
+func TestQuickRoutingCorrectness(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(30, 0.12, seed)
+		lab, err := (Scheme{K: 2}).Encode(g)
+		if err != nil {
+			return false
+		}
+		comp, _ := g.ConnectedComponents()
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if comp[u] != comp[v] || u == v {
+					continue
+				}
+				path, err := lab.Route(u, v)
+				if err != nil || path[len(path)-1] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitstr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestTreeSchemeOnTrees(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"empty":   graph.Empty(0),
+		"single":  graph.Empty(1),
+		"edge":    gen.Path(2),
+		"path20":  gen.Path(20),
+		"star30":  gen.Star(30),
+		"rand100": gen.RandomTree(100, 7),
+		"forest":  forestFixture(t),
+	}
+	s := Scheme{}
+	for name, g := range cases {
+		lab, err := s.Encode(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := lab.Verify(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// forestFixture: two disjoint trees plus isolated vertices.
+func forestFixture(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(12)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {5, 6}, {6, 7}, {6, 8}}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestTreeSchemeRejectsCycles(t *testing.T) {
+	if _, err := (Scheme{}).Encode(gen.Cycle(5)); !errors.Is(err, ErrNotForest) {
+		t.Errorf("cycle accepted: err = %v", err)
+	}
+	if _, err := (Scheme{}).Encode(gen.Complete(4)); !errors.Is(err, ErrNotForest) {
+		t.Errorf("K4 accepted: err = %v", err)
+	}
+}
+
+func TestTreeLabelSizeIsTwoLogN(t *testing.T) {
+	g := gen.RandomTree(1000, 3)
+	lab, err := (Scheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * bitstr.WidthFor(1000)
+	st := lab.Stats()
+	if st.Min != want || st.Max != want {
+		t.Errorf("label sizes [%d,%d], want exactly %d", st.Min, st.Max, want)
+	}
+}
+
+func TestLabelsFromParentsValidation(t *testing.T) {
+	if _, err := LabelsFromParents(3, []int32{-1}); err == nil {
+		t.Error("mismatched parent array accepted")
+	}
+}
+
+func TestTreeDecoderMalformed(t *testing.T) {
+	d := NewDecoder(100)
+	var short bitstr.Builder
+	short.AppendUint(1, 3)
+	var ok bitstr.Builder
+	ok.AppendUint(1, bitstr.WidthFor(100))
+	ok.AppendUint(1, bitstr.WidthFor(100))
+	if _, err := d.Adjacent(short.String(), ok.String()); err == nil {
+		t.Error("short label accepted")
+	}
+}
+
+func TestTreeRootSelfParentNotAdjacent(t *testing.T) {
+	// Roots encode themselves as parent; a root must not appear adjacent to
+	// itself or spuriously to another root.
+	g := graph.Empty(4) // four isolated roots
+	lab, err := (Scheme{}).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			got, err := lab.Adjacent(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got {
+				t.Errorf("isolated roots %d,%d reported adjacent", u, v)
+			}
+		}
+	}
+}
+
+// Property: on random trees, the scheme agrees with the graph on all pairs.
+func TestQuickTreeCorrectness(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		g := gen.RandomTree(n, seed)
+		lab, err := (Scheme{}).Encode(g)
+		if err != nil {
+			return false
+		}
+		return lab.Verify(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

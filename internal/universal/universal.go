@@ -1,0 +1,116 @@
+// Package universal materializes the connection between adjacency labeling
+// schemes and induced-universal graphs that the paper uses in Section 5:
+// by Kannan–Naor–Rudich, an f(n)-bit labeling scheme for a family F_n
+// yields an induced-universal graph U on 2^f(n) vertices — one vertex per
+// possible label, with two label-vertices adjacent exactly when the decoder
+// says so. Every member of F_n then appears as an induced subgraph of U via
+// the map "vertex ↦ its label".
+//
+// Building U is only feasible for fixed-length labels and small f(n); the
+// package targets the tree/forest scheme (2·ceil(log2 n) bits), giving the
+// classical n²-vertex universal graph for forests, and verifies the
+// embedding property experimentally (experiment E13).
+package universal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ErrTooLarge is returned when the label length would create an infeasible
+// universal graph.
+var ErrTooLarge = errors.New("universal: label space too large to materialize")
+
+// MaxLabelBits bounds the materialized label space to 2^18 vertices.
+const MaxLabelBits = 18
+
+// Build constructs the induced-universal graph for all labels of exactly
+// bits length under the given decoder. Vertex i of the result corresponds
+// to the label whose bit pattern is the bits-wide big-endian encoding of i.
+// Pairs on which the decoder errors are treated as non-adjacent (such label
+// values are malformed and never assigned by the encoder).
+func Build(bits int, dec core.AdjacencyDecoder) (*graph.Graph, error) {
+	if bits < 0 || bits > MaxLabelBits {
+		return nil, fmt.Errorf("%w: %d bits", ErrTooLarge, bits)
+	}
+	size := 1 << uint(bits)
+	labels := make([]bitstr.String, size)
+	var b bitstr.Builder
+	for i := 0; i < size; i++ {
+		b.Reset()
+		b.AppendUint(uint64(i), bits)
+		labels[i] = b.String()
+	}
+	gb := graph.NewBuilder(size)
+	for u := 0; u < size; u++ {
+		for v := u + 1; v < size; v++ {
+			adj, err := dec.Adjacent(labels[u], labels[v])
+			if err != nil {
+				continue // malformed label value: never produced by an encoder
+			}
+			if adj {
+				if err := gb.AddEdge(u, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return gb.Build(), nil
+}
+
+// LabelIndex returns the universal-graph vertex hosting the given label,
+// which must be exactly bits long.
+func LabelIndex(l bitstr.String, bits int) (int, error) {
+	if l.Len() != bits {
+		return 0, fmt.Errorf("universal: label has %d bits, universe uses %d", l.Len(), bits)
+	}
+	r := bitstr.NewReader(l)
+	v, err := r.ReadUint(bits)
+	if err != nil {
+		return 0, err
+	}
+	return int(v), nil
+}
+
+// VerifyEmbedding checks the defining property: mapping each vertex of g to
+// the universal-graph vertex of its label must give an induced-subgraph
+// embedding (adjacency preserved in both directions, labels distinct).
+func VerifyEmbedding(u *graph.Graph, lab *core.Labeling, g *graph.Graph, bits int) error {
+	n := g.N()
+	if lab.N() != n {
+		return fmt.Errorf("universal: labeling covers %d vertices, graph has %d", lab.N(), n)
+	}
+	idx := make([]int, n)
+	seen := make(map[int]int, n)
+	for v := 0; v < n; v++ {
+		l, err := lab.Label(v)
+		if err != nil {
+			return err
+		}
+		i, err := LabelIndex(l, bits)
+		if err != nil {
+			return err
+		}
+		if prev, dup := seen[i]; dup {
+			return fmt.Errorf("universal: vertices %d and %d share label index %d", prev, v, i)
+		}
+		seen[i] = v
+		if i >= u.N() {
+			return fmt.Errorf("universal: label index %d outside universe of %d", i, u.N())
+		}
+		idx[v] = i
+	}
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if g.HasEdge(x, y) != u.HasEdge(idx[x], idx[y]) {
+				return fmt.Errorf("universal: embedding breaks at pair (%d,%d): graph=%v universe=%v",
+					x, y, g.HasEdge(x, y), u.HasEdge(idx[x], idx[y]))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package universal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/schemes/tree"
+)
+
+func TestBuildRejectsHugeLabelSpace(t *testing.T) {
+	if _, err := Build(40, tree.NewDecoder(4)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := Build(-1, tree.NewDecoder(4)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("negative bits err = %v", err)
+	}
+}
+
+// buildForestUniverse builds the induced-universal graph for n-vertex
+// forests under the tree parent-pointer scheme.
+func buildForestUniverse(t *testing.T, n int) (*graph.Graph, int) {
+	t.Helper()
+	bits := 2 * bitstr.WidthFor(uint64(n))
+	u, err := Build(bits, tree.NewDecoder(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, bits
+}
+
+func embedCheck(t *testing.T, u *graph.Graph, bits int, f *graph.Graph, name string) {
+	t.Helper()
+	lab, err := (tree.Scheme{}).Encode(f)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := VerifyEmbedding(u, lab, f, bits); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestUniversalGraphForForests(t *testing.T) {
+	// n=8 forests: labels are 2·3 = 6 bits, universe has 64 vertices —
+	// the KNR 2^f(n) bound, here n² = 64.
+	n := 8
+	u, bits := buildForestUniverse(t, n)
+	if u.N() != 1<<uint(bits) {
+		t.Fatalf("universe has %d vertices, want %d", u.N(), 1<<uint(bits))
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		embedCheck(t, u, bits, gen.RandomTree(n, seed), "random tree")
+	}
+	embedCheck(t, u, bits, gen.Path(n), "path")
+	embedCheck(t, u, bits, gen.Star(n), "star")
+	embedCheck(t, u, bits, graph.Empty(n), "edgeless")
+
+	// A forest with two components and isolated vertices.
+	b := graph.NewBuilder(n)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {4, 5}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	embedCheck(t, u, bits, b.Build(), "two-component forest")
+}
+
+func TestUniversalGraphLargerFamily(t *testing.T) {
+	// n=16: 8-bit labels, 256-vertex universe.
+	n := 16
+	u, bits := buildForestUniverse(t, n)
+	for seed := int64(0); seed < 10; seed++ {
+		embedCheck(t, u, bits, gen.RandomTree(n, seed), "random tree 16")
+	}
+}
+
+func TestVerifyEmbeddingCatchesCorruption(t *testing.T) {
+	n := 8
+	u, bits := buildForestUniverse(t, n)
+	f := gen.Path(n)
+	lab, err := (tree.Scheme{}).Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against a DIFFERENT graph: must fail.
+	if err := VerifyEmbedding(u, lab, gen.Star(n), bits); err == nil {
+		t.Error("embedding of wrong graph accepted")
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	var b bitstr.Builder
+	b.AppendUint(0b1011, 4)
+	i, err := LabelIndex(b.String(), 4)
+	if err != nil || i != 0b1011 {
+		t.Errorf("LabelIndex = %d, %v", i, err)
+	}
+	if _, err := LabelIndex(b.String(), 6); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestUniversalEdgeSemantics(t *testing.T) {
+	// In the forest universe, label (id=a, parent=b) with a != b must be
+	// adjacent to any label whose id is b, and labels with equal ids are
+	// never adjacent.
+	n := 8
+	u, bits := buildForestUniverse(t, n)
+	w := bits / 2
+	mk := func(id, parent int) int { return id<<uint(w) | parent }
+	if !u.HasEdge(mk(2, 5), mk(5, 5)) {
+		t.Error("child (2←5) not adjacent to root 5")
+	}
+	if u.HasEdge(mk(3, 3), mk(3, 3)) {
+		t.Error("self pair adjacent")
+	}
+	if u.HasEdge(mk(1, 1), mk(2, 2)) {
+		t.Error("two roots adjacent")
+	}
+}
