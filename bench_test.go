@@ -99,6 +99,7 @@ func benchGraph(b *testing.B) *graph.Graph {
 func BenchmarkEncodePowerLaw(b *testing.B) {
 	g := benchGraph(b)
 	s := core.NewPowerLawScheme(2.5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Encode(g); err != nil {
@@ -110,6 +111,7 @@ func BenchmarkEncodePowerLaw(b *testing.B) {
 func BenchmarkEncodePowerLawParallel(b *testing.B) {
 	g := benchGraph(b)
 	s := core.NewPowerLawScheme(2.5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.EncodeParallel(g, 0); err != nil {
@@ -121,6 +123,7 @@ func BenchmarkEncodePowerLawParallel(b *testing.B) {
 func BenchmarkEncodeSparse(b *testing.B) {
 	g := benchGraph(b)
 	s := core.NewSparseSchemeAuto()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Encode(g); err != nil {
@@ -131,6 +134,7 @@ func BenchmarkEncodeSparse(b *testing.B) {
 
 func BenchmarkEncodeForest(b *testing.B) {
 	g := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (forest.Scheme{}).Encode(g); err != nil {
@@ -141,6 +145,7 @@ func BenchmarkEncodeForest(b *testing.B) {
 
 func BenchmarkEncodeOneQuery(b *testing.B) {
 	g := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (onequery.Scheme{Seed: 1}).Encode(g); err != nil {
@@ -154,6 +159,7 @@ func BenchmarkEncodeDistanceF3(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (distance.Scheme{Alpha: 2.5, F: 3}).Encode(g); err != nil {
@@ -188,6 +194,7 @@ func benchDecode(b *testing.B, s core.Scheme) {
 	}
 	pairs := queryPairs(g, 4096)
 	b.ReportMetric(float64(lab.Stats().Max), "maxlabelbits")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
@@ -195,6 +202,68 @@ func benchDecode(b *testing.B, s core.Scheme) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchEngine builds the zero-allocation query engine over the compacted
+// Theorem 4 labeling on the shared power-law workload.
+func benchEngine(b *testing.B) (*core.QueryEngine, [][2]int) {
+	b.Helper()
+	g := benchGraph(b)
+	lab, err := core.NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewQueryEngine(lab.Compact())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, queryPairs(g, 4096)
+}
+
+// BenchmarkQueryEngineAdjacent must report 0 allocs/op: the engine's hot
+// path is pure word-addressed probes into the arena slab.
+func BenchmarkQueryEngineAdjacent(b *testing.B) {
+	eng, pairs := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := eng.Adjacent(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEngineAdjacentMany answers the whole 4096-pair batch per
+// iteration into a reused result slice — also 0 allocs/op.
+func BenchmarkQueryEngineAdjacentMany(b *testing.B) {
+	eng, pairs := benchEngine(b)
+	out := make([]bool, 0, len(pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = eng.AdjacentMany(pairs, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pairs)), "ns/query")
+}
+
+func BenchmarkQueryEngineAdjacentManyParallel(b *testing.B) {
+	eng, pairs := benchEngine(b)
+	out := make([]bool, 0, len(pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = eng.AdjacentManyParallel(pairs, out[:0], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pairs)), "ns/query")
 }
 
 func BenchmarkDecodePowerLaw(b *testing.B) { benchDecode(b, core.NewPowerLawScheme(2.5)) }
@@ -211,6 +280,7 @@ func BenchmarkDecodeOneQuery(b *testing.B) {
 		b.Fatal(err)
 	}
 	pairs := queryPairs(g, 4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
@@ -230,6 +300,7 @@ func BenchmarkDecodeDistanceF3(b *testing.B) {
 		b.Fatal(err)
 	}
 	pairs := queryPairs(g, 4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := pairs[i%len(pairs)]
@@ -244,6 +315,7 @@ func BenchmarkDecodeDistanceF3(b *testing.B) {
 // ---------------------------------------------------------------------------
 
 func BenchmarkZeta(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := powerlaw.Zeta(2.5); err != nil {
 			b.Fatal(err)
@@ -256,6 +328,7 @@ func BenchmarkFKSBuild(b *testing.B) {
 	for i := range keys {
 		keys[i] = uint64(i)*2654435761 + 99
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hashing.Build(keys, int64(i)); err != nil {
@@ -265,6 +338,7 @@ func BenchmarkFKSBuild(b *testing.B) {
 }
 
 func BenchmarkChungLuGenerate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.ChungLuPowerLaw(1<<14, 2.5, 2, int64(i)); err != nil {
 			b.Fatal(err)
@@ -273,6 +347,7 @@ func BenchmarkChungLuGenerate(b *testing.B) {
 }
 
 func BenchmarkBAGenerate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.BarabasiAlbert(1<<14, 3, int64(i)); err != nil {
 			b.Fatal(err)
@@ -286,6 +361,7 @@ func BenchmarkPlEmbed(b *testing.B) {
 		b.Fatal(err)
 	}
 	h := gen.ErdosRenyi(p.I1, 0.5, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.PlEmbed(p, h); err != nil {

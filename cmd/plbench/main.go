@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -33,9 +35,36 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 20160711, "generator seed")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		format     = fs.String("format", "table", "output format: table | csv")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "plbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 	if *list {
 		for _, r := range experiments.All() {

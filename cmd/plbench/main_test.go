@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +27,29 @@ func TestRunBadFormat(t *testing.T) {
 func TestRunOneExperimentCSV(t *testing.T) {
 	if err := run([]string{"-experiment", "E13", "-quick", "-format", "csv"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-experiment", "E13", "-quick", "-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunBadProfilePath(t *testing.T) {
+	if err := run([]string{"-experiment", "E13", "-quick", "-cpuprofile", "/nonexistent/dir/cpu.pprof"}); err == nil {
+		t.Error("unwritable cpuprofile path accepted")
 	}
 }

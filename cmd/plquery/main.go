@@ -7,6 +7,11 @@
 //	pllabel -scheme auto -in graph.el -o labels.pllb
 //	plquery -labels labels.pllb            # interactive: "u v" per line
 //	echo "3 17" | plquery -labels labels.pllb
+//	plquery -labels labels.pllb -batch -workers 8 < pairs.txt
+//
+// For fat/thin label stores, queries are served by the pre-parsed
+// zero-allocation core.QueryEngine; -batch reads all pairs up front and
+// answers them in one (optionally sharded-parallel) batch call.
 package main
 
 import (
@@ -35,6 +40,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var (
 		labelsPath = fs.String("labels", "", "label store file (required)")
 		stats      = fs.Bool("stats", false, "print store statistics and exit")
+		batch      = fs.Bool("batch", false, "read all pairs, answer as one batch")
+		workers    = fs.Int("workers", 1, "batch shards (0 = GOMAXPROCS); needs -batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +80,30 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	}
 
+	// Fat/thin stores are served through the pre-parsed zero-allocation
+	// query engine; other layouts (and stores whose labels the engine
+	// rejects at build time) fall back to the per-query decoder.
+	var eng *core.QueryEngine
+	if _, ok := dec.(*core.FatThinDecoder); ok {
+		if e, err := core.NewQueryEngineFromLabels(store.Labels); err == nil {
+			eng = e
+		}
+	}
+	answer := func(u, v int) (bool, error) {
+		if eng != nil {
+			return eng.Adjacent(u, v)
+		}
+		return dec.Adjacent(store.Labels[u], store.Labels[v])
+	}
+
+	// Each input line becomes one output line, in order: either a
+	// preformatted parse error or the index of a pending query.
+	type entry struct {
+		text    string // non-empty: emit verbatim
+		pairIdx int
+	}
+	var entries []entry
+	var pairs [][2]int
 	sc := bufio.NewScanner(stdin)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -81,23 +112,66 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
-			fmt.Fprintf(stdout, "error: want \"u v\", got %q\n", line)
-			continue
+			entries = append(entries, entry{text: fmt.Sprintf("error: want \"u v\", got %q", line)})
+		} else {
+			u, err1 := strconv.Atoi(fields[0])
+			v, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil || u < 0 || u >= store.N() || v < 0 || v >= store.N() {
+				entries = append(entries, entry{text: fmt.Sprintf("error: invalid vertex pair %q (n=%d)", line, store.N())})
+			} else {
+				entries = append(entries, entry{pairIdx: len(pairs)})
+				pairs = append(pairs, [2]int{u, v})
+			}
 		}
-		u, err1 := strconv.Atoi(fields[0])
-		v, err2 := strconv.Atoi(fields[1])
-		if err1 != nil || err2 != nil || u < 0 || u >= store.N() || v < 0 || v >= store.N() {
-			fmt.Fprintf(stdout, "error: invalid vertex pair %q (n=%d)\n", line, store.N())
-			continue
+		if !*batch {
+			// Streaming mode: answer and flush line by line.
+			e := entries[0]
+			entries = entries[:0]
+			if e.text != "" {
+				fmt.Fprintln(stdout, e.text)
+				continue
+			}
+			p := pairs[0]
+			pairs = pairs[:0]
+			adj, err := answer(p[0], p[1])
+			if err != nil {
+				fmt.Fprintf(stdout, "error: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%d %d %v\n", p[0], p[1], adj)
 		}
-		adj, err := dec.Adjacent(store.Labels[u], store.Labels[v])
-		if err != nil {
-			fmt.Fprintf(stdout, "error: %v\n", err)
-			continue
-		}
-		fmt.Fprintf(stdout, "%d %d %v\n", u, v, adj)
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !*batch {
+		return nil
+	}
+	results := make([]bool, 0, len(pairs))
+	if eng != nil {
+		results, err = eng.AdjacentManyParallel(pairs, results, *workers)
+	} else {
+		for _, p := range pairs {
+			adj, aerr := answer(p[0], p[1])
+			if aerr != nil {
+				err = aerr
+				break
+			}
+			results = append(results, adj)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.text != "" {
+			fmt.Fprintln(stdout, e.text)
+			continue
+		}
+		p := pairs[e.pairIdx]
+		fmt.Fprintf(stdout, "%d %d %v\n", p[0], p[1], results[e.pairIdx])
+	}
+	return nil
 }
 
 // decoderFor maps stored scheme names to their label-pair decoders.

@@ -121,3 +121,26 @@ func TestDecoderFor(t *testing.T) {
 		t.Error("unknown scheme accepted")
 	}
 }
+
+// TestQueryBatchMode: -batch must produce exactly the streaming output
+// (same lines, same order, parse errors interleaved), for both serial and
+// sharded-parallel batch answering.
+func TestQueryBatchMode(t *testing.T) {
+	path, _ := storeFixture(t)
+	input := "garbage\n0 1\n2 3\n0 999\n4 5\n# c\n6 7\n"
+	var want bytes.Buffer
+	if err := run([]string{"-labels", path}, strings.NewReader(input), &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"1", "4", "0"} {
+		var got bytes.Buffer
+		if err := run([]string{"-labels", path, "-batch", "-workers", workers},
+			strings.NewReader(input), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("workers=%s: batch output differs\nbatch:\n%s\nstreaming:\n%s",
+				workers, got.String(), want.String())
+		}
+	}
+}

@@ -49,6 +49,42 @@ func (s String) Bit(i int) (bool, error) {
 	return s.data[i>>3]&(1<<(7-uint(i&7))) != 0, nil
 }
 
+// PeekUint reads w bits starting at bit offset i (MSB first) without a
+// Reader — the allocation-free fast path used by query engines that probe
+// word-sized fields at computed offsets. w must be in [0, 64] and the range
+// [i, i+w) must lie inside the string.
+func (s String) PeekUint(i, w int) (uint64, error) {
+	if w < 0 || w > 64 {
+		return 0, fmt.Errorf("%w: width %d", ErrMalformed, w)
+	}
+	if i < 0 || i+w > s.n {
+		return 0, fmt.Errorf("%w: bits [%d,%d) of %d", ErrOutOfBounds, i, i+w, s.n)
+	}
+	return s.peek64(i, w), nil
+}
+
+// MustPeekUint is PeekUint for callers that have already bounds-checked
+// [i, i+w) against Len(); out-of-range offsets cause a panic or garbage
+// bits rather than an error.
+func (s String) MustPeekUint(i, w int) uint64 {
+	return s.peek64(i, w)
+}
+
+// Wrap builds a String that views data directly — no copy — so many labels
+// can share one contiguous arena slab. len(data) must be exactly
+// ceil(nBits/8). Wrap zeroes the padding bits of the final byte in place
+// (so Equal and lexicographic byte comparison behave as for built strings);
+// the caller must not modify data afterwards.
+func Wrap(data []byte, nBits int) (String, error) {
+	if nBits < 0 || len(data) != (nBits+7)>>3 {
+		return String{}, fmt.Errorf("%w: %d bytes for %d bits", ErrMalformed, len(data), nBits)
+	}
+	if pad := nBits & 7; pad != 0 {
+		data[len(data)-1] &= byte(0xFF) << (8 - pad)
+	}
+	return String{data: data, n: nBits}, nil
+}
+
 // Equal reports whether two bit strings have identical length and content.
 func (s String) Equal(t String) bool {
 	if s.n != t.n {

@@ -458,3 +458,108 @@ func BenchmarkReadUint17(b *testing.B) {
 		}
 	}
 }
+
+func TestPeekUintMatchesReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var b Builder
+	for i := 0; i < 500; i++ {
+		b.AppendUint(rng.Uint64(), 1+rng.Intn(64))
+	}
+	s := b.String()
+	r := NewReader(s)
+	for trial := 0; trial < 5000; trial++ {
+		w := rng.Intn(65)
+		if w > s.Len() {
+			w = s.Len()
+		}
+		i := rng.Intn(s.Len() - w + 1)
+		if err := r.Seek(i); err != nil {
+			t.Fatal(err)
+		}
+		want, err := r.ReadUint(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.PeekUint(i, w)
+		if err != nil {
+			t.Fatalf("PeekUint(%d,%d): %v", i, w, err)
+		}
+		if got != want {
+			t.Fatalf("PeekUint(%d,%d) = %#x, Reader = %#x", i, w, got, want)
+		}
+		if m := s.MustPeekUint(i, w); m != want {
+			t.Fatalf("MustPeekUint(%d,%d) = %#x, Reader = %#x", i, w, m, want)
+		}
+	}
+}
+
+func TestPeekUintBounds(t *testing.T) {
+	var b Builder
+	b.AppendUint(0xAB, 8)
+	s := b.String()
+	for _, c := range []struct{ i, w int }{{-1, 4}, {5, 4}, {0, 9}, {0, 65}, {8, 1}} {
+		if _, err := s.PeekUint(c.i, c.w); err == nil {
+			t.Errorf("PeekUint(%d,%d) succeeded, want error", c.i, c.w)
+		}
+	}
+	if v, err := s.PeekUint(8, 0); err != nil || v != 0 {
+		t.Errorf("PeekUint(8,0) = %d,%v, want 0,nil", v, err)
+	}
+}
+
+func TestWrapViewsAndMasksPadding(t *testing.T) {
+	// 13 bits over 2 bytes; the low 3 bits of the second byte are padding
+	// and must be zeroed in place by Wrap.
+	data := []byte{0b10110100, 0b11111111}
+	s, err := Wrap(data, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 13 {
+		t.Fatalf("Len = %d, want 13", s.Len())
+	}
+	if data[1] != 0b11111000 {
+		t.Fatalf("padding not masked: %#08b", data[1])
+	}
+	var b Builder
+	b.AppendUint(0b1011010011111, 13)
+	if !s.Equal(b.String()) {
+		t.Fatalf("wrapped = %v, want %v", s, b.String())
+	}
+	// Views share the underlying bytes: no copy.
+	if &data[0] != &s.Bytes()[0] {
+		t.Fatal("Wrap copied the data")
+	}
+	// Length mismatches are rejected.
+	if _, err := Wrap(data, 17); err == nil {
+		t.Error("Wrap accepted 2 bytes for 17 bits")
+	}
+	if _, err := Wrap(data, -1); err == nil {
+		t.Error("Wrap accepted negative length")
+	}
+	if empty, err := Wrap(nil, 0); err != nil || empty.Len() != 0 {
+		t.Errorf("Wrap(nil,0) = %v,%v", empty, err)
+	}
+}
+
+func TestVectorReset(t *testing.T) {
+	v := NewVector(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		v.Set(i)
+	}
+	v.BuildRank()
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", v.Count())
+	}
+	v.Reset()
+	if v.Count() != 0 || v.Len() != 130 {
+		t.Fatalf("after Reset: count=%d len=%d", v.Count(), v.Len())
+	}
+	if v.Rank(130) != 0 {
+		t.Fatalf("Rank after Reset = %d, want 0", v.Rank(130))
+	}
+	v.Set(7)
+	if !v.Get(7) || v.Count() != 1 {
+		t.Fatal("vector unusable after Reset")
+	}
+}

@@ -53,6 +53,15 @@ func VectorFromString(s String, offset, n int) (*Vector, error) {
 // Len returns the number of bits.
 func (v *Vector) Len() int { return v.n }
 
+// Reset zeroes every bit, retaining the allocated words. Encoders reuse one
+// vector across vertices instead of allocating per label.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	v.rank = nil
+}
+
 // Set sets bit i to 1.
 func (v *Vector) Set(i int) {
 	v.words[i>>6] |= 1 << (63 - uint(i&63))

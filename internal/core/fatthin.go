@@ -260,10 +260,20 @@ func encodeFatThin(name string, g *graph.Graph, tau int) (*Labeling, error) {
 		return NewLabeling(name, labels, &FatThinDecoder{n: n, w: w}), nil
 	}
 
-	// Assign identifiers: fat vertices (degree >= tau) get 0..k-1 by
-	// decreasing degree; thin vertices get k..n-1.
-	id := make([]int, n)
-	k := 0
+	id, k := assignFatThinIDs(g, tau)
+	labels := make([]bitstr.String, n)
+	buildFatThinRange(g, id, k, w, 0, n, labels, newFatThinScratch(k))
+	return NewLabeling(name, labels, &FatThinDecoder{n: n, w: w}), nil
+}
+
+// assignFatThinIDs computes the identifier table shared by the sequential
+// and parallel encoders: fat vertices (degree >= tau) receive 0..k-1 in
+// order of decreasing degree, thin vertices receive k..n-1 in the same
+// degree order. Keeping this in one place guarantees the two encoders can
+// never drift apart on layout.
+func assignFatThinIDs(g *graph.Graph, tau int) (id []int, k int) {
+	n := g.N()
+	id = make([]int, n)
 	order := g.VerticesByDegreeDesc()
 	for _, v := range order {
 		if g.Degree(v) >= tau {
@@ -278,37 +288,54 @@ func encodeFatThin(name string, g *graph.Graph, tau int) (*Labeling, error) {
 			next++
 		}
 	}
+	return id, k
+}
 
-	labels := make([]bitstr.String, n)
-	var b bitstr.Builder
-	nbr := make([]int, 0, 64)
-	for v := 0; v < n; v++ {
-		b.Reset()
+// fatThinScratch pools the per-vertex working buffers of label
+// construction: the bit builder, the k-bit fat adjacency vector, and the
+// neighbor-id sort buffer. One scratch serves an entire vertex range, so
+// the only allocation left per vertex is the label itself.
+type fatThinScratch struct {
+	b   bitstr.Builder
+	vec *bitstr.Vector
+	nbr []int
+}
+
+func newFatThinScratch(k int) *fatThinScratch {
+	return &fatThinScratch{vec: bitstr.NewVector(k), nbr: make([]int, 0, 64)}
+}
+
+// buildFatThinRange writes the labels of vertices [lo, hi) into labels,
+// using the shared identifier table and the caller's scratch buffers. It is
+// the single label-layout implementation behind both Encode and
+// EncodeParallel.
+func buildFatThinRange(g *graph.Graph, id []int, k, w, lo, hi int, labels []bitstr.String, sc *fatThinScratch) {
+	for v := lo; v < hi; v++ {
+		sc.b.Reset()
 		if id[v] < k { // fat
-			b.AppendBit(true)
-			b.AppendUint(uint64(id[v]), w)
-			vec := bitstr.NewVector(k)
+			sc.b.AppendBit(true)
+			sc.b.AppendUint(uint64(id[v]), w)
+			sc.vec.Reset()
 			for _, u := range g.Neighbors(v) {
 				if uid := id[u]; uid < k {
-					vec.Set(uid)
+					sc.vec.Set(uid)
 				}
 			}
-			vec.Append(&b)
+			sc.vec.Append(&sc.b)
 		} else { // thin: neighbor ids sorted, enabling O(log n) binary search
-			b.AppendBit(false)
-			b.AppendUint(uint64(id[v]), w)
-			nbr = nbr[:0]
+			sc.b.AppendBit(false)
+			sc.b.AppendUint(uint64(id[v]), w)
+			sc.nbr = sc.nbr[:0]
 			for _, u := range g.Neighbors(v) {
-				nbr = append(nbr, id[u])
+				sc.nbr = append(sc.nbr, id[u])
 			}
-			sort.Ints(nbr)
-			for _, u := range nbr {
-				b.AppendUint(uint64(u), w)
+			sort.Ints(sc.nbr)
+			for _, u := range sc.nbr {
+				sc.b.AppendUint(uint64(u), w)
 			}
 		}
-		labels[v] = b.String()
+		labels[v] = sc.b.String()
 	}
-	return NewLabeling(name, labels, &FatThinDecoder{n: n, w: w}), nil
 }
 
 // FatThinDecoder answers adjacency queries for fat/thin labels. It depends

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/bitstr"
@@ -33,23 +32,7 @@ func (s *FatThinScheme) EncodeParallel(g *graph.Graph, workers int) (*Labeling, 
 	}
 	w := bitstr.WidthFor(uint64(n))
 
-	id := make([]int, n)
-	k := 0
-	order := g.VerticesByDegreeDesc()
-	for _, v := range order {
-		if g.Degree(v) >= tau {
-			id[v] = k
-			k++
-		}
-	}
-	next := k
-	for _, v := range order {
-		if g.Degree(v) < tau {
-			id[v] = next
-			next++
-		}
-	}
-
+	id, k := assignFatThinIDs(g, tau)
 	labels := make([]bitstr.String, n)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -61,36 +44,9 @@ func (s *FatThinScheme) EncodeParallel(g *graph.Graph, workers int) (*Labeling, 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			var b bitstr.Builder
-			nbr := make([]int, 0, 64)
-			for v := lo; v < hi; v++ {
-				b.Reset()
-				if id[v] < k {
-					b.AppendBit(true)
-					b.AppendUint(uint64(id[v]), w)
-					vec := bitstr.NewVector(k)
-					for _, u := range g.Neighbors(v) {
-						if uid := id[u]; uid < k {
-							vec.Set(uid)
-						}
-					}
-					vec.Append(&b)
-				} else {
-					// Sorted ids, identical to the sequential encoder's
-					// binary-searchable layout.
-					b.AppendBit(false)
-					b.AppendUint(uint64(id[v]), w)
-					nbr = nbr[:0]
-					for _, u := range g.Neighbors(v) {
-						nbr = append(nbr, id[u])
-					}
-					sort.Ints(nbr)
-					for _, u := range nbr {
-						b.AppendUint(uint64(u), w)
-					}
-				}
-				labels[v] = b.String()
-			}
+			// Per-worker scratch; the shared range builder guarantees a
+			// layout identical to the sequential encoder's.
+			buildFatThinRange(g, id, k, w, lo, hi, labels, newFatThinScratch(k))
 		}(start, end)
 	}
 	wg.Wait()

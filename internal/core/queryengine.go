@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitstr"
+)
+
+// QueryEngine is the serving-path counterpart of FatThinDecoder: it is built
+// once from a complete fat/thin labeling, pre-parses every label's header
+// (fat bit, identifier, body length) into flat slices, and relocates every
+// label body into one word-aligned uint64 arena. A query is then a handful
+// of word-addressed probes into the arena — at most two word loads and a
+// shift per probe, zero heap allocations, no Reader, no re-parsing. Labels
+// are validated once at construction, so the hot path never errors on
+// well-formed inputs.
+//
+// A QueryEngine is immutable after construction and safe for concurrent use
+// by any number of goroutines.
+type QueryEngine struct {
+	n int // number of vertices
+	w int // identifier width: ceil(log2 n)
+	// meta holds the flat pre-parsed headers, one entry per vertex, packed
+	// so a query touches a single cache line per endpoint.
+	meta []vertexMeta
+	// words is the arena: each vertex's label body (neighbor ids or fat
+	// vector) starts at bit offset meta[v].off, which is 64-bit aligned.
+	words []uint64
+}
+
+// vertexMeta is one label's pre-parsed header.
+type vertexMeta struct {
+	off int64  // arena bit offset of the body
+	id  uint64 // the vertex's own identifier
+	// cnt is the body size in body units: for thin labels the number of
+	// neighbor identifiers, for fat labels the vector length in bits.
+	cnt int32
+	fat bool
+}
+
+// NewQueryEngine builds an engine over a labeling produced by any scheme
+// using the fat/thin label layout (FatThinScheme, baseline.NeighborList).
+// Labels are validated once here; malformed labels that FatThinDecoder
+// would reject at query time are rejected at build time instead.
+func NewQueryEngine(lab *Labeling) (*QueryEngine, error) {
+	return NewQueryEngineFromLabels(lab.labels)
+}
+
+// NewQueryEngineFromLabels builds an engine directly over per-vertex labels
+// in the fat/thin layout, e.g. from a labelstore.File. The identifier width
+// is ceil(log2 len(labels)), exactly as for NewFatThinDecoder.
+func NewQueryEngineFromLabels(labels []bitstr.String) (*QueryEngine, error) {
+	n := len(labels)
+	w := bitstr.WidthFor(uint64(n))
+	header := 1 + w
+	e := &QueryEngine{
+		n:    n,
+		w:    w,
+		meta: make([]vertexMeta, n),
+	}
+	// Pass 1: validate headers and size the arena (bodies word-aligned).
+	totalWords := 0
+	for v, s := range labels {
+		if s.Len() < header {
+			return nil, fmt.Errorf("%w: label %d has %d bits, header needs %d", ErrBadLabel, v, s.Len(), header)
+		}
+		m := &e.meta[v]
+		m.fat = s.MustPeekUint(0, 1) == 1
+		m.id = s.MustPeekUint(1, w)
+		body := s.Len() - header
+		switch {
+		case m.fat:
+			m.cnt = int32(body)
+		case w == 0:
+			m.cnt = 0
+		default:
+			if body%w != 0 {
+				return nil, fmt.Errorf("%w: label %d: thin body %d bits not a multiple of id width %d",
+					ErrBadLabel, v, body, w)
+			}
+			m.cnt = int32(body / w)
+		}
+		totalWords += (body + 63) >> 6
+	}
+	// Pass 2: copy bodies into the arena, MSB-first within each word to
+	// match the label bit order.
+	e.words = make([]uint64, totalWords)
+	word := 0
+	for v, s := range labels {
+		e.meta[v].off = int64(word) << 6
+		body := s.Len() - header
+		for i := 0; i < body; i += 64 {
+			chunk := body - i
+			if chunk > 64 {
+				chunk = 64
+			}
+			e.words[word] = s.MustPeekUint(header+i, chunk) << (64 - uint(chunk))
+			word++
+		}
+	}
+	return e, nil
+}
+
+// readBits returns w (1..64) bits of the arena starting at bit offset off,
+// MSB first. Bodies are word-aligned and probes stay inside their body, so
+// a probe spans at most two adjacent in-bounds words. Small enough for the
+// compiler to inline into the search loops.
+func readBits(words []uint64, off int64, w int) uint64 {
+	i := off >> 6
+	sh := uint(off & 63)
+	v := words[i] << sh
+	if sh+uint(w) > 64 {
+		v |= words[i+1] >> (64 - sh)
+	}
+	return v >> (64 - uint(w))
+}
+
+// N returns the number of vertices the engine serves.
+func (e *QueryEngine) N() int { return e.n }
+
+// Adjacent answers an adjacency query between vertices u and v. It is
+// allocation-free and answers bit-for-bit identically to
+// FatThinDecoder.Adjacent over the same labels.
+func (e *QueryEngine) Adjacent(u, v int) (bool, error) {
+	if uint(u) >= uint(e.n) || uint(v) >= uint(e.n) {
+		return false, fmt.Errorf("%w: (%d,%d) of %d", ErrVertexRange, u, v, e.n)
+	}
+	mu, mv := &e.meta[u], &e.meta[v]
+	if mu.id == mv.id {
+		// Same vertex: never self-adjacent in a simple graph.
+		return false, nil
+	}
+	switch {
+	case !mu.fat:
+		return e.thinProbe(mu, mv.id), nil
+	case !mv.fat:
+		return e.thinProbe(mv, mu.id), nil
+	default:
+		// Both fat: bit mv.id of u's adjacency vector.
+		if mv.id >= uint64(mu.cnt) {
+			return false, fmt.Errorf("%w: fat id %d outside vector of %d bits", ErrBadLabel, mv.id, mu.cnt)
+		}
+		return readBits(e.words, mu.off+int64(mv.id), 1) == 1, nil
+	}
+}
+
+// thinProbe binary-searches thin vertex u's sorted neighbor-id list for
+// target — the O(log n) decode of Theorems 3/4, with each probe at most two
+// word loads at a computed arena offset. Bounds were validated at build
+// time.
+func (e *QueryEngine) thinProbe(m *vertexMeta, target uint64) bool {
+	w := e.w
+	if w == 0 {
+		return false
+	}
+	words, base := e.words, m.off
+	lo, hi := 0, int(m.cnt)-1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		got := readBits(words, base+int64(mid*w), w)
+		switch {
+		case got == target:
+			return true
+		case got < target:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return false
+}
+
+// AdjacentMany answers a batch of queries, appending one result per pair to
+// out and returning the extended slice. Passing an out slice with capacity
+// for len(pairs) results makes the whole batch allocation-free. It stops at
+// the first failing query.
+func (e *QueryEngine) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
+	for _, p := range pairs {
+		ok, err := e.Adjacent(p[0], p[1])
+		if err != nil {
+			return out, fmt.Errorf("core: query (%d,%d): %w", p[0], p[1], err)
+		}
+		out = append(out, ok)
+	}
+	return out, nil
+}
+
+// AdjacentManyParallel shards a batch across workers goroutines (workers
+// <= 0 selects GOMAXPROCS) and answers each shard with the allocation-free
+// single-query path. Results are returned in pair order. The engine itself
+// is read-only, so shards share it without synchronization; the only
+// coordination is the final join.
+func (e *QueryEngine) AdjacentManyParallel(pairs [][2]int, out []bool, workers int) ([]bool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		return e.AdjacentMany(pairs, out)
+	}
+	start := len(out)
+	if need := start + len(pairs); cap(out) >= need {
+		out = out[:need]
+	} else {
+		grown := make([]bool, need)
+		copy(grown, out)
+		out = grown
+	}
+	res := out[start:]
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				ok, err := e.Adjacent(pairs[i][0], pairs[i][1])
+				if err != nil {
+					errs[wi] = fmt.Errorf("core: query (%d,%d): %w", pairs[i][0], pairs[i][1], err)
+					return
+				}
+				res[i] = ok
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out[:start], err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/gen"
+)
+
+// TestQueryEngineEquivalence checks that the engine answers bit-for-bit
+// identically to FatThinDecoder on every ordered pair of every test graph,
+// for every scheme, for both the plain and the compacted labeling.
+func TestQueryEngineEquivalence(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, s := range schemesUnderTest() {
+			lab, err := s.Encode(g)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", name, s.Name(), err)
+			}
+			eng, err := NewQueryEngine(lab)
+			if err != nil {
+				t.Fatalf("%s/%s: engine: %v", name, s.Name(), err)
+			}
+			if eng.N() != lab.N() {
+				t.Fatalf("%s/%s: engine N=%d, labeling N=%d", name, s.Name(), eng.N(), lab.N())
+			}
+			for u := 0; u < g.N(); u++ {
+				for v := 0; v < g.N(); v++ {
+					want, werr := lab.Adjacent(u, v)
+					got, gerr := eng.Adjacent(u, v)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("%s/%s: (%d,%d): decoder err=%v, engine err=%v",
+							name, s.Name(), u, v, werr, gerr)
+					}
+					if werr == nil && got != want {
+						t.Fatalf("%s/%s: (%d,%d): decoder=%v, engine=%v",
+							name, s.Name(), u, v, want, got)
+					}
+				}
+			}
+			// Compacting the labeling must not change a single answer.
+			ceng, err := NewQueryEngine(lab.Compact())
+			if err != nil {
+				t.Fatalf("%s/%s: engine after Compact: %v", name, s.Name(), err)
+			}
+			for u := 0; u < g.N(); u++ {
+				for v := u; v < g.N(); v++ {
+					want, werr := eng.Adjacent(u, v)
+					got, gerr := ceng.Adjacent(u, v)
+					if werr != nil || gerr != nil || got != want {
+						t.Fatalf("%s/%s: compact (%d,%d): %v/%v vs %v/%v",
+							name, s.Name(), u, v, want, werr, got, gerr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryEngineSampledLargeGraph checks engine-vs-decoder agreement on
+// sampled pairs of a graph above the exhaustive-verification limit.
+func TestQueryEngineSampledLargeGraph(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(4000, 2.5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab.Compact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	check := func(u, v int) {
+		want, werr := lab.Adjacent(u, v)
+		got, gerr := eng.Adjacent(u, v)
+		if werr != nil || gerr != nil || got != want {
+			t.Fatalf("(%d,%d): decoder=%v/%v engine=%v/%v", u, v, want, werr, got, gerr)
+		}
+	}
+	g.Edges(func(u, v int) { check(u, v); check(v, u) })
+	for i := 0; i < 20000; i++ {
+		check(rng.Intn(g.N()), rng.Intn(g.N()))
+	}
+}
+
+// TestQueryEngineMalformedLabels: labels FatThinDecoder rejects at query
+// time are rejected by the engine at build time, with the same sentinel.
+func TestQueryEngineMalformedLabels(t *testing.T) {
+	g := gen.Star(50)
+	lab, err := NewFixedThresholdScheme(3).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]bitstr.String, lab.N())
+	for v := range labels {
+		l, err := lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels[v] = l
+	}
+	w := bitstr.WidthFor(uint64(len(labels)))
+
+	corrupt := func(name string, mutate func([]bitstr.String)) {
+		bad := append([]bitstr.String(nil), labels...)
+		mutate(bad)
+		if _, err := NewQueryEngineFromLabels(bad); !errors.Is(err, ErrBadLabel) {
+			t.Errorf("%s: engine build err = %v, want ErrBadLabel", name, err)
+		}
+	}
+	// Truncated header: too short for even the fat bit + id.
+	corrupt("short-header", func(bad []bitstr.String) {
+		var b bitstr.Builder
+		b.AppendUint(1, w/2)
+		bad[3] = b.String()
+	})
+	// Thin body not a multiple of the id width — the same corruption
+	// FatThinDecoder reports at query time.
+	var b bitstr.Builder
+	b.AppendBit(false)
+	b.AppendUint(7, w)
+	b.AppendUint(1, w+1)
+	oddThin := b.String()
+	corrupt("ragged-thin-body", func(bad []bitstr.String) { bad[5] = oddThin })
+	dec := NewFatThinDecoder(len(labels))
+	if _, err := dec.Adjacent(oddThin, labels[0]); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("decoder on ragged thin body: err = %v, want ErrBadLabel", err)
+	}
+}
+
+func TestQueryEngineVertexRange(t *testing.T) {
+	lab, err := NewFixedThresholdScheme(2).Encode(gen.Path(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][2]int{{-1, 0}, {0, -1}, {10, 0}, {0, 10}} {
+		if _, err := eng.Adjacent(p[0], p[1]); !errors.Is(err, ErrVertexRange) {
+			t.Errorf("Adjacent(%d,%d) err = %v, want ErrVertexRange", p[0], p[1], err)
+		}
+	}
+	if _, err := eng.AdjacentMany([][2]int{{0, 1}, {0, 99}}, nil); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("AdjacentMany err = %v, want ErrVertexRange", err)
+	}
+	if _, err := eng.AdjacentManyParallel(make([][2]int, 64), nil, 4); err != nil {
+		// all-zero pairs are valid (0,0) queries
+		t.Errorf("AdjacentManyParallel err = %v", err)
+	}
+}
+
+// TestQueryEngineBatchDrivers checks the batch and sharded-parallel paths
+// against the single-query path, including result ordering and out-slice
+// reuse, and exercises concurrent use of one engine (run with -race).
+func TestQueryEngineBatchDrivers(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(1200, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab.Compact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([][2]int, 5000)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(g.N()), rng.Intn(g.N())}
+	}
+	want := make([]bool, len(pairs))
+	for i, p := range pairs {
+		ok, err := eng.Adjacent(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ok
+	}
+	batch, err := eng.AdjacentMany(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if batch[i] != want[i] {
+			t.Fatalf("AdjacentMany[%d] = %v, want %v", i, batch[i], want[i])
+		}
+	}
+	// Concurrent parallel batches over the same shared engine.
+	var wg sync.WaitGroup
+	for job := 0; job < 4; job++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			out := make([]bool, 0, len(pairs))
+			out, err := eng.AdjacentManyParallel(pairs, out, workers)
+			if err != nil {
+				t.Errorf("parallel(%d): %v", workers, err)
+				return
+			}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Errorf("parallel(%d)[%d] = %v, want %v", workers, i, out[i], want[i])
+					return
+				}
+			}
+		}(1 + job)
+	}
+	wg.Wait()
+	// Reused out slice with spare capacity must not reallocate results.
+	out := make([]bool, 0, len(pairs))
+	out, err = eng.AdjacentManyParallel(pairs, out[:0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(pairs) {
+		t.Fatalf("parallel out len = %d, want %d", len(out), len(pairs))
+	}
+}
+
+// TestCompactPreservesLabels: Compact must keep every label bit-identical,
+// stay idempotent, and leave Verify green.
+func TestCompactPreservesLabels(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(600, 2.5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]bitstr.String, lab.N())
+	for v := range before {
+		l, _ := lab.Label(v)
+		before[v] = l
+	}
+	statsBefore := lab.Stats()
+	if lab.Compact() != lab {
+		t.Fatal("Compact must return the receiver")
+	}
+	lab.Compact() // idempotent
+	for v := range before {
+		after, _ := lab.Label(v)
+		if !after.Equal(before[v]) {
+			t.Fatalf("label %d changed after Compact", v)
+		}
+	}
+	if lab.Stats() != statsBefore {
+		t.Fatal("Stats changed after Compact")
+	}
+	if err := lab.Verify(g); err != nil {
+		t.Fatalf("Verify after Compact: %v", err)
+	}
+}
+
+func TestStatsMemoized(t *testing.T) {
+	lab, err := NewFixedThresholdScheme(2).Encode(gen.Star(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := lab.Stats()
+	for i := 0; i < 3; i++ {
+		if got := lab.Stats(); got != first {
+			t.Fatalf("Stats call %d = %+v, want %+v", i, got, first)
+		}
+	}
+	if first.Total == 0 || first.Max < first.Min {
+		t.Fatalf("implausible stats: %+v", first)
+	}
+}

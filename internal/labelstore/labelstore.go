@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strconv"
 
@@ -147,7 +148,16 @@ func Read(r io.Reader) (*File, error) {
 	if n > maxLabels {
 		return nil, fmt.Errorf("%w: %d labels", ErrFormat, n)
 	}
-	labels := make([]bitstr.String, n)
+	// Arena decode: all label payloads land in one contiguous slab and the
+	// returned strings are (offset, bitlen) views into it — one allocation
+	// for the whole store instead of one per label, matching the layout
+	// core.(*Labeling).Compact produces.
+	type span struct {
+		off  int
+		bits int
+	}
+	spans := make([]span, n)
+	var slab []byte
 	for i := uint64(0); i < n; i++ {
 		bits, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -156,31 +166,25 @@ func Read(r io.Reader) (*File, error) {
 		if bits > 1<<34 {
 			return nil, fmt.Errorf("%w: label %d has %d bits", ErrFormat, i, bits)
 		}
-		nBytes := (bits + 7) / 8
-		buf := make([]byte, nBytes)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		nBytes := int((bits + 7) / 8)
+		off := len(slab)
+		slab = slices.Grow(slab, nBytes)[:off+nBytes]
+		if _, err := io.ReadFull(br, slab[off:]); err != nil {
 			return nil, fmt.Errorf("%w: label %d payload: %v", ErrFormat, i, err)
 		}
-		labels[i], err = stringFromBytes(buf, int(bits))
+		spans[i] = span{off: off, bits: int(bits)}
+	}
+	// The slab no longer moves; build the views.
+	labels := make([]bitstr.String, n)
+	for i, sp := range spans {
+		end := sp.off + (sp.bits+7)/8
+		s, err := bitstr.Wrap(slab[sp.off:end:end], sp.bits)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: label %d: %v", ErrFormat, i, err)
 		}
+		labels[i] = s
 	}
 	return &File{Scheme: scheme, Params: params, Labels: labels}, nil
-}
-
-// stringFromBytes rebuilds a bit string of exactly nBits from its byte form.
-func stringFromBytes(data []byte, nBits int) (bitstr.String, error) {
-	var b bitstr.Builder
-	b.Grow(nBits)
-	for i := 0; i < nBits; i += 8 {
-		w := nBits - i
-		if w > 8 {
-			w = 8
-		}
-		b.AppendUint(uint64(data[i>>3])>>(8-uint(w)), w)
-	}
-	return b.String(), nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) error {

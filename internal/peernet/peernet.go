@@ -85,6 +85,79 @@ func (s *TwoLabelService) Adjacent(u, v int) (bool, error) {
 	return s.Dec.Adjacent(lu, lv)
 }
 
+// AdjacentMany resolves a batch of queries, fetching each distinct endpoint
+// label at most once per batch: the coordinator caches labels for the
+// duration of the call, so a batch touching d distinct vertices costs d
+// fetches instead of 2·len(pairs). One result per pair is appended to out.
+func (s *TwoLabelService) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
+	cache := make(map[int]bitstr.String, 2*len(pairs))
+	fetch := func(v int) (bitstr.String, error) {
+		if l, ok := cache[v]; ok {
+			return l, nil
+		}
+		l, err := s.Net.Fetch(v)
+		if err != nil {
+			return bitstr.String{}, err
+		}
+		cache[v] = l
+		return l, nil
+	}
+	for _, p := range pairs {
+		lu, err := fetch(p[0])
+		if err != nil {
+			return out, err
+		}
+		lv, err := fetch(p[1])
+		if err != nil {
+			return out, err
+		}
+		ok, err := s.Dec.Adjacent(lu, lv)
+		if err != nil {
+			return out, fmt.Errorf("peernet: query (%d,%d): %w", p[0], p[1], err)
+		}
+		out = append(out, ok)
+	}
+	return out, nil
+}
+
+// EngineService is the heavy-traffic coordinator for fat/thin labelings: it
+// pulls every label exactly once (traffic charged to the network, the
+// dissemination cost of Section 1) and then serves adjacency queries
+// locally through a zero-allocation core.QueryEngine — the deployment shape
+// where one replica absorbs a query stream instead of re-fetching labels
+// per query.
+type EngineService struct {
+	Engine *core.QueryEngine
+}
+
+// NewEngineService fetches all labels from the network and builds the local
+// query engine over them.
+func NewEngineService(net *Network) (*EngineService, error) {
+	labels := make([]bitstr.String, net.N())
+	for v := range labels {
+		l, err := net.Fetch(v)
+		if err != nil {
+			return nil, err
+		}
+		labels[v] = l
+	}
+	eng, err := core.NewQueryEngineFromLabels(labels)
+	if err != nil {
+		return nil, err
+	}
+	return &EngineService{Engine: eng}, nil
+}
+
+// Adjacent answers from the local engine; no network traffic.
+func (s *EngineService) Adjacent(u, v int) (bool, error) {
+	return s.Engine.Adjacent(u, v)
+}
+
+// AdjacentMany answers a batch from the local engine; no network traffic.
+func (s *EngineService) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
+	return s.Engine.AdjacentMany(pairs, out)
+}
+
 // OneQueryService answers adjacency queries with the Section 6 protocol:
 // fetch both endpoint labels, then let the decoder fetch the single extra
 // label it needs.
