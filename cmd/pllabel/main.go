@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
+	"time"
 
 	"repro/internal/bitstr"
 	"repro/internal/core"
@@ -39,7 +41,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pllabel", flag.ContinueOnError)
 	var (
-		schemeName = fs.String("scheme", "auto", "powerlaw | sparse | auto | fixed | forest | onequery | nbrlist | adjmatrix")
+		schemeName = fs.String("scheme", "auto", "powerlaw | sparse | auto | fixed | compressed | forest | onequery | nbrlist | adjmatrix")
 		alpha      = fs.Float64("alpha", 2.5, "power-law exponent (powerlaw scheme)")
 		c          = fs.Float64("c", 0, "sparsity constant (sparse scheme; 0 = derive m/n)")
 		tau        = fs.Int("tau", 0, "fixed threshold (fixed scheme)")
@@ -48,6 +50,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		verify     = fs.Bool("verify", true, "verify decode correctness")
 		fit        = fs.Bool("fit", false, "report the fitted power-law exponent")
 		analyze    = fs.Bool("analyze", false, "report clustering and assortativity (O(m·Δ) time)")
+		workers    = fs.Int("workers", 1, "parallel encode fill shards (0 = GOMAXPROCS)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the encode to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,10 +89,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	lab, err := scheme.Encode(g)
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
+	lab, err := encode(scheme, g, *workers)
 	if err != nil {
 		return fmt.Errorf("encode: %w", err)
 	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "encode: %.3fs (%.0f vertices/s, workers=%d)\n",
+		elapsed.Seconds(), float64(g.N())/max(elapsed.Seconds(), 1e-9), *workers)
 	st := lab.Stats()
 	fmt.Fprintf(stdout, "scheme: %s\n", lab.Scheme())
 	fmt.Fprintf(stdout, "labels: max=%d bits, mean=%.1f, p50=%d, p90=%d, p99=%d, total=%d bits (%.1f KiB)\n",
@@ -108,25 +127,55 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
+// parallelScheme is implemented by schemes with a sharded-fill encode path.
+type parallelScheme interface {
+	EncodeParallel(g *graph.Graph, workers int) (*core.Labeling, error)
+}
+
+// encode runs the scheme's parallel encoder when one exists (workers != 1 or
+// not; the pipeline is the same code either way), else the plain Encode.
+func encode(scheme core.Scheme, g *graph.Graph, workers int) (*core.Labeling, error) {
+	if ps, ok := scheme.(parallelScheme); ok {
+		return ps.EncodeParallel(g, workers)
+	}
+	return scheme.Encode(g)
+}
+
 func saveStore(path string, n int, lab *core.Labeling) error {
-	labels := make([]bitstr.String, n)
-	for v := 0; v < n; v++ {
-		l, err := lab.Label(v)
+	params := map[string]string{"n": strconv.Itoa(n)}
+	var store *labelstore.File
+	if slab, ok := lab.Arena(); ok {
+		// Arena-backed labeling: persist the slab verbatim as a format-v2
+		// single-blob store (loaded zero-copy by plquery).
+		bitLens := make([]int, n)
+		for v := 0; v < n; v++ {
+			l, err := lab.Label(v)
+			if err != nil {
+				return err
+			}
+			bitLens[v] = l.Len()
+		}
+		f, err := labelstore.NewArenaFile(lab.Scheme(), params, slab, bitLens)
 		if err != nil {
 			return err
 		}
-		labels[v] = l
+		store = f
+	} else {
+		labels := make([]bitstr.String, n)
+		for v := 0; v < n; v++ {
+			l, err := lab.Label(v)
+			if err != nil {
+				return err
+			}
+			labels[v] = l
+		}
+		store = &labelstore.File{Scheme: lab.Scheme(), Params: params, Labels: labels}
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	store := &labelstore.File{
-		Scheme: lab.Scheme(),
-		Params: map[string]string{"n": strconv.Itoa(n)},
-		Labels: labels,
-	}
 	if err := labelstore.Write(f, store); err != nil {
 		return err
 	}
@@ -146,6 +195,8 @@ func pick(name string, alpha, c float64, tau int) (core.Scheme, error) {
 		return core.NewSparseSchemeAuto(), nil
 	case "fixed":
 		return core.NewFixedThresholdScheme(tau), nil
+	case "compressed":
+		return core.NewCompressedScheme(core.NewPowerLawSchemeAuto()), nil
 	case "forest":
 		return forest.Scheme{}, nil
 	case "onequery":

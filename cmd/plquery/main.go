@@ -82,11 +82,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	// Fat/thin stores are served through the pre-parsed zero-allocation
 	// query engine; other layouts (and stores whose labels the engine
-	// rejects at build time) fall back to the per-query decoder.
+	// rejects at build time) fall back to the per-query decoder. A format-v2
+	// store hands its word-aligned blob to the engine zero-copy — no
+	// relocation between disk and the probe arena.
 	var eng *core.QueryEngine
 	if _, ok := dec.(*core.FatThinDecoder); ok {
-		if e, err := core.NewQueryEngineFromLabels(store.Labels); err == nil {
-			eng = e
+		if slab, bitLens, ok := store.Arena(); ok {
+			if e, err := core.NewQueryEngineFromArena(slab, bitLens); err == nil {
+				eng = e
+			}
+		}
+		if eng == nil {
+			if e, err := core.NewQueryEngineFromLabels(store.Labels); err == nil {
+				eng = e
+			}
 		}
 	}
 	answer := func(u, v int) (bool, error) {
@@ -177,6 +186,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // decoderFor maps stored scheme names to their label-pair decoders.
 func decoderFor(scheme string, n int) (core.AdjacencyDecoder, error) {
 	switch {
+	case strings.HasPrefix(scheme, "compressed+"):
+		return core.NewCompressedDecoder(n), nil
 	case strings.HasPrefix(scheme, "sparse"),
 		strings.HasPrefix(scheme, "powerlaw"),
 		strings.HasPrefix(scheme, "fatthin"),

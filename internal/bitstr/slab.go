@@ -1,0 +1,246 @@
+package bitstr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Slab support: many labels packed into one caller-owned byte slab, each
+// label starting on a 64-bit word boundary. The slab stores bits MSB-first
+// within each 8-byte big-endian word, which makes the byte order identical
+// to the MSB-first-within-byte order of String — so a (byte offset, bit
+// length) window of a slab is a valid String view via Wrap, while word-sized
+// reads and writes go through single 64-bit loads and stores.
+//
+// This layout is shared by three consumers: core's encode pipeline writes
+// labels directly into a slab (no per-label allocation), core.QueryEngine
+// adopts a slab zero-copy as its probe arena, and labelstore's format v2
+// round-trips the slab as one body blob.
+
+// SlabWordBits is the alignment granularity of slab labels, in bits.
+const SlabWordBits = 64
+
+// SlabWords returns the number of 64-bit words a label of nBits occupies in
+// a slab (labels are padded to a word boundary so no two labels share a
+// word).
+func SlabWords(nBits int) int { return (nBits + 63) >> 6 }
+
+// SlabBytes returns the slab size in bytes for a total word count.
+func SlabBytes(words int) int { return words << 3 }
+
+// SlabView wraps the label occupying bits [off, off+nBits) of slab as a
+// zero-copy String. off must be word-aligned (a slab label start).
+func SlabView(slab []byte, off int64, nBits int) (String, error) {
+	if off < 0 || off&63 != 0 {
+		return String{}, fmt.Errorf("%w: slab view at unaligned bit %d", ErrMalformed, off)
+	}
+	start := int(off >> 3)
+	end := start + (nBits+7)>>3
+	if nBits < 0 || end > len(slab) {
+		return String{}, fmt.Errorf("%w: slab view [%d,%d) of %d bytes", ErrOutOfBounds, start, end, len(slab))
+	}
+	return Wrap(slab[start:end:end], nBits)
+}
+
+// SlabViews builds zero-copy views of every label in a writer-produced
+// slab, given the labels' bit lengths in slab order. It is the batch
+// counterpart of SlabView for slabs whose padding bits are known to be zero
+// — SlabWriter guarantees this (Flush stores whole words with zero tails,
+// untouched words stay zero-initialized) — so unlike Wrap it never masks
+// the final byte of a view, touching no slab memory at all. Layout safety
+// is still checked: lengths must be non-negative and tile the slab exactly,
+// word-aligned. Do not use on bytes from an untrusted source; dirty padding
+// would break String equality (use SlabView, which masks in place).
+func SlabViews(slab []byte, bitLens []int) ([]String, error) {
+	views := make([]String, len(bitLens))
+	var off int64
+	for v, bits := range bitLens {
+		end := off + int64((bits+7)>>3)
+		if bits < 0 || end > int64(len(slab)) {
+			return nil, fmt.Errorf("%w: slab label %d of %d bits at byte %d in %d-byte slab",
+				ErrOutOfBounds, v, bits, off, len(slab))
+		}
+		views[v] = String{data: slab[off:end:end], n: bits}
+		off += int64(SlabWords(bits)) << 3
+	}
+	if off != int64(len(slab)) {
+		return nil, fmt.Errorf("%w: labels occupy %d of %d slab bytes", ErrMalformed, off, len(slab))
+	}
+	return views, nil
+}
+
+// SlabSetBit sets bit pos of the slab to 1 in place — the word-free OR store
+// used for fat adjacency bitmaps, whose bit positions are computed rather
+// than appended. The surrounding word must already be materialized (slabs
+// are zero-initialized, so any position inside an allocated label is valid).
+func SlabSetBit(slab []byte, pos int64) {
+	slab[pos>>3] |= 1 << (7 - uint(pos&7))
+}
+
+// SlabReadBits returns w (1..64) bits of the slab starting at bit offset
+// off, MSB first. The caller guarantees [off, off+w) lies inside the slab's
+// bit range; because slabs are whole words, a read never runs past the
+// backing slice (a read crossing into word i+1 implies the slab has at least
+// i+2 words). This is the single probe primitive of the query engine.
+func SlabReadBits(slab []byte, off int64, w int) uint64 {
+	i := int(off>>6) << 3
+	sh := uint(off & 63)
+	v := binary.BigEndian.Uint64(slab[i:]) << sh
+	if sh+uint(w) > 64 {
+		v |= binary.BigEndian.Uint64(slab[i+8:]) >> (64 - sh)
+	}
+	return v >> (64 - uint(w))
+}
+
+// SlabWriter writes bit strings into a borrowed slab at word granularity: it
+// buffers up to 64 bits and emits one big-endian 64-bit store per filled
+// word, instead of the byte-at-a-time append-and-double of Builder. One
+// writer serves any number of labels; SeekBit repositions it to the next
+// label's word-aligned start. Distinct goroutines may fill disjoint labels
+// of the same slab with separate writers — word alignment guarantees they
+// never store to the same word.
+//
+// The writer assumes the slab is zero-initialized and that each label is
+// written at most once (stores overwrite whole words).
+type SlabWriter struct {
+	slab []byte
+	word int    // byte offset of the word the buffer will be stored to
+	acc  uint64 // bits buffered so far, left-aligned
+	fill uint   // number of buffered bits
+}
+
+// NewSlabWriter returns a writer over slab, positioned at bit 0.
+func NewSlabWriter(slab []byte) *SlabWriter {
+	return &SlabWriter{slab: slab}
+}
+
+// SeekBit positions the writer at bit offset pos, which must be word-aligned
+// (labels start on word boundaries). Buffered bits of the previous label are
+// flushed first.
+func (w *SlabWriter) SeekBit(pos int64) {
+	w.Flush()
+	w.word = int(pos>>6) << 3
+	w.acc, w.fill = 0, 0
+}
+
+// Pos returns the absolute bit offset the next write lands at.
+func (w *SlabWriter) Pos() int64 {
+	return int64(w.word)<<3 + int64(w.fill)
+}
+
+// WriteBit appends a single bit.
+func (w *SlabWriter) WriteBit(bit bool) {
+	if bit {
+		w.WriteUint(1, 1)
+	} else {
+		w.WriteUint(0, 1)
+	}
+}
+
+// WriteUint appends the low `width` bits of v, most significant bit first.
+// width must be in [0, 64]; bits of v above width are masked off.
+func (w *SlabWriter) WriteUint(v uint64, width int) {
+	if width <= 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << uint(width)) - 1
+	}
+	if w.fill+uint(width) < 64 {
+		w.acc |= v << (64 - w.fill - uint(width))
+		w.fill += uint(width)
+		return
+	}
+	spill := w.fill + uint(width) - 64
+	binary.BigEndian.PutUint64(w.slab[w.word:], w.acc|v>>spill)
+	w.word += 8
+	w.acc, w.fill = 0, 0
+	if spill > 0 {
+		w.acc = v << (64 - spill)
+		w.fill = spill
+	}
+}
+
+// WriteUints appends every value of vs at the given width, equivalent to
+// calling WriteUint per element but with the buffer state kept in registers
+// across the whole batch — the packed-store fast path for thin neighbor
+// lists, where one call writes an entire label body.
+func (w *SlabWriter) WriteUints(vs []uint64, width int) {
+	if width <= 0 || width > 64 {
+		return
+	}
+	mask := ^uint64(0) >> uint(64-width)
+	acc, fill, word, slab := w.acc, w.fill, w.word, w.slab
+	for _, v := range vs {
+		v &= mask
+		if fill+uint(width) < 64 {
+			acc |= v << (64 - fill - uint(width))
+			fill += uint(width)
+			continue
+		}
+		spill := fill + uint(width) - 64
+		binary.BigEndian.PutUint64(slab[word:], acc|v>>spill)
+		word += 8
+		acc, fill = 0, 0
+		if spill > 0 {
+			acc = v << (64 - spill)
+			fill = spill
+		}
+	}
+	w.acc, w.fill, w.word = acc, fill, word
+}
+
+// WriteUints32 is WriteUints for non-negative 32-bit values — the encode
+// pipeline's neighbor identifiers are int32, and packing them without a
+// widening copy keeps the fill loop to one pass over the id lists.
+func (w *SlabWriter) WriteUints32(vs []int32, width int) {
+	if width <= 0 || width > 64 {
+		return
+	}
+	mask := ^uint64(0) >> uint(64-width)
+	acc, fill, word, slab := w.acc, w.fill, w.word, w.slab
+	for _, x := range vs {
+		v := uint64(uint32(x)) & mask
+		if fill+uint(width) < 64 {
+			acc |= v << (64 - fill - uint(width))
+			fill += uint(width)
+			continue
+		}
+		spill := fill + uint(width) - 64
+		binary.BigEndian.PutUint64(slab[word:], acc|v>>spill)
+		word += 8
+		acc, fill = 0, 0
+		if spill > 0 {
+			acc = v << (64 - spill)
+			fill = spill
+		}
+	}
+	w.acc, w.fill, w.word = acc, fill, word
+}
+
+// WriteDelta0 appends v >= 0 as the Elias delta code of v+1, bit-identical
+// to Builder.AppendDelta0.
+func (w *SlabWriter) WriteDelta0(v uint64) {
+	v++
+	nb := bits.Len64(v)
+	gnb := bits.Len64(uint64(nb))
+	// Gamma code of nb: gnb-1 leading zeros then nb in gnb bits — exactly nb
+	// written in 2·gnb-1 bits.
+	w.WriteUint(uint64(nb), 2*gnb-1)
+	if nb > 1 {
+		w.WriteUint(v, nb-1) // drop the leading 1 bit (masked by width)
+	}
+}
+
+// Flush stores any buffered bits as a full word (trailing bits zero). Safe
+// because the current word belongs exclusively to the label being written
+// and its tail is padding. Flush is idempotent; call it after each label.
+func (w *SlabWriter) Flush() {
+	if w.fill == 0 {
+		return
+	}
+	binary.BigEndian.PutUint64(w.slab[w.word:], w.acc)
+	w.word += 8
+	w.acc, w.fill = 0, 0
+}

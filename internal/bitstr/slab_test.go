@@ -1,0 +1,215 @@
+package bitstr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSlabWriterMatchesBuilder writes randomized field sequences through
+// both a Builder and a SlabWriter and requires bit-identical results.
+func TestSlabWriterMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		type field struct {
+			v uint64
+			w int
+		}
+		nf := rng.Intn(40)
+		fields := make([]field, nf)
+		bits := 0
+		for i := range fields {
+			w := 1 + rng.Intn(64)
+			fields[i] = field{v: rng.Uint64(), w: w}
+			bits += w
+		}
+		var b Builder
+		for _, f := range fields {
+			b.AppendUint(f.v, f.w)
+		}
+		want := b.String()
+
+		slab := make([]byte, SlabBytes(SlabWords(bits)))
+		sw := NewSlabWriter(slab)
+		sw.SeekBit(0)
+		for _, f := range fields {
+			sw.WriteUint(f.v, f.w)
+		}
+		sw.Flush()
+		got, err := SlabView(slab, 0, bits)
+		if err != nil {
+			t.Fatalf("trial %d: SlabView: %v", trial, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: slab %v != builder %v", trial, got, want)
+		}
+	}
+}
+
+// TestSlabWriterMultiLabel packs several labels at word-aligned offsets and
+// checks each view independently, including Pos accounting.
+func TestSlabWriterMultiLabel(t *testing.T) {
+	lens := []int{1, 63, 64, 65, 130, 7}
+	totalWords := 0
+	offs := make([]int64, len(lens))
+	for i, l := range lens {
+		offs[i] = int64(totalWords) * SlabWordBits
+		totalWords += SlabWords(l)
+	}
+	slab := make([]byte, SlabBytes(totalWords))
+	sw := NewSlabWriter(slab)
+	for i, l := range lens {
+		sw.SeekBit(offs[i])
+		for j := 0; j < l; j++ {
+			sw.WriteBit((i+j)%3 == 0)
+		}
+		if got := sw.Pos(); got != offs[i]+int64(l) {
+			t.Fatalf("label %d: Pos = %d, want %d", i, got, offs[i]+int64(l))
+		}
+		sw.Flush()
+	}
+	for i, l := range lens {
+		view, err := SlabView(slab, offs[i], l)
+		if err != nil {
+			t.Fatalf("label %d: %v", i, err)
+		}
+		for j := 0; j < l; j++ {
+			bit, err := view.Bit(j)
+			if err != nil {
+				t.Fatalf("label %d bit %d: %v", i, j, err)
+			}
+			if want := (i+j)%3 == 0; bit != want {
+				t.Fatalf("label %d bit %d = %v, want %v", i, j, bit, want)
+			}
+		}
+	}
+}
+
+// TestSlabSetBitAndReadBits checks the random-access primitives against the
+// sequential writer.
+func TestSlabSetBitAndReadBits(t *testing.T) {
+	const bits = 500
+	slab := make([]byte, SlabBytes(SlabWords(bits)))
+	set := map[int64]bool{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 120; i++ {
+		p := int64(rng.Intn(bits))
+		SlabSetBit(slab, p)
+		set[p] = true
+	}
+	view, err := SlabView(slab, 0, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := int64(0); p < bits; p++ {
+		bit, _ := view.Bit(int(p))
+		if bit != set[p] {
+			t.Fatalf("bit %d = %v, want %v", p, bit, set[p])
+		}
+	}
+	// Random word-width reads must agree with PeekUint on the view.
+	for i := 0; i < 500; i++ {
+		w := 1 + rng.Intn(64)
+		off := rng.Intn(bits - w + 1)
+		want, err := view.PeekUint(off, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := SlabReadBits(slab, int64(off), w); got != want {
+			t.Fatalf("SlabReadBits(%d,%d) = %#x, want %#x", off, w, got, want)
+		}
+	}
+}
+
+func TestSlabViewErrors(t *testing.T) {
+	slab := make([]byte, 16)
+	if _, err := SlabView(slab, 3, 8); err == nil {
+		t.Fatal("unaligned view accepted")
+	}
+	if _, err := SlabView(slab, 64, 100); err == nil {
+		t.Fatal("overlong view accepted")
+	}
+	if _, err := SlabView(slab, 0, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestVectorGrow(t *testing.T) {
+	v := NewVector(10)
+	v.Set(3)
+	v.Set(9)
+	v.Grow(200)
+	if v.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", v.Len())
+	}
+	if !v.Get(3) || !v.Get(9) {
+		t.Fatal("Grow lost existing bits")
+	}
+	for i := 10; i < 200; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d nonzero after Grow", i)
+		}
+	}
+	v.Set(199)
+	if v.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", v.Count())
+	}
+	v.Grow(50) // shrinking request is a no-op
+	if v.Len() != 200 {
+		t.Fatalf("Len after no-op Grow = %d, want 200", v.Len())
+	}
+}
+
+// BenchmarkSlabWriterFill measures the word-granularity fill path; the
+// whole loop runs with zero per-label allocations.
+func BenchmarkSlabWriterFill(b *testing.B) {
+	const labelBits = 20 * 17 // 20 ids of 17 bits
+	const labels = 1024
+	words := labels * SlabWords(labelBits)
+	slab := make([]byte, SlabBytes(words))
+	sw := NewSlabWriter(slab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := 0; l < labels; l++ {
+			sw.SeekBit(int64(l*SlabWords(labelBits)) * SlabWordBits)
+			for f := 0; f < 20; f++ {
+				sw.WriteUint(uint64(l+f), 17)
+			}
+			sw.Flush()
+		}
+	}
+}
+
+// BenchmarkBuilderGrownFill is the Builder counterpart with preallocation
+// (Grow): the remaining non-slab encoders follow this pattern.
+func BenchmarkBuilderGrownFill(b *testing.B) {
+	const labels = 1024
+	var bd Builder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for l := 0; l < labels; l++ {
+			bd.Reset()
+			bd.Grow(20 * 17)
+			for f := 0; f < 20; f++ {
+				bd.AppendUint(uint64(l+f), 17)
+			}
+			_ = bd.Len()
+		}
+	}
+}
+
+// BenchmarkVectorGrowReuse exercises the pooled-scratch pattern Grow
+// enables: one vector reused across increasing sizes without reallocation
+// after the first.
+func BenchmarkVectorGrowReuse(b *testing.B) {
+	v := NewVector(0)
+	v.Grow(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Reset()
+		v.Grow(64 + i%4096)
+		v.Set(i % v.Len())
+	}
+}

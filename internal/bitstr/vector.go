@@ -62,6 +62,35 @@ func (v *Vector) Reset() {
 	v.rank = nil
 }
 
+// Grow extends the vector to at least n bits, preserving existing bits; new
+// bits are zero. A no-op when the vector is already long enough. Callers
+// that reuse one vector across differently-sized inputs (encoders pooling
+// scratch) grow once instead of reallocating per use.
+func (v *Vector) Grow(n int) {
+	if n <= v.n {
+		return
+	}
+	need := (n + 63) >> 6
+	if need > len(v.words) {
+		if need <= cap(v.words) {
+			v.words = v.words[:need]
+		} else {
+			// Amortized doubling: callers growing one bit at a time (e.g. the
+			// adjacency-matrix encoder walking vertices in order) pay O(n)
+			// total, not O(n) reallocations.
+			newCap := 2 * cap(v.words)
+			if newCap < need {
+				newCap = need
+			}
+			nw := make([]uint64, need, newCap)
+			copy(nw, v.words)
+			v.words = nw
+		}
+	}
+	v.n = n
+	v.rank = nil
+}
+
 // Set sets bit i to 1.
 func (v *Vector) Set(i int) {
 	v.words[i>>6] |= 1 << (63 - uint(i&63))

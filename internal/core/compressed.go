@@ -40,34 +40,26 @@ func (s *CompressedScheme) Name() string { return "compressed+" + s.inner.Name()
 // Threshold exposes the wrapped threshold rule.
 func (s *CompressedScheme) Threshold(g *graph.Graph) (int, error) { return s.inner.threshold(g) }
 
-// Encode implements Scheme.
+// Encode implements Scheme, through the slab pipeline (see pipeline.go):
+// the returned labeling is arena-backed and born compact.
 func (s *CompressedScheme) Encode(g *graph.Graph) (*Labeling, error) {
 	tau, err := s.inner.threshold(g)
 	if err != nil {
 		return nil, err
 	}
+	return encodeCompressedSlab(s.Name(), g, tau, 1)
+}
+
+// encodeCompressedLegacy is the original Builder-based encoder, kept as the
+// executable layout specification the pipeline is tested against
+// (pipeline_test.go).
+func encodeCompressedLegacy(name string, g *graph.Graph, tau int) (*Labeling, error) {
 	if tau < 1 {
 		return nil, fmt.Errorf("core: threshold must be >= 1, got %d", tau)
 	}
 	n := g.N()
 	w := bitstr.WidthFor(uint64(n))
-
-	id := make([]int, n)
-	k := 0
-	order := g.VerticesByDegreeDesc()
-	for _, v := range order {
-		if g.Degree(v) >= tau {
-			id[v] = k
-			k++
-		}
-	}
-	next := k
-	for _, v := range order {
-		if g.Degree(v) < tau {
-			id[v] = next
-			next++
-		}
-	}
+	id, k := assignFatThinIDs(g, tau)
 
 	labels := make([]bitstr.String, n)
 	var b bitstr.Builder
@@ -122,7 +114,7 @@ func (s *CompressedScheme) Encode(g *graph.Graph) (*Labeling, error) {
 		}
 		labels[v] = b.String()
 	}
-	return NewLabeling(s.Name(), labels, &CompressedDecoder{n: n, w: w}), nil
+	return NewLabeling(name, labels, &CompressedDecoder{n: n, w: w}), nil
 }
 
 func sortUint64(xs []uint64) {

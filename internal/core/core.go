@@ -55,12 +55,40 @@ type Labeling struct {
 	stats     SizeStats
 
 	compacted bool
+
+	// arena, when non-nil, is the word-aligned slab the labels are views
+	// into: label v starts at bit offset 64·Σ_{u<v} ceil(len_u/64). Pipeline
+	// encoders produce labelings born this way; NewQueryEngine adopts the
+	// slab zero-copy instead of relocating label bodies.
+	arena []byte
 }
 
 // NewLabeling bundles per-vertex labels with their decoder. It is exported
 // for use by the scheme implementations in internal/schemes.
 func NewLabeling(scheme string, labels []bitstr.String, dec AdjacencyDecoder) *Labeling {
 	return &Labeling{scheme: scheme, labels: labels, decoder: dec}
+}
+
+// NewArenaLabeling bundles labels that live in one word-aligned slab (label
+// v occupying bits [off_v, off_v + bitLens[v]) with off_v = 64·Σ_{u<v}
+// ceil(bitLens[u]/64)) with their decoder. The labeling is born compact —
+// Compact is a no-op — and Arena exposes the slab for zero-copy adoption by
+// query engines and stores. The slab must not be modified afterwards, and
+// its padding bits must be zero (true of any slab built with
+// bitstr.SlabWriter; see bitstr.SlabViews).
+func NewArenaLabeling(scheme string, slab []byte, bitLens []int, dec AdjacencyDecoder) (*Labeling, error) {
+	labels, err := bitstr.SlabViews(slab, bitLens)
+	if err != nil {
+		return nil, fmt.Errorf("core: arena labels: %w", err)
+	}
+	return &Labeling{scheme: scheme, labels: labels, decoder: dec, compacted: true, arena: slab}, nil
+}
+
+// Arena returns the word-aligned slab backing an arena labeling, or ok=false
+// for labelings assembled label-by-label. The per-label bit lengths (and
+// hence slab offsets) are recoverable from the labels themselves.
+func (l *Labeling) Arena() (slab []byte, ok bool) {
+	return l.arena, l.arena != nil
 }
 
 // Scheme returns the name of the scheme that produced the labeling.

@@ -233,16 +233,21 @@ func (s *FatThinScheme) Name() string { return s.name }
 func (s *FatThinScheme) Threshold(g *graph.Graph) (int, error) { return s.threshold(g) }
 
 // Encode implements Scheme. It runs in O(n + m) time beyond the threshold
-// computation.
+// computation, through the two-phase slab pipeline (see pipeline.go): the
+// returned labeling is arena-backed and born compact.
 func (s *FatThinScheme) Encode(g *graph.Graph) (*Labeling, error) {
 	tau, err := s.threshold(g)
 	if err != nil {
 		return nil, err
 	}
-	return encodeFatThin(s.name, g, tau)
+	return encodeFatThinSlab(s.name, g, tau, 1)
 }
 
-func encodeFatThin(name string, g *graph.Graph, tau int) (*Labeling, error) {
+// encodeFatThinLegacy is the original one-Builder-per-label encoder. It is
+// kept as the executable specification of the label layout: the pipeline
+// encoder must produce bit-for-bit identical labels (pipeline_test.go), and
+// the BenchmarkEncode* suite measures the pipeline against it.
+func encodeFatThinLegacy(name string, g *graph.Graph, tau int) (*Labeling, error) {
 	if tau < 1 {
 		return nil, fmt.Errorf("core: threshold must be >= 1, got %d", tau)
 	}

@@ -1,54 +1,32 @@
 package core
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
-	"repro/internal/bitstr"
 	"repro/internal/graph"
 )
 
-// EncodeParallel labels g with the same fat/thin layout as Encode, building
-// labels concurrently across worker goroutines. The identifier assignment
-// (a sort by degree) stays sequential; label construction — the dominant
-// cost for large graphs — is embarrassingly parallel because every label
-// depends only on its own adjacency list and the shared id table.
+// EncodeParallel labels g with the same fat/thin layout as Encode, through
+// the slab pipeline with label construction sharded across worker
+// goroutines. The identifier assignment (a sort by degree) and the size-plan
+// prefix sum stay sequential; the fill phase — the dominant cost for large
+// graphs — is embarrassingly parallel because every label occupies its own
+// word-aligned slab range and depends only on its own adjacency list and the
+// shared id table. Output is bit-for-bit identical to Encode's.
 // workers <= 0 selects GOMAXPROCS.
 func (s *FatThinScheme) EncodeParallel(g *graph.Graph, workers int) (*Labeling, error) {
 	tau, err := s.threshold(g)
 	if err != nil {
 		return nil, err
 	}
-	if tau < 1 {
-		return nil, fmt.Errorf("core: threshold must be >= 1, got %d", tau)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := g.N()
-	if n <= 1 || workers == 1 {
-		return encodeFatThin(s.name, g, tau)
-	}
-	w := bitstr.WidthFor(uint64(n))
+	return encodeFatThinSlab(s.name, g, tau, workers)
+}
 
-	id, k := assignFatThinIDs(g, tau)
-	labels := make([]bitstr.String, n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			// Per-worker scratch; the shared range builder guarantees a
-			// layout identical to the sequential encoder's.
-			buildFatThinRange(g, id, k, w, lo, hi, labels, newFatThinScratch(k))
-		}(start, end)
+// EncodeParallel is the sharded-fill counterpart of CompressedScheme.Encode;
+// both the size-plan (which must sort neighbor ids to price the δ-gap
+// encoding) and the fill phase run across workers.
+func (s *CompressedScheme) EncodeParallel(g *graph.Graph, workers int) (*Labeling, error) {
+	tau, err := s.inner.threshold(g)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return NewLabeling(s.name, labels, &FatThinDecoder{n: n, w: w}), nil
+	return encodeCompressedSlab(s.Name(), g, tau, workers)
 }

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// equivGraphs is the cross-encoder test corpus: seeded Chung–Lu power-law
+// graphs plus adversarial shapes (all-fat, all-thin, empty, hub-only,
+// bipartite) that stress the fat/thin split from both sides.
+func equivGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	cl1, err := gen.ChungLuPowerLaw(600, 2.2, 2, 1)
+	if err != nil {
+		t.Fatalf("chunglu: %v", err)
+	}
+	cl2, err := gen.ChungLuPowerLaw(900, 2.8, 2, 7)
+	if err != nil {
+		t.Fatalf("chunglu: %v", err)
+	}
+	return map[string]*graph.Graph{
+		"chunglu-a2.2": cl1,
+		"chunglu-a2.8": cl2,
+		"empty":        graph.Empty(64),
+		"path":         gen.Path(257),
+		"star":         gen.Star(300),
+		"clique":       gen.Complete(65),
+		"bipartite":    gen.CompleteBipartite(9, 120),
+		"er":           gen.ErdosRenyi(400, 0.02, 3),
+		"two":          gen.Path(2),
+		"single":       graph.Empty(1),
+		"none":         graph.Empty(0),
+	}
+}
+
+// equivSchemes builds the scheme matrix of the equivalence property test:
+// sparse, power-law and fixed-threshold rules, each encoded by the slab
+// pipeline and compared against the legacy encoder.
+func equivSchemes() []*FatThinScheme {
+	return []*FatThinScheme{
+		NewSparseSchemeAuto(),
+		NewSparseScheme(2),
+		NewPowerLawSchemePractical(2.5),
+		NewFixedThresholdScheme(1),
+		NewFixedThresholdScheme(4),
+		NewFixedThresholdScheme(1 << 20), // all thin
+	}
+}
+
+func requireLabelsEqual(t *testing.T, want, got *Labeling) {
+	t.Helper()
+	if want.N() != got.N() {
+		t.Fatalf("N: legacy %d, pipeline %d", want.N(), got.N())
+	}
+	for v := 0; v < want.N(); v++ {
+		lw, err := want.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := got.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lw.Equal(lg) {
+			t.Fatalf("label %d differs:\nlegacy   %v\npipeline %v", v, lw, lg)
+		}
+	}
+}
+
+// TestPipelineMatchesLegacyFatThin is the cross-encoder equivalence
+// property: over every (scheme, graph, workers) cell, slab-pipeline labels
+// are bit-for-bit Equal to legacy-encoder labels vertex-by-vertex, and the
+// QueryEngine built on the pipeline labeling answers exactly like the
+// legacy decoder on sampled pairs.
+func TestPipelineMatchesLegacyFatThin(t *testing.T) {
+	graphs := equivGraphs(t)
+	for _, s := range equivSchemes() {
+		for gname, g := range graphs {
+			t.Run(fmt.Sprintf("%s/%s", s.Name(), gname), func(t *testing.T) {
+				tau, err := s.Threshold(g)
+				if err != nil {
+					t.Fatalf("threshold: %v", err)
+				}
+				legacy, err := encodeFatThinLegacy(s.Name(), g, tau)
+				if err != nil {
+					t.Fatalf("legacy encode: %v", err)
+				}
+				for _, workers := range []int{1, 3, 0} {
+					pipe, err := encodeFatThinSlab(s.Name(), g, tau, workers)
+					if err != nil {
+						t.Fatalf("pipeline encode (workers=%d): %v", workers, err)
+					}
+					requireLabelsEqual(t, legacy, pipe)
+				}
+				pipe, err := s.Encode(g)
+				if err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				requireLabelsEqual(t, legacy, pipe)
+				requireEnginesAgree(t, g, legacy, pipe)
+			})
+		}
+	}
+}
+
+// requireEnginesAgree samples vertex pairs and checks the pipeline-backed
+// QueryEngine against the legacy labeling's decoder.
+func requireEnginesAgree(t *testing.T, g *graph.Graph, legacy, pipe *Labeling) {
+	t.Helper()
+	n := g.N()
+	if n < 2 {
+		return
+	}
+	eng, err := NewQueryEngine(pipe)
+	if err != nil {
+		t.Fatalf("engine over pipeline labeling: %v", err)
+	}
+	state := uint64(0x243F6A8885A308D3)
+	for i := 0; i < 4000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		u := int(state % uint64(n))
+		v := int((state >> 17) % uint64(n))
+		want, err := legacy.Adjacent(u, v)
+		if err != nil {
+			t.Fatalf("legacy query (%d,%d): %v", u, v, err)
+		}
+		got, err := eng.Adjacent(u, v)
+		if err != nil {
+			t.Fatalf("engine query (%d,%d): %v", u, v, err)
+		}
+		if got != want {
+			t.Fatalf("query (%d,%d): engine %v, legacy decoder %v", u, v, got, want)
+		}
+	}
+}
+
+// TestPipelineMatchesLegacyCompressed is the same property for the δ-gap
+// compressed scheme (variable-length thin bodies exercise the size plan's
+// exactness: any mispriced label would shift every later offset).
+func TestPipelineMatchesLegacyCompressed(t *testing.T) {
+	graphs := equivGraphs(t)
+	for _, inner := range []*FatThinScheme{NewSparseSchemeAuto(), NewFixedThresholdScheme(6)} {
+		s := NewCompressedScheme(inner)
+		for gname, g := range graphs {
+			t.Run(fmt.Sprintf("%s/%s", s.Name(), gname), func(t *testing.T) {
+				tau, err := s.Threshold(g)
+				if err != nil {
+					t.Fatalf("threshold: %v", err)
+				}
+				legacy, err := encodeCompressedLegacy(s.Name(), g, tau)
+				if err != nil {
+					t.Fatalf("legacy encode: %v", err)
+				}
+				for _, workers := range []int{1, 4} {
+					pipe, err := encodeCompressedSlab(s.Name(), g, tau, workers)
+					if err != nil {
+						t.Fatalf("pipeline encode (workers=%d): %v", workers, err)
+					}
+					requireLabelsEqual(t, legacy, pipe)
+				}
+				pipe, err := s.Encode(g)
+				if err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				requireLabelsEqual(t, legacy, pipe)
+				if err := pipe.Verify(g); err != nil {
+					t.Fatalf("pipeline compressed labeling fails verification: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineLabelingBornCompact asserts the arena contract: a
+// pipeline-built labeling exposes its slab, Compact is a no-op, and
+// NewQueryEngine adopts the slab zero-copy — the engine's probe arena is
+// the very same backing array, not a relocated copy.
+func TestPipelineLabelingBornCompact(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(2000, 2.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawSchemePractical(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, ok := lab.Arena()
+	if !ok || len(slab) == 0 {
+		t.Fatal("pipeline labeling is not arena-backed")
+	}
+	if lab.Compact() != lab {
+		t.Fatal("Compact must return the labeling itself")
+	}
+	if slab2, _ := lab.Arena(); &slab2[0] != &slab[0] {
+		t.Fatal("Compact relocated the arena of a born-compact labeling")
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &eng.slab[0] != &slab[0] {
+		t.Fatal("NewQueryEngine relocated the arena instead of adopting it zero-copy")
+	}
+	if err := lab.Verify(g); err != nil {
+		t.Fatalf("arena labeling fails verification: %v", err)
+	}
+}
+
+// TestSplitByWords checks the word-balanced range partitioner covers all
+// vertices exactly once, in order.
+func TestSplitByWords(t *testing.T) {
+	offs := []int64{0, 64, 64 * 40, 64 * 41, 64 * 42, 64 * 43, 64 * 100}
+	for workers := 1; workers <= 8; workers++ {
+		ranges := splitByWords(offs, workers)
+		next := 0
+		for _, r := range ranges {
+			if r[0] != next || r[1] <= r[0] {
+				t.Fatalf("workers=%d: bad ranges %v", workers, ranges)
+			}
+			next = r[1]
+		}
+		if next != len(offs)-1 {
+			t.Fatalf("workers=%d: ranges %v do not cover %d vertices", workers, ranges, len(offs)-1)
+		}
+	}
+}
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := gen.ChungLuPowerLaw(n, 2.5, 2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEncodeLegacy is the pre-pipeline baseline: one Builder-built
+// label per vertex, then Compact for the arena layout the serving path
+// wants.
+func BenchmarkEncodeLegacy(b *testing.B) {
+	g := benchGraph(b, 100_000)
+	s := NewPowerLawSchemePractical(2.5)
+	tau, err := s.Threshold(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab, err := encodeFatThinLegacy(s.Name(), g, tau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lab.Compact()
+	}
+}
+
+// BenchmarkEncodePipeline measures the sequential slab pipeline on the same
+// 100k-vertex Chung–Lu graph (acceptance: ≥2x BenchmarkEncodeLegacy).
+func BenchmarkEncodePipeline(b *testing.B) {
+	g := benchGraph(b, 100_000)
+	s := NewPowerLawSchemePractical(2.5)
+	tau, err := s.Threshold(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeFatThinSlab(s.Name(), g, tau, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodePipelineParallel is the sharded fill (GOMAXPROCS workers).
+func BenchmarkEncodePipelineParallel(b *testing.B) {
+	g := benchGraph(b, 100_000)
+	s := NewPowerLawSchemePractical(2.5)
+	tau, err := s.Threshold(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeFatThinSlab(s.Name(), g, tau, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodePipelineFill isolates phase 2 (the per-vertex fill): plan
+// once, fill b.N times. The per-iteration allocation count divided by the
+// vertex count is the "allocs per vertex" figure — the pipeline target is
+// ~0 (only the per-range scratch buffers remain).
+func BenchmarkEncodePipelineFill(b *testing.B) {
+	g := benchGraph(b, 100_000)
+	s := NewPowerLawSchemePractical(2.5)
+	tau, err := s.Threshold(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.N()
+	w := 17 // ceil(log2 100000)
+	header := 1 + w
+	plan := newSlabPlan(g, tau, w)
+	plan.buildNeighborLists(g)
+	id, k := plan.id, plan.k
+	for v := 0; v < n; v++ {
+		if id[v] < k {
+			plan.bitLens[v] = header + k
+		} else {
+			plan.bitLens[v] = header + g.Degree(v)*w
+		}
+	}
+	plan.layout()
+	slab := make([]byte, int(plan.offs[n]>>3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fillFatThinSlab(plan, slab, 0, n)
+	}
+}
+
+// BenchmarkEncodeCompressedLegacy / Pipeline: the δ-gap scheme pair.
+func BenchmarkEncodeCompressedLegacy(b *testing.B) {
+	g := benchGraph(b, 100_000)
+	s := NewCompressedScheme(NewPowerLawSchemePractical(2.5))
+	tau, err := s.Threshold(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab, err := encodeCompressedLegacy(s.Name(), g, tau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lab.Compact()
+	}
+}
+
+func BenchmarkEncodeCompressedPipeline(b *testing.B) {
+	g := benchGraph(b, 100_000)
+	s := NewCompressedScheme(NewPowerLawSchemePractical(2.5))
+	tau, err := s.Threshold(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encodeCompressedSlab(s.Name(), g, tau, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

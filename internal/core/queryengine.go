@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,12 +11,17 @@ import (
 
 // QueryEngine is the serving-path counterpart of FatThinDecoder: it is built
 // once from a complete fat/thin labeling, pre-parses every label's header
-// (fat bit, identifier, body length) into flat slices, and relocates every
-// label body into one word-aligned uint64 arena. A query is then a handful
-// of word-addressed probes into the arena — at most two word loads and a
-// shift per probe, zero heap allocations, no Reader, no re-parsing. Labels
-// are validated once at construction, so the hot path never errors on
-// well-formed inputs.
+// (fat bit, identifier, body length) into flat slices, and probes label
+// bodies in a word-aligned byte slab (big-endian 64-bit words, the shared
+// slab layout of bitstr). A query is then a handful of word-addressed probes
+// — at most two word loads and a shift per probe, zero heap allocations, no
+// Reader, no re-parsing. Labels are validated once at construction, so the
+// hot path never errors on well-formed inputs.
+//
+// Arena-backed labelings (the encode pipeline's output, or a format-v2 label
+// store) are adopted zero-copy: the engine points straight at the encoder's
+// slab and only parses headers. Labelings assembled label-by-label are
+// relocated into a fresh slab, as before.
 //
 // A QueryEngine is immutable after construction and safe for concurrent use
 // by any number of goroutines.
@@ -25,14 +31,16 @@ type QueryEngine struct {
 	// meta holds the flat pre-parsed headers, one entry per vertex, packed
 	// so a query touches a single cache line per endpoint.
 	meta []vertexMeta
-	// words is the arena: each vertex's label body (neighbor ids or fat
-	// vector) starts at bit offset meta[v].off, which is 64-bit aligned.
-	words []uint64
+	// slab holds the label bodies: each vertex's body (neighbor ids or fat
+	// vector) starts at bit offset meta[v].off. Probes via
+	// bitstr.SlabReadBits never cross the end of the backing slice (see the
+	// in-bounds argument there).
+	slab []byte
 }
 
 // vertexMeta is one label's pre-parsed header.
 type vertexMeta struct {
-	off int64  // arena bit offset of the body
+	off int64  // slab bit offset of the body
 	id  uint64 // the vertex's own identifier
 	// cnt is the body size in body units: for thin labels the number of
 	// neighbor identifiers, for fat labels the vector length in bits.
@@ -43,14 +51,73 @@ type vertexMeta struct {
 // NewQueryEngine builds an engine over a labeling produced by any scheme
 // using the fat/thin label layout (FatThinScheme, baseline.NeighborList).
 // Labels are validated once here; malformed labels that FatThinDecoder
-// would reject at query time are rejected at build time instead.
+// would reject at query time are rejected at build time instead. An
+// arena-backed labeling is adopted without relocating a single body bit.
 func NewQueryEngine(lab *Labeling) (*QueryEngine, error) {
+	if slab, ok := lab.Arena(); ok {
+		bitLens := make([]int, len(lab.labels))
+		for v, s := range lab.labels {
+			bitLens[v] = s.Len()
+		}
+		return NewQueryEngineFromArena(slab, bitLens)
+	}
 	return NewQueryEngineFromLabels(lab.labels)
 }
 
-// NewQueryEngineFromLabels builds an engine directly over per-vertex labels
-// in the fat/thin layout, e.g. from a labelstore.File. The identifier width
-// is ceil(log2 len(labels)), exactly as for NewFatThinDecoder.
+// NewQueryEngineFromArena builds an engine directly over a word-aligned
+// label slab (label v at bit offset 64·Σ_{u<v} ceil(bitLens[u]/64)), e.g.
+// the arena of a pipeline-built Labeling or a format-v2 label store. The
+// slab is adopted zero-copy: construction parses and validates the n label
+// headers but never moves a body.
+func NewQueryEngineFromArena(slab []byte, bitLens []int) (*QueryEngine, error) {
+	n := len(bitLens)
+	w := bitstr.WidthFor(uint64(n))
+	header := 1 + w
+	e := &QueryEngine{n: n, w: w, meta: make([]vertexMeta, n), slab: slab}
+	var off int64
+	for v, bits := range bitLens {
+		if bits < header {
+			return nil, fmt.Errorf("%w: label %d has %d bits, header needs %d", ErrBadLabel, v, bits, header)
+		}
+		end := off + int64(bitstr.SlabWords(bits))*bitstr.SlabWordBits
+		if int(end>>3) > len(slab) {
+			return nil, fmt.Errorf("%w: label %d ends at byte %d of a %d-byte slab", ErrBadLabel, v, end>>3, len(slab))
+		}
+		m := &e.meta[v]
+		m.fat = bitstr.SlabReadBits(slab, off, 1) == 1
+		if w > 0 {
+			m.id = bitstr.SlabReadBits(slab, off+1, w)
+		}
+		if err := setBodyCount(m, bits-header, w, v); err != nil {
+			return nil, err
+		}
+		m.off = off + int64(header)
+		off = end
+	}
+	return e, nil
+}
+
+// setBodyCount validates and records a label's body size in body units.
+func setBodyCount(m *vertexMeta, body, w, v int) error {
+	switch {
+	case m.fat:
+		m.cnt = int32(body)
+	case w == 0:
+		m.cnt = 0
+	default:
+		if body%w != 0 {
+			return fmt.Errorf("%w: label %d: thin body %d bits not a multiple of id width %d",
+				ErrBadLabel, v, body, w)
+		}
+		m.cnt = int32(body / w)
+	}
+	return nil
+}
+
+// NewQueryEngineFromLabels builds an engine over per-vertex labels from any
+// source (e.g. a legacy label store), relocating the bodies into a fresh
+// word-aligned slab. The identifier width is ceil(log2 len(labels)), exactly
+// as for NewFatThinDecoder.
 func NewQueryEngineFromLabels(labels []bitstr.String) (*QueryEngine, error) {
 	n := len(labels)
 	w := bitstr.WidthFor(uint64(n))
@@ -60,7 +127,7 @@ func NewQueryEngineFromLabels(labels []bitstr.String) (*QueryEngine, error) {
 		w:    w,
 		meta: make([]vertexMeta, n),
 	}
-	// Pass 1: validate headers and size the arena (bodies word-aligned).
+	// Pass 1: validate headers and size the slab (bodies word-aligned).
 	totalWords := 0
 	for v, s := range labels {
 		if s.Len() < header {
@@ -69,52 +136,28 @@ func NewQueryEngineFromLabels(labels []bitstr.String) (*QueryEngine, error) {
 		m := &e.meta[v]
 		m.fat = s.MustPeekUint(0, 1) == 1
 		m.id = s.MustPeekUint(1, w)
-		body := s.Len() - header
-		switch {
-		case m.fat:
-			m.cnt = int32(body)
-		case w == 0:
-			m.cnt = 0
-		default:
-			if body%w != 0 {
-				return nil, fmt.Errorf("%w: label %d: thin body %d bits not a multiple of id width %d",
-					ErrBadLabel, v, body, w)
-			}
-			m.cnt = int32(body / w)
+		if err := setBodyCount(m, s.Len()-header, w, v); err != nil {
+			return nil, err
 		}
-		totalWords += (body + 63) >> 6
+		totalWords += bitstr.SlabWords(s.Len() - header)
 	}
-	// Pass 2: copy bodies into the arena, MSB-first within each word to
-	// match the label bit order.
-	e.words = make([]uint64, totalWords)
+	// Pass 2: copy bodies into the slab, MSB-first within each big-endian
+	// word to match the label bit order.
+	e.slab = make([]byte, bitstr.SlabBytes(totalWords))
 	word := 0
 	for v, s := range labels {
-		e.meta[v].off = int64(word) << 6
+		e.meta[v].off = int64(word) * bitstr.SlabWordBits
 		body := s.Len() - header
 		for i := 0; i < body; i += 64 {
 			chunk := body - i
 			if chunk > 64 {
 				chunk = 64
 			}
-			e.words[word] = s.MustPeekUint(header+i, chunk) << (64 - uint(chunk))
+			binary.BigEndian.PutUint64(e.slab[word<<3:], s.MustPeekUint(header+i, chunk)<<(64-uint(chunk)))
 			word++
 		}
 	}
 	return e, nil
-}
-
-// readBits returns w (1..64) bits of the arena starting at bit offset off,
-// MSB first. Bodies are word-aligned and probes stay inside their body, so
-// a probe spans at most two adjacent in-bounds words. Small enough for the
-// compiler to inline into the search loops.
-func readBits(words []uint64, off int64, w int) uint64 {
-	i := off >> 6
-	sh := uint(off & 63)
-	v := words[i] << sh
-	if sh+uint(w) > 64 {
-		v |= words[i+1] >> (64 - sh)
-	}
-	return v >> (64 - uint(w))
 }
 
 // N returns the number of vertices the engine serves.
@@ -142,24 +185,24 @@ func (e *QueryEngine) Adjacent(u, v int) (bool, error) {
 		if mv.id >= uint64(mu.cnt) {
 			return false, fmt.Errorf("%w: fat id %d outside vector of %d bits", ErrBadLabel, mv.id, mu.cnt)
 		}
-		return readBits(e.words, mu.off+int64(mv.id), 1) == 1, nil
+		return bitstr.SlabReadBits(e.slab, mu.off+int64(mv.id), 1) == 1, nil
 	}
 }
 
 // thinProbe binary-searches thin vertex u's sorted neighbor-id list for
 // target — the O(log n) decode of Theorems 3/4, with each probe at most two
-// word loads at a computed arena offset. Bounds were validated at build
+// word loads at a computed slab offset. Bounds were validated at build
 // time.
 func (e *QueryEngine) thinProbe(m *vertexMeta, target uint64) bool {
 	w := e.w
 	if w == 0 {
 		return false
 	}
-	words, base := e.words, m.off
+	slab, base := e.slab, m.off
 	lo, hi := 0, int(m.cnt)-1
 	for lo <= hi {
 		mid := int(uint(lo+hi) >> 1)
-		got := readBits(words, base+int64(mid*w), w)
+		got := bitstr.SlabReadBits(slab, base+int64(mid*w), w)
 		switch {
 		case got == target:
 			return true

@@ -220,19 +220,30 @@ func (g *Graph) TailCounts() []int {
 }
 
 // VerticesByDegreeDesc returns all vertex IDs sorted by degree, highest
-// first, ties broken by vertex ID for determinism.
+// first, ties broken by vertex ID for determinism. Implemented as a
+// counting sort over the degree histogram — O(n + Δ) instead of a
+// comparison sort — because this ordering is the sequential prefix of every
+// fat/thin encode.
 func (g *Graph) VerticesByDegreeDesc() []int {
-	vs := make([]int, g.n)
-	for i := range vs {
-		vs[i] = i
+	maxDeg := g.MaxDegree()
+	// start[d] = first output slot for degree d, with degrees placed from
+	// high to low and vertices scanned in increasing ID within each degree.
+	start := make([]int, maxDeg+2)
+	for v := 0; v < g.n; v++ {
+		start[g.Degree(v)]++
 	}
-	sort.Slice(vs, func(i, j int) bool {
-		di, dj := g.Degree(vs[i]), g.Degree(vs[j])
-		if di != dj {
-			return di > dj
-		}
-		return vs[i] < vs[j]
-	})
+	pos := 0
+	for d := maxDeg; d >= 0; d-- {
+		c := start[d]
+		start[d] = pos
+		pos += c
+	}
+	vs := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		d := g.Degree(v)
+		vs[start[d]] = v
+		start[d]++
+	}
 	return vs
 }
 

@@ -12,18 +12,23 @@ import (
 // a header line "# n <vertices> m <edges>" followed by one "u v" pair per
 // line with u < v. The format round-trips through ReadEdgeList.
 func (g *Graph) WriteEdgeList(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := fmt.Fprintf(bw, "# n %d m %d\n", g.n, g.M()); err != nil {
 		return err
 	}
 	var werr error
+	// One reused scratch buffer per call: AppendInt formats in place, so the
+	// edge loop allocates nothing.
+	buf := make([]byte, 0, 2*strconv.IntSize/3+2)
 	g.Edges(func(u, v int) {
 		if werr != nil {
 			return
 		}
-		// strconv is much faster than fmt for hot loops.
-		line := strconv.Itoa(u) + " " + strconv.Itoa(v) + "\n"
-		if _, err := bw.WriteString(line); err != nil {
+		buf = strconv.AppendInt(buf[:0], int64(u), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			werr = err
 		}
 	})

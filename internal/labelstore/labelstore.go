@@ -6,12 +6,28 @@
 // Format (all integers little-endian or uvarint):
 //
 //	magic   "PLLB"               4 bytes
-//	version u8                   currently 1
+//	version u8                   1 or 2
 //	scheme  uvarint len + bytes  scheme name (informational)
 //	params  uvarint count, then  key/value string pairs (decoder metadata,
 //	        per pair: len+bytes   e.g. "n", "w")
 //	n       uvarint              number of labels
+//
+// followed by the label payloads. Version 1 packs each label tightly:
+//
 //	labels  n × (uvarint bit length + ceil(len/8) bytes)
+//
+// Version 2 stores the word-aligned slab of the encode pipeline verbatim —
+// one header, one body blob:
+//
+//	lens    n × uvarint          per-label bit lengths
+//	blob    uvarint byte count,  label v starts at byte offset
+//	        then the slab        8·Σ_{u<v} ceil(lens[u]/64)
+//
+// A v2 blob is byte-identical to the in-memory arena of a pipeline-built
+// core.Labeling, so Write(arena-backed file) is a header plus a single
+// contiguous copy, and Read hands the blob to core.NewQueryEngineFromArena
+// with zero relocation. Read understands both versions; Write emits v2 when
+// the file is arena-backed (NewArenaFile) and v1 otherwise.
 package labelstore
 
 import (
@@ -32,17 +48,54 @@ var ErrFormat = errors.New("labelstore: malformed input")
 
 var magic = [4]byte{'P', 'L', 'L', 'B'}
 
-const version = 1
+const (
+	version1 = 1 // tightly packed per-label payloads
+	version2 = 2 // single word-aligned slab blob
+)
 
 // File is an in-memory representation of a label store.
 type File struct {
 	Scheme string
 	Params map[string]string
 	Labels []bitstr.String
+	// arena, when non-nil, is the word-aligned slab the Labels are views
+	// into, with bitLens the per-label bit lengths. Set by NewArenaFile and
+	// by Read on v2 files; selects the v2 single-blob path in Write.
+	arena   []byte
+	bitLens []int
 }
 
 // N returns the number of labels.
 func (f *File) N() int { return len(f.Labels) }
+
+// NewArenaFile builds a store over a word-aligned label slab (the arena of a
+// pipeline-built core.Labeling): label v occupies bits
+// [off_v, off_v+bitLens[v]) where off_v = 64·Σ_{u<v} ceil(bitLens[u]/64).
+// Write serializes such a file in format v2 — one header and the slab as a
+// single body blob.
+func NewArenaFile(scheme string, params map[string]string, slab []byte, bitLens []int) (*File, error) {
+	labels := make([]bitstr.String, len(bitLens))
+	var off int64
+	for v, bits := range bitLens {
+		view, err := bitstr.SlabView(slab, off, bits)
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: arena label %d: %w", v, err)
+		}
+		labels[v] = view
+		off += int64(bitstr.SlabWords(bits)) * bitstr.SlabWordBits
+	}
+	if int(off>>3) != len(slab) {
+		return nil, fmt.Errorf("labelstore: arena slab has %d bytes, labels occupy %d", len(slab), off>>3)
+	}
+	return &File{Scheme: scheme, Params: params, Labels: labels, arena: slab, bitLens: bitLens}, nil
+}
+
+// Arena returns the word-aligned slab backing the store plus the per-label
+// bit lengths, or ok=false when the store is not arena-backed (a v1 file).
+// The pair is accepted directly by core.NewQueryEngineFromArena.
+func (f *File) Arena() (slab []byte, bitLens []int, ok bool) {
+	return f.arena, f.bitLens, f.arena != nil
+}
 
 // IntParam returns an integer metadata parameter.
 func (f *File) IntParam(key string) (int, error) {
@@ -57,13 +110,18 @@ func (f *File) IntParam(key string) (int, error) {
 	return n, nil
 }
 
-// Write serializes the store.
+// Write serializes the store: format v2 (single slab blob) for arena-backed
+// files, v1 (tightly packed per-label payloads) otherwise.
 func Write(w io.Writer, f *File) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(version); err != nil {
+	ver := byte(version1)
+	if f.arena != nil {
+		ver = version2
+	}
+	if err := bw.WriteByte(ver); err != nil {
 		return err
 	}
 	if err := writeString(bw, f.Scheme); err != nil {
@@ -84,6 +142,23 @@ func Write(w io.Writer, f *File) error {
 		if err := writeString(bw, f.Params[k]); err != nil {
 			return err
 		}
+	}
+	if ver == version2 {
+		if err := writeUvarint(bw, uint64(len(f.bitLens))); err != nil {
+			return err
+		}
+		for _, bits := range f.bitLens {
+			if err := writeUvarint(bw, uint64(bits)); err != nil {
+				return err
+			}
+		}
+		if err := writeUvarint(bw, uint64(len(f.arena))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(f.arena); err != nil {
+			return err
+		}
+		return bw.Flush()
 	}
 	if err := writeUvarint(bw, uint64(len(f.Labels))); err != nil {
 		return err
@@ -113,7 +188,7 @@ func Read(r io.Reader) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: version: %v", ErrFormat, err)
 	}
-	if ver != version {
+	if ver != version1 && ver != version2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, ver)
 	}
 	scheme, err := readString(br)
@@ -147,6 +222,9 @@ func Read(r io.Reader) (*File, error) {
 	const maxLabels = 1 << 31
 	if n > maxLabels {
 		return nil, fmt.Errorf("%w: %d labels", ErrFormat, n)
+	}
+	if ver == version2 {
+		return readSlab(br, scheme, params, int(n))
 	}
 	// Arena decode: all label payloads land in one contiguous slab and the
 	// returned strings are (offset, bitlen) views into it — one allocation
@@ -185,6 +263,41 @@ func Read(r io.Reader) (*File, error) {
 		labels[i] = s
 	}
 	return &File{Scheme: scheme, Params: params, Labels: labels}, nil
+}
+
+// readSlab parses the v2 payload: n bit lengths followed by the word-aligned
+// slab as one blob. The blob is read with a single contiguous ReadFull and
+// becomes the store's arena; labels are zero-copy views into it.
+func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) (*File, error) {
+	bitLens := make([]int, n)
+	var words int64
+	for i := range bitLens {
+		bits, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: label %d length: %v", ErrFormat, i, err)
+		}
+		if bits > 1<<34 {
+			return nil, fmt.Errorf("%w: label %d has %d bits", ErrFormat, i, bits)
+		}
+		bitLens[i] = int(bits)
+		words += int64(bitstr.SlabWords(int(bits)))
+	}
+	blobLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: blob length: %v", ErrFormat, err)
+	}
+	if int64(blobLen) != words<<3 {
+		return nil, fmt.Errorf("%w: blob of %d bytes, lengths require %d", ErrFormat, blobLen, words<<3)
+	}
+	slab := make([]byte, blobLen)
+	if _, err := io.ReadFull(br, slab); err != nil {
+		return nil, fmt.Errorf("%w: blob payload: %v", ErrFormat, err)
+	}
+	f, err := NewArenaFile(scheme, params, slab, bitLens)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return f, nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) error {

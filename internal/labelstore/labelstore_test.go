@@ -256,6 +256,165 @@ func TestArenaReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSlabRoundTrip: a pipeline-built labeling round-trips through format v2
+// — labels bit-identical, arena recovered, and a query engine built straight
+// over the loaded blob (zero relocation) answers like the original labeling.
+func TestSlabRoundTrip(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(500, 2.4, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewPowerLawScheme(2.4).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, ok := lab.Arena()
+	if !ok {
+		t.Fatal("pipeline labeling is not arena-backed")
+	}
+	bitLens := make([]int, g.N())
+	origLabels := make([]bitstr.String, g.N())
+	for v := range bitLens {
+		l, err := lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		origLabels[v] = l
+		bitLens[v] = l.Len()
+	}
+	f, err := NewArenaFile(lab.Scheme(), map[string]string{"n": "500"}, slab, bitLens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	// The v2 body is the slab verbatim: the file carries exactly one blob of
+	// len(slab) bytes (plus a small header), not n padded payloads.
+	if buf.Len() >= len(slab)+len(slab)/8+256 {
+		t.Errorf("v2 file is %d bytes for a %d-byte slab", buf.Len(), len(slab))
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scheme != lab.Scheme() || got.N() != g.N() {
+		t.Fatalf("loaded scheme=%q n=%d", got.Scheme, got.N())
+	}
+	for v := range origLabels {
+		if !got.Labels[v].Equal(origLabels[v]) {
+			t.Fatalf("label %d differs after v2 round trip", v)
+		}
+	}
+	gotSlab, gotLens, ok := got.Arena()
+	if !ok {
+		t.Fatal("v2 store lost its arena")
+	}
+	if !bytes.Equal(gotSlab, slab) {
+		t.Fatal("v2 blob differs from the encoder's slab")
+	}
+	eng, err := core.NewQueryEngineFromArena(gotSlab, gotLens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u += 7 {
+		for v := u + 1; v < g.N(); v += 3 {
+			want, err := lab.Adjacent(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotAdj, err := eng.Adjacent(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotAdj != want {
+				t.Fatalf("slab engine (%d,%d) = %v, want %v", u, v, gotAdj, want)
+			}
+		}
+	}
+}
+
+// TestV1BackCompat: files produced by the v1 writer still load — a store
+// built from plain labels takes the v1 path and comes back without an arena.
+func TestV1BackCompat(t *testing.T) {
+	f := sampleFile(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[4]; v != version1 {
+		t.Fatalf("plain store wrote version %d, want %d", v, version1)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := got.Arena(); ok {
+		t.Error("v1 store claims an arena")
+	}
+	for i := range f.Labels {
+		if !got.Labels[i].Equal(f.Labels[i]) {
+			t.Fatalf("label %d differs after v1 round trip", i)
+		}
+	}
+}
+
+// TestSlabReadRejectsCorruption: v2-specific failure modes — truncated blob,
+// blob length disagreeing with the bit lengths — must surface as ErrFormat.
+func TestSlabReadRejectsCorruption(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(100, 2.5, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, _ := lab.Arena()
+	bitLens := make([]int, g.N())
+	for v := range bitLens {
+		l, _ := lab.Label(v)
+		bitLens[v] = l.Len()
+	}
+	f, err := NewArenaFile(lab.Scheme(), nil, slab, bitLens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-5])); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated v2 blob: err = %v, want ErrFormat", err)
+	}
+	// Corrupt the last bit-length uvarint region so lengths and blob size
+	// disagree. The blob length field sits right before the blob.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-len(slab)-1] ^= 0x01 // perturb blob length varint
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrFormat) {
+		t.Errorf("mismatched v2 blob length: err = %v, want ErrFormat", err)
+	}
+}
+
+// TestNewArenaFileValidates: slab/length mismatches are rejected up front.
+func TestNewArenaFileValidates(t *testing.T) {
+	if _, err := NewArenaFile("x", nil, make([]byte, 8), []int{65}); err == nil {
+		t.Error("oversized label accepted")
+	}
+	if _, err := NewArenaFile("x", nil, make([]byte, 24), []int{64}); err == nil {
+		t.Error("trailing slab bytes accepted")
+	}
+	f, err := NewArenaFile("x", nil, make([]byte, 16), []int{3, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Labels[0].Len() != 3 || f.Labels[1].Len() != 64 {
+		t.Errorf("view lengths %d, %d", f.Labels[0].Len(), f.Labels[1].Len())
+	}
+}
+
 // TestArenaReadMasksDirtyPadding: files written by other producers may
 // carry garbage in the padding bits of a label's final byte; Read must
 // zero them so Equal and lexicographic comparisons behave.

@@ -10,6 +10,7 @@ package peernet
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bitstr"
 	"repro/internal/core"
@@ -33,10 +34,15 @@ type Stats struct {
 	Fetches  int64 // label fetches (request/response pairs)
 }
 
-// Network is a fleet of peers, each holding one label.
+// Network is a fleet of peers, each holding one label. Fetch and the stats
+// accessors are safe for concurrent use: coordinators answering a query
+// stream from many goroutines (e.g. AdjacentManyParallel over a service)
+// share one network, so the traffic counters are atomics.
 type Network struct {
 	labels []bitstr.String
-	stats  Stats
+	msgs   atomic.Int64
+	bytes  atomic.Int64
+	fetch  atomic.Int64
 }
 
 // New builds a network from per-vertex labels (peer v holds labels[v]).
@@ -48,22 +54,35 @@ func New(labels []bitstr.String) *Network {
 func (n *Network) N() int { return len(n.labels) }
 
 // Fetch retrieves peer v's label, charging the request/response traffic.
+// Safe for concurrent callers.
 func (n *Network) Fetch(v int) (bitstr.String, error) {
 	if v < 0 || v >= len(n.labels) {
 		return bitstr.String{}, fmt.Errorf("%w: %d of %d", ErrUnknownPeer, v, len(n.labels))
 	}
 	l := n.labels[v]
-	n.stats.Messages += 2
-	n.stats.Fetches++
-	n.stats.Bytes += requestBytes + responseOverheadBytes + int64(l.SizeBytes())
+	n.msgs.Add(2)
+	n.fetch.Add(1)
+	n.bytes.Add(requestBytes + responseOverheadBytes + int64(l.SizeBytes()))
 	return l, nil
 }
 
-// Stats returns the accumulated traffic counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns the accumulated traffic counters. Each counter is read
+// atomically; a snapshot taken while fetches are in flight is consistent per
+// counter, not across counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages: n.msgs.Load(),
+		Bytes:    n.bytes.Load(),
+		Fetches:  n.fetch.Load(),
+	}
+}
 
 // ResetStats zeroes the traffic counters.
-func (n *Network) ResetStats() { n.stats = Stats{} }
+func (n *Network) ResetStats() {
+	n.msgs.Store(0)
+	n.bytes.Store(0)
+	n.fetch.Store(0)
+}
 
 // TwoLabelService answers adjacency queries by fetching both endpoint
 // labels and running a standard two-label decoder.

@@ -36,16 +36,28 @@ func (s AdjMatrix) Encode(g *graph.Graph) (*core.Labeling, error) {
 	w := bitstr.WidthFor(uint64(n))
 	labels := make([]bitstr.String, n)
 	var b bitstr.Builder
+	// One vector reused for every row: it grows with v (vertices are walked
+	// in order, so Grow extends by one bit per step at amortized O(1)) and is
+	// wiped by clearing only the bits that were set — O(deg) instead of
+	// zeroing the whole row.
+	vec := bitstr.NewVector(0)
 	for v := 0; v < n; v++ {
 		b.Reset()
+		b.Grow(w + v)
 		b.AppendUint(uint64(v), w)
-		vec := bitstr.NewVector(v)
-		for _, u := range g.Neighbors(v) {
+		vec.Grow(v)
+		nbrs := g.Neighbors(v)
+		for _, u := range nbrs {
 			if int(u) < v {
 				vec.Set(int(u))
 			}
 		}
 		vec.Append(&b)
+		for _, u := range nbrs {
+			if int(u) < v {
+				vec.Clear(int(u))
+			}
+		}
 		labels[v] = b.String()
 	}
 	return core.NewLabeling(s.Name(), labels, NewAdjMatrixDecoder(n)), nil
@@ -113,6 +125,7 @@ func (s NeighborList) Encode(g *graph.Graph) (*core.Labeling, error) {
 	var b bitstr.Builder
 	for v := 0; v < n; v++ {
 		b.Reset()
+		b.Grow(1 + w + g.Degree(v)*w)
 		b.AppendBit(false)
 		b.AppendUint(uint64(v), w)
 		for _, u := range g.Neighbors(v) {
