@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -23,7 +25,7 @@ func TestGenerateModels(t *testing.T) {
 		{"pl", 4096},
 	}
 	for _, tc := range cases {
-		g, err := generate(tc.model, tc.n, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1)
+		g, _, err := generate(tc.model, tc.n, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.model, err)
 		}
@@ -31,10 +33,10 @@ func TestGenerateModels(t *testing.T) {
 			t.Errorf("%s: n=%d, want %d", tc.model, g.N(), tc.n)
 		}
 	}
-	if _, err := generate("hierarchical", 4096, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1); err != nil {
+	if _, _, err := generate("hierarchical", 4096, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1, 2); err != nil {
 		t.Fatalf("hierarchical: %v", err)
 	}
-	if _, err := generate("nope", 10, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1); err == nil {
+	if _, _, err := generate("nope", 10, 2.5, 2, 3, 0.05, 0.4, 0.15, 1.0, 1.1, 1, 2); err == nil {
 		t.Error("unknown model accepted")
 	}
 }
@@ -50,6 +52,54 @@ func TestRunWritesEdgeList(t *testing.T) {
 	}
 	if g.N() != 50 {
 		t.Errorf("round-tripped n=%d", g.N())
+	}
+}
+
+// TestRunWorkerInvariance asserts the flagship determinism contract at the
+// CLI level: the emitted bytes are identical at every -workers value for a
+// fixed seed.
+func TestRunWorkerInvariance(t *testing.T) {
+	for _, model := range []string{"chunglu", "er", "config"} {
+		var ref bytes.Buffer
+		if err := run([]string{"-model", model, "-n", "400", "-p", "0.02", "-seed", "7", "-workers", "1"}, &ref); err != nil {
+			t.Fatalf("%s workers=1: %v", model, err)
+		}
+		for _, workers := range []string{"2", "7"} {
+			var out bytes.Buffer
+			if err := run([]string{"-model", model, "-n", "400", "-p", "0.02", "-seed", "7", "-workers", workers}, &out); err != nil {
+				t.Fatalf("%s workers=%s: %v", model, workers, err)
+			}
+			if !bytes.Equal(ref.Bytes(), out.Bytes()) {
+				t.Errorf("%s: output differs between -workers 1 and -workers %s", model, workers)
+			}
+		}
+	}
+}
+
+// TestRunOutputFile exercises the -o path: the file must be written,
+// closed exactly once, and parse back to the same graph as stdout output.
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.el")
+	if err := run([]string{"-model", "chunglu", "-n", "300", "-seed", "3", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := run([]string{"-model", "chunglu", "-n", "300", "-seed", "3"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, direct.Bytes()) {
+		t.Error("-o file content differs from stdout content")
+	}
+	g, err := graph.ReadEdgeList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 300 {
+		t.Errorf("n=%d, want 300", g.N())
 	}
 }
 

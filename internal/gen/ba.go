@@ -21,13 +21,14 @@ func BarabasiAlbert(n, m int, seed int64) (*graph.Graph, error) {
 		return nil, fmt.Errorf("gen: BA needs n >= m+1 (n=%d, m=%d)", n, m)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 
 	// repeated holds one copy of each edge endpoint; sampling uniformly from
 	// it realises degree-proportional selection in O(1).
 	repeated := make([]int32, 0, 2*m*n)
 	addEdge := func(u, v int) {
-		mustEdge(b, u, v)
+		s.Add(int32(u), int32(v))
 		repeated = append(repeated, int32(u), int32(v))
 	}
 
@@ -59,5 +60,5 @@ func BarabasiAlbert(n, m int, seed int64) (*graph.Graph, error) {
 			addEdge(t, v)
 		}
 	}
-	return b.Build(), nil
+	return eb.Build(1), nil
 }

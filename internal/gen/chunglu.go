@@ -1,10 +1,11 @@
 package gen
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -42,20 +43,22 @@ func PowerLawWeights(n int, alpha, wmin float64) ([]float64, error) {
 // probability min(1, w_u·w_v / Σw). Uses the Miller–Hagberg skipping
 // algorithm, which runs in O(n + m) expected time and requires the weights
 // sorted in non-increasing order (the function sorts a copy; vertex i of the
-// output has weight rank i).
+// output has weight rank i). This is the single-RNG-stream reference
+// sampler; ChungLuParallel draws the same distribution from sharded
+// per-range streams.
 func ChungLu(weights []float64, seed int64) *graph.Graph {
 	n := len(weights)
-	w := make([]float64, n)
-	copy(w, weights)
-	sort.Sort(sort.Reverse(sort.Float64Slice(w)))
+	w := slices.Clone(weights)
+	slices.SortFunc(w, func(a, b float64) int { return cmp.Compare(b, a) })
 	var total float64
 	for _, x := range w {
 		total += x
 	}
-	b := graph.NewBuilder(n)
 	if total <= 0 || n < 2 {
-		return b.Build()
+		return graph.Empty(n)
 	}
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	rng := rand.New(rand.NewSource(seed))
 	for u := 0; u < n-1; u++ {
 		v := u + 1
@@ -68,14 +71,14 @@ func ChungLu(weights []float64, seed int64) *graph.Graph {
 			if v < n {
 				q := math.Min(w[u]*w[v]/total, 1)
 				if rng.Float64() < q/p {
-					mustEdge(b, u, v)
+					s.Add(int32(u), int32(v))
 				}
 				p = q
 				v++
 			}
 		}
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // ChungLuPowerLaw is the composition used throughout the experiments: a

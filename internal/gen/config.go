@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -40,7 +40,7 @@ func NewZetaDegreeSampler(alpha float64, kmax int) (*ZetaDegreeSampler, error) {
 // Sample draws one degree.
 func (s *ZetaDegreeSampler) Sample(rng *rand.Rand) int {
 	u := rng.Float64()
-	i := sort.SearchFloat64s(s.cdf, u)
+	i, _ := slices.BinarySearch(s.cdf, u)
 	if i >= len(s.cdf) {
 		i = len(s.cdf) - 1
 	}
@@ -78,37 +78,13 @@ func PowerLawDegreeSequence(n int, alpha float64, kmax int, seed int64) ([]int, 
 // model: stubs are shuffled and paired, and self-loops/parallel edges are
 // dropped. The realized degrees are therefore ≤ the requested ones, with the
 // discrepancy concentrated on the largest hubs, which preserves the
-// power-law tail shape used in the experiments.
+// power-law tail shape used in the experiments. Parallel-edge erasure
+// happens in the EdgeBuilder's build-time dedup (equivalent to dropping at
+// insertion, without the per-edge HasEdge scan); ConfigurationModelParallel
+// runs the same pairing fanned out over workers and returns the identical
+// graph.
 func ConfigurationModel(degrees []int, seed int64) (*graph.Graph, error) {
-	n := len(degrees)
-	var stubs []int32
-	total := 0
-	for v, d := range degrees {
-		if d < 0 {
-			return nil, fmt.Errorf("gen: negative degree %d at vertex %d", d, v)
-		}
-		if d >= n {
-			return nil, fmt.Errorf("gen: degree %d at vertex %d exceeds n-1=%d", d, v, n-1)
-		}
-		total += d
-		for i := 0; i < d; i++ {
-			stubs = append(stubs, int32(v))
-		}
-	}
-	if total%2 == 1 {
-		return nil, fmt.Errorf("gen: degree sum %d is odd", total)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
-	b := graph.NewBuilder(n)
-	for i := 0; i+1 < len(stubs); i += 2 {
-		u, v := int(stubs[i]), int(stubs[i+1])
-		if u == v || b.HasEdge(u, v) {
-			continue // erased configuration model: drop collisions
-		}
-		mustEdge(b, u, v)
-	}
-	return b.Build(), nil
+	return ConfigurationModelParallel(degrees, seed, 1)
 }
 
 // PowerLawConfiguration composes the two: an n-vertex erased

@@ -5,7 +5,12 @@
 // paper's Section-5 constructive embedding into the P_l family.
 //
 // All generators take an explicit seed (or *rand.Rand) so that every
-// experiment is reproducible bit-for-bit.
+// experiment is reproducible bit-for-bit. Generators that stream edges
+// without needing incremental membership tests collect into a
+// graph.EdgeBuilder (the two-pass CSR path); the ones that must query the
+// partial graph while generating (ErdosRenyiM, Hierarchical, PlEmbed) stay
+// on graph.Builder. The *Parallel variants in parallel.go shard the
+// samplers across workers with fixed per-range RNG streams.
 package gen
 
 import (
@@ -18,84 +23,91 @@ import (
 
 // Path returns the path graph on n vertices: 0-1-...-(n-1).
 func Path(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	for i := 0; i+1 < n; i++ {
-		mustEdge(b, i, i+1)
+		s.Add(int32(i), int32(i+1))
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // Cycle returns the cycle graph on n vertices (n >= 3 for a proper cycle;
 // smaller n degrade to a path).
 func Cycle(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	for i := 0; i+1 < n; i++ {
-		mustEdge(b, i, i+1)
+		s.Add(int32(i), int32(i+1))
 	}
 	if n >= 3 {
-		mustEdge(b, n-1, 0)
+		s.Add(int32(n-1), 0)
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // Star returns the star K_{1,n-1} with center 0.
 func Star(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	for i := 1; i < n; i++ {
-		mustEdge(b, 0, i)
+		s.Add(0, int32(i))
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *graph.Graph {
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
-			mustEdge(b, u, v)
+			s.Add(int32(u), int32(v))
 		}
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
 func CompleteBipartite(a, b int) *graph.Graph {
-	bl := graph.NewBuilder(a + b)
+	eb := graph.NewEdgeBuilder(a+b, 1)
+	s := eb.Shard(0)
 	for u := 0; u < a; u++ {
 		for v := a; v < a+b; v++ {
-			mustEdge(bl, u, v)
+			s.Add(int32(u), int32(v))
 		}
 	}
-	return bl.Build()
+	return eb.Build(1)
 }
 
 // Grid returns the rows×cols grid graph.
 func Grid(rows, cols int) *graph.Graph {
-	b := graph.NewBuilder(rows * cols)
-	id := func(r, c int) int { return r*cols + c }
+	eb := graph.NewEdgeBuilder(rows*cols, 1)
+	s := eb.Shard(0)
+	id := func(r, c int) int32 { return int32(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				mustEdge(b, id(r, c), id(r, c+1))
+				s.Add(id(r, c), id(r, c+1))
 			}
 			if r+1 < rows {
-				mustEdge(b, id(r, c), id(r+1, c))
+				s.Add(id(r, c), id(r+1, c))
 			}
 		}
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // ErdosRenyi returns a G(n, p) sample using geometric edge skipping, which
 // runs in O(n + m) expected time.
 func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
-	b := graph.NewBuilder(n)
 	if p <= 0 || n < 2 {
-		return b.Build()
+		return graph.Empty(n)
 	}
 	if p >= 1 {
 		return Complete(n)
 	}
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	rng := rand.New(rand.NewSource(seed))
 	// Batagelj–Brandes geometric skipping: u is the larger endpoint, w the
 	// smaller; row u has cells w = 0..u-1.
@@ -109,14 +121,15 @@ func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
 			u++
 		}
 		if u < n {
-			mustEdge(b, u, w)
+			s.Add(int32(u), int32(w))
 		}
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 // ErdosRenyiM returns a uniform graph with exactly m distinct edges
-// (m is clamped to the number of available vertex pairs).
+// (m is clamped to the number of available vertex pairs). Needs incremental
+// HasEdge rejection, so it builds through graph.Builder.
 func ErdosRenyiM(n, m int, seed int64) *graph.Graph {
 	maxM := n * (n - 1) / 2
 	if m > maxM {
@@ -141,11 +154,12 @@ func ErdosRenyiM(n, m int, seed int64) *graph.Graph {
 // vertex i attaches to a uniformly random earlier vertex.
 func RandomTree(n int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	for v := 1; v < n; v++ {
-		mustEdge(b, rng.Intn(v), v)
+		s.Add(int32(rng.Intn(v)), int32(v))
 	}
-	return b.Build()
+	return eb.Build(1)
 }
 
 func mustEdge(b *graph.Builder, u, v int) {

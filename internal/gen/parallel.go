@@ -1,0 +1,337 @@
+package gen
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Sharded parallel samplers
+//
+// The skipping samplers (Miller–Hagberg for Chung–Lu, Batagelj–Brandes for
+// G(n,p)) draw each source row's edges from a contiguous run of the RNG
+// stream, so rows are independent given independent streams. The parallel
+// variants below exploit that: source rows are partitioned into a *fixed*
+// set of ranges (sized by expected edge work, but never by worker count),
+// each range draws from its own RNG stream seeded by a splitmix64 mix of
+// (seed, range index), and workers pull ranges from a shared counter into
+// per-worker EdgeBuilder shards. Because the range decomposition and every
+// range's stream depend only on the seed, the sampled edge multiset — and
+// hence the built graph — is bit-identical for every worker count; only
+// scheduling changes. (The draws differ from the single-stream sequential
+// samplers, which remain available; conformance is asserted statistically
+// in parallel_test.go.)
+//
+// The erased configuration model is different: its randomness is one global
+// stub shuffle, which stays sequential, while stub filling and pairing —
+// the O(Σdeg) passes — fan out over index ranges. Its parallel output is
+// therefore *identical* to the sequential ConfigurationModel, not merely
+// equal in distribution.
+
+// samplerRanges is the fixed number of row ranges a parallel sampler cuts
+// its source rows into. It is a constant — never derived from the worker
+// count — so the range→stream mapping, and with it the sampled graph, is
+// invariant under the degree of parallelism. 512 ranges keep the work
+// queue fine-grained enough to balance power-law row skew at any plausible
+// GOMAXPROCS.
+const samplerRanges = 512
+
+// rngStream returns the RNG for stream id under the given master seed,
+// derived with a splitmix64 finalizer so that nearby (seed, id) pairs give
+// uncorrelated streams.
+func rngStream(seed int64, id int) *rand.Rand {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// workCuts splits rows [0, rows) into at most parts contiguous ranges of
+// roughly equal total work, where work is the given monotone prefix sum
+// (prefix[i] = work of rows < i). Returns monotone cut points starting at
+// 0 and ending at rows. The cuts depend only on the prefix, keeping them
+// worker-count invariant.
+func workCuts(prefix []float64, parts int) []int {
+	rows := len(prefix) - 1
+	if parts > rows {
+		parts = rows
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if rows == 0 {
+		return []int{0, 0}
+	}
+	total := prefix[rows]
+	cuts := make([]int, 0, parts+1)
+	cuts = append(cuts, 0)
+	for i := 1; i < parts; i++ {
+		target := total * float64(i) / float64(parts)
+		lo, _ := slices.BinarySearch(prefix, target)
+		if lo > rows {
+			lo = rows
+		}
+		if lo <= cuts[len(cuts)-1] || lo >= rows {
+			continue
+		}
+		cuts = append(cuts, lo)
+	}
+	cuts = append(cuts, rows)
+	return cuts
+}
+
+// runSharded executes fn(shard, range) for every range r in [0, ranges),
+// pulling ranges off a shared counter with workers goroutines, each owning
+// one EdgeBuilder shard. Range order within a shard is nondeterministic,
+// which the EdgeBuilder erases at Build time.
+func runSharded(eb *graph.EdgeBuilder, workers, ranges int, fn func(s *graph.EdgeShard, r int)) {
+	if workers > ranges {
+		workers = ranges
+	}
+	if workers <= 1 {
+		s := eb.Shard(0)
+		for r := 0; r < ranges; r++ {
+			fn(s, r)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(s *graph.EdgeShard) {
+			defer wg.Done()
+			for {
+				r := next.Add(1) - 1
+				if r >= int64(ranges) {
+					return
+				}
+				fn(s, int(r))
+			}
+		}(eb.Shard(w))
+	}
+	wg.Wait()
+}
+
+func clampWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ChungLuParallelEdges samples the Chung–Lu edge set for the given
+// expected-degree weights into an unbuilt EdgeBuilder, fanning the
+// Miller–Hagberg row loop out over workers goroutines. Vertex i of the
+// output has weight rank i, as in ChungLu. The sampled multiset depends
+// only on the seed, never on workers.
+func ChungLuParallelEdges(weights []float64, seed int64, workers int) *graph.EdgeBuilder {
+	workers = clampWorkers(workers)
+	n := len(weights)
+	w := slices.Clone(weights)
+	// Non-increasing, matching ChungLu's sort.Reverse.
+	slices.SortFunc(w, func(a, b float64) int { return cmp.Compare(b, a) })
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	eb := graph.NewEdgeBuilder(n, workers)
+	if total <= 0 || n < 2 {
+		return eb
+	}
+	// Expected edges from source row u ≈ w_u · (Σ_{v>u} w_v)/total; +1 for
+	// the fixed per-row cost. With weights sorted non-increasing the early
+	// rows are hubs, so equal-row ranges would be badly skewed.
+	rowWork := make([]float64, n-1)
+	suffix := 0.0
+	for u := n - 2; u >= 0; u-- {
+		suffix += w[u+1]
+		rowWork[u] = 1 + w[u]*suffix/total
+	}
+	prefix := make([]float64, n)
+	for u, rw := range rowWork {
+		prefix[u+1] = prefix[u] + rw
+	}
+	cuts := workCuts(prefix, samplerRanges)
+	runSharded(eb, workers, len(cuts)-1, func(s *graph.EdgeShard, r int) {
+		rng := rngStream(seed, r)
+		for u := cuts[r]; u < cuts[r+1]; u++ {
+			v := u + 1
+			p := math.Min(w[u]*w[v]/total, 1)
+			for v < n && p > 0 {
+				if p != 1 {
+					x := rng.Float64()
+					v += int(logf(x) / logOneMinus(p))
+				}
+				if v < n {
+					q := math.Min(w[u]*w[v]/total, 1)
+					if rng.Float64() < q/p {
+						s.Add(int32(u), int32(v))
+					}
+					p = q
+					v++
+				}
+			}
+		}
+	})
+	return eb
+}
+
+// ChungLuParallel is ChungLuParallelEdges followed by a parallel CSR
+// build: a Chung–Lu sample constructed end-to-end with workers
+// goroutines, bit-identical across worker counts for a fixed seed.
+func ChungLuParallel(weights []float64, seed int64, workers int) *graph.Graph {
+	workers = clampWorkers(workers)
+	return ChungLuParallelEdges(weights, seed, workers).Build(workers)
+}
+
+// ChungLuPowerLawParallel composes PowerLawWeights with the parallel
+// Chung–Lu sampler — the parallel counterpart of ChungLuPowerLaw.
+func ChungLuPowerLawParallel(n int, alpha, wmin float64, seed int64, workers int) (*graph.Graph, error) {
+	w, err := PowerLawWeights(n, alpha, wmin)
+	if err != nil {
+		return nil, err
+	}
+	return ChungLuParallel(w, seed, workers), nil
+}
+
+// ErdosRenyiParallelEdges samples G(n, p) into an unbuilt EdgeBuilder
+// using per-range Batagelj–Brandes skipping: row u (the larger endpoint)
+// owns cells w = 0..u-1, and each row range skips through its own cell
+// sequence with its own RNG stream. Requires 0 < p < 1; the ErdosRenyiParallel
+// wrapper handles the degenerate cases.
+func ErdosRenyiParallelEdges(n int, p float64, seed int64, workers int) *graph.EdgeBuilder {
+	workers = clampWorkers(workers)
+	eb := graph.NewEdgeBuilder(n, workers)
+	if p <= 0 || p >= 1 || n < 2 {
+		return eb
+	}
+	lnq := logOneMinus(p)
+	// Row u has u cells; expected edges u·p. Work prefix over rows 1..n-1
+	// (row 0 owns no cells).
+	prefix := make([]float64, n)
+	prefix[0] = 0
+	for u := 1; u < n; u++ {
+		prefix[u] = prefix[u-1] + 1 + float64(u)*p
+	}
+	cuts := workCuts(prefix, samplerRanges)
+	runSharded(eb, workers, len(cuts)-1, func(s *graph.EdgeShard, r int) {
+		lo, hi := cuts[r]+1, cuts[r+1]+1 // shift: range row i covers source u=i+1
+		rng := rngStream(seed, r)
+		u, w := lo, -1
+		for u < hi {
+			x := rng.Float64()
+			w += 1 + int(logf(1-x)/lnq)
+			for u < hi && w >= u {
+				w -= u
+				u++
+			}
+			if u < hi {
+				s.Add(int32(u), int32(w))
+			}
+		}
+	})
+	return eb
+}
+
+// ErdosRenyiParallel returns a G(n, p) sample constructed with workers
+// goroutines, bit-identical across worker counts for a fixed seed.
+func ErdosRenyiParallel(n int, p float64, seed int64, workers int) *graph.Graph {
+	workers = clampWorkers(workers)
+	if p >= 1 && n >= 2 {
+		return Complete(n)
+	}
+	return ErdosRenyiParallelEdges(n, p, seed, workers).Build(workers)
+}
+
+// ConfigurationModelEdges realizes a degree sequence as erased
+// configuration-model edges in an unbuilt EdgeBuilder. The stub shuffle —
+// the only randomness — is one sequential Fisher–Yates pass, exactly as in
+// ConfigurationModel; stub filling and the pairing pass fan out over index
+// ranges. Self-loops are dropped here; parallel edges are erased by the
+// EdgeBuilder's build-time dedup, which yields the same simple graph as
+// dropping them at insertion.
+func ConfigurationModelEdges(degrees []int, seed int64, workers int) (*graph.EdgeBuilder, error) {
+	workers = clampWorkers(workers)
+	n := len(degrees)
+	offs := make([]int64, n+1)
+	var total int64
+	for v, d := range degrees {
+		if d < 0 {
+			return nil, fmt.Errorf("gen: negative degree %d at vertex %d", d, v)
+		}
+		if d >= n {
+			return nil, fmt.Errorf("gen: degree %d at vertex %d exceeds n-1=%d", d, v, n-1)
+		}
+		offs[v] = total
+		total += int64(d)
+	}
+	offs[n] = total
+	if total%2 == 1 {
+		return nil, fmt.Errorf("gen: degree sum %d is odd", total)
+	}
+	eb := graph.NewEdgeBuilder(n, workers)
+	if total == 0 {
+		return eb, nil
+	}
+	stubs := make([]int32, total)
+	vertexCuts := workCuts(prefixFloat(offs), samplerRanges)
+	runSharded(eb, workers, len(vertexCuts)-1, func(_ *graph.EdgeShard, r int) {
+		for v := vertexCuts[r]; v < vertexCuts[r+1]; v++ {
+			row := stubs[offs[v]:offs[v+1]]
+			for i := range row {
+				row[i] = int32(v)
+			}
+		}
+	})
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	pairs := int(total / 2)
+	pairPrefix := make([]float64, pairs+1)
+	for i := 1; i <= pairs; i++ {
+		pairPrefix[i] = float64(i)
+	}
+	pairCuts := workCuts(pairPrefix, samplerRanges)
+	runSharded(eb, workers, len(pairCuts)-1, func(s *graph.EdgeShard, r int) {
+		for i := pairCuts[r]; i < pairCuts[r+1]; i++ {
+			u, v := stubs[2*i], stubs[2*i+1]
+			if u != v {
+				s.Add(u, v)
+			}
+		}
+	})
+	return eb, nil
+}
+
+// prefixFloat converts an int64 prefix-sum into the float64 form workCuts
+// consumes.
+func prefixFloat(offs []int64) []float64 {
+	out := make([]float64, len(offs))
+	for i, x := range offs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// ConfigurationModelParallel realizes a degree sequence with workers
+// goroutines. For a fixed seed the result is identical to the sequential
+// ConfigurationModel at every worker count (the shuffle is shared; only
+// the stub filling, pairing and CSR build are parallel).
+func ConfigurationModelParallel(degrees []int, seed int64, workers int) (*graph.Graph, error) {
+	workers = clampWorkers(workers)
+	eb, err := ConfigurationModelEdges(degrees, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	return eb.Build(workers), nil
+}

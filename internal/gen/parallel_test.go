@@ -1,0 +1,262 @@
+package gen
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// workerCounts is the matrix every parallel sampler must be invariant over.
+var workerCounts = []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+
+func graphBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// assertWorkerInvariant builds the graph at every worker count and asserts
+// byte-identical serializations.
+func assertWorkerInvariant(t *testing.T, name string, build func(workers int) *graph.Graph) {
+	t.Helper()
+	var ref []byte
+	for _, w := range workerCounts {
+		got := graphBytes(t, build(w))
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(ref, got) {
+			t.Errorf("%s: graph differs between workers=%d and workers=%d", name, workerCounts[0], w)
+		}
+	}
+}
+
+func TestChungLuParallelWorkerInvariance(t *testing.T) {
+	w, err := PowerLawWeights(2000, 2.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWorkerInvariant(t, "chunglu", func(workers int) *graph.Graph {
+		return ChungLuParallel(w, 11, workers)
+	})
+}
+
+func TestErdosRenyiParallelWorkerInvariance(t *testing.T) {
+	assertWorkerInvariant(t, "er", func(workers int) *graph.Graph {
+		return ErdosRenyiParallel(1500, 0.01, 11, workers)
+	})
+}
+
+func TestConfigurationModelParallelWorkerInvariance(t *testing.T) {
+	deg, err := PowerLawDegreeSequence(2000, 2.5, 1999, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertWorkerInvariant(t, "config", func(workers int) *graph.Graph {
+		g, err := ConfigurationModelParallel(deg, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	})
+}
+
+// TestConfigurationModelParallelMatchesSequential: the parallel variant
+// shares the sequential shuffle, so it must produce the *identical* graph,
+// not merely one from the same distribution.
+func TestConfigurationModelParallelMatchesSequential(t *testing.T) {
+	deg, err := PowerLawDegreeSequence(1500, 2.5, 1499, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ConfigurationModel(deg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ConfigurationModelParallel(deg, 42, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualGraph(seq, par) {
+		t.Error("parallel configuration model differs from sequential")
+	}
+}
+
+func TestParallelSamplersDeterministicAndSeedSensitive(t *testing.T) {
+	w, err := PowerLawWeights(1000, 2.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := graphBytes(t, ChungLuParallel(w, 3, 4))
+	b := graphBytes(t, ChungLuParallel(w, 3, 4))
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different graphs")
+	}
+	c := graphBytes(t, ChungLuParallel(w, 4, 4))
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+// ksStatistic computes the two-sample Kolmogorov–Smirnov statistic of two
+// integer samples: the max distance between their empirical CDFs,
+// evaluated at distinct values (ties advance both cursors together, as
+// required for discrete data).
+func ksStatistic(a, b []int) float64 {
+	sa, sb := append([]int(nil), a...), append([]int(nil), b...)
+	sort.Ints(sa)
+	sort.Ints(sb)
+	i, j, d := 0, 0, 0.0
+	for i < len(sa) || j < len(sb) {
+		var x int
+		switch {
+		case i >= len(sa):
+			x = sb[j]
+		case j >= len(sb):
+			x = sa[i]
+		case sa[i] <= sb[j]:
+			x = sa[i]
+		default:
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] == x {
+			i++
+		}
+		for j < len(sb) && sb[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// TestChungLuParallelConformance: the sharded sampler draws a different
+// realization than the single-stream ChungLu, but from the same
+// distribution. Check edge-count agreement and a KS-style bound on the
+// degree distributions.
+func TestChungLuParallelConformance(t *testing.T) {
+	const n = 6000
+	w, err := PowerLawWeights(n, 2.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := ChungLu(w, 17)
+	par := ChungLuParallel(w, 17, 4)
+	ms, mp := float64(seq.M()), float64(par.M())
+	if mp < ms*0.9 || mp > ms*1.1 {
+		t.Errorf("edge counts diverge: sequential %v, parallel %v", ms, mp)
+	}
+	if d := ksStatistic(seq.Degrees(), par.Degrees()); d > 0.05 {
+		t.Errorf("degree-distribution KS statistic %.4f exceeds 0.05", d)
+	}
+	// Degree sums must agree within a few percent (same expected value).
+	var ds, dp int
+	for _, d := range seq.Degrees() {
+		ds += d
+	}
+	for _, d := range par.Degrees() {
+		dp += d
+	}
+	if math.Abs(float64(ds-dp)) > 0.1*float64(ds) {
+		t.Errorf("degree sums diverge: %d vs %d", ds, dp)
+	}
+}
+
+// TestErdosRenyiParallelConformance checks the parallel G(n,p) edge count
+// against its binomial expectation.
+func TestErdosRenyiParallelConformance(t *testing.T) {
+	const (
+		n = 3000
+		p = 0.004
+	)
+	g := ErdosRenyiParallel(n, p, 23, 4)
+	mean := p * float64(n) * float64(n-1) / 2
+	sd := math.Sqrt(mean * (1 - p))
+	if m := float64(g.M()); math.Abs(m-mean) > 6*sd {
+		t.Errorf("m=%v, expected %v ± %v", m, mean, 6*sd)
+	}
+	// Cross-seed independence sanity: two seeds differ.
+	if graph.EqualGraph(g, ErdosRenyiParallel(n, p, 24, 4)) {
+		t.Error("different seeds produced identical G(n,p)")
+	}
+}
+
+func TestErdosRenyiParallelExtremes(t *testing.T) {
+	if g := ErdosRenyiParallel(10, 0, 1, 4); g.M() != 0 {
+		t.Errorf("p=0: m=%d", g.M())
+	}
+	if g := ErdosRenyiParallel(6, 1, 1, 4); g.M() != 15 {
+		t.Errorf("p=1: m=%d", g.M())
+	}
+	if g := ErdosRenyiParallel(1, 0.5, 1, 4); g.N() != 1 || g.M() != 0 {
+		t.Error("n=1 wrong")
+	}
+}
+
+func TestChungLuParallelDegenerate(t *testing.T) {
+	if g := ChungLuParallel(nil, 1, 4); g.N() != 0 {
+		t.Error("empty weights wrong")
+	}
+	if g := ChungLuParallel([]float64{5}, 1, 4); g.N() != 1 || g.M() != 0 {
+		t.Error("single vertex wrong")
+	}
+	if g := ChungLuParallel([]float64{0, 0, 0}, 1, 4); g.M() != 0 {
+		t.Error("zero weights produced edges")
+	}
+}
+
+func TestChungLuPowerLawParallel(t *testing.T) {
+	g, err := ChungLuPowerLawParallel(2000, 2.5, 2, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 || g.M() == 0 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := ChungLuPowerLawParallel(100, 1.5, 2, 7, 3); err == nil {
+		t.Error("alpha <= 2 accepted")
+	}
+}
+
+func TestConfigurationModelEdgesErrors(t *testing.T) {
+	if _, err := ConfigurationModelEdges([]int{-1, 1}, 1, 2); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := ConfigurationModelEdges([]int{3, 1}, 1, 2); err == nil {
+		t.Error("degree >= n accepted")
+	}
+	if _, err := ConfigurationModelEdges([]int{1, 1, 1}, 1, 2); err == nil {
+		t.Error("odd degree sum accepted")
+	}
+	eb, err := ConfigurationModelEdges([]int{0, 0}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := eb.Build(1); g.M() != 0 {
+		t.Error("empty degree sequence produced edges")
+	}
+}
+
+// TestRngStreamsDiffer guards the stream derivation: adjacent range ids
+// under the same seed must give visibly different streams.
+func TestRngStreamsDiffer(t *testing.T) {
+	a, b := rngStream(1, 0), rngStream(1, 1)
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("adjacent streams identical")
+	}
+}

@@ -29,14 +29,15 @@ func Waxman(n int, beta, gamma float64, seed int64) (*graph.Graph, error) {
 		ys[i] = rng.Float64()
 	}
 	l := math.Sqrt2
-	b := graph.NewBuilder(n)
+	eb := graph.NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
 			if rng.Float64() < beta*math.Exp(-d/(l*gamma)) {
-				mustEdge(b, u, v)
+				s.Add(int32(u), int32(v))
 			}
 		}
 	}
-	return b.Build(), nil
+	return eb.Build(1), nil
 }

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Two-pass CSR construction
+//
+// Builder (graph.go) is convenient for generators that need incremental
+// HasEdge membership, but its per-vertex append slices cost one allocation
+// trail per vertex and its Build sorts n tiny slices one at a time. The
+// EdgeBuilder below is the bulk path: edges are collected into per-shard
+// chunked buffers (one shard per producer goroutine, no locks), and Build
+// assembles the CSR in flat passes over those buffers:
+//
+//  1. count: per-vertex incidence counts (atomic adds when parallel);
+//  2. prefix-sum: one offsets array over the counts;
+//  3. scatter: every edge written to both endpoints' ranges, slots claimed
+//     by per-vertex cursors;
+//  4. sort+dedup: each vertex's range sorted and compacted in place,
+//     parallel over edge-balanced vertex ranges, then compacted into the
+//     final neighbors array with a second prefix-sum.
+//
+// Because every adjacency row is sorted and deduplicated before it becomes
+// visible, the resulting Graph depends only on the *multiset* of added
+// edges — never on shard assignment, scatter interleaving, or worker
+// count. Build(w) is therefore bit-identical for every w given the same
+// edges, which the worker-invariance tests assert.
+
+// edgeChunk is the number of edges per shard buffer chunk (64k edges =
+// 512 KiB). Chunking keeps shard growth allocation-cheap: full chunks are
+// parked and never copied again.
+const edgeChunk = 1 << 16
+
+// Edge is one undirected edge {U, V} held in a shard buffer.
+type Edge struct{ U, V int32 }
+
+// EdgeBuilder accumulates edges for a graph on {0..n-1} into per-shard
+// buffers and freezes them into a CSR Graph with a two-pass parallel build.
+// Use one shard per producer goroutine; a shard must not be shared between
+// goroutines without external synchronization, but distinct shards may be
+// filled concurrently.
+type EdgeBuilder struct {
+	n      int
+	shards []EdgeShard
+}
+
+// EdgeShard is one producer's chunked edge buffer. The pad keeps hot shard
+// headers on distinct cache lines when shards are filled concurrently.
+type EdgeShard struct {
+	chunks [][]Edge
+	cur    []Edge
+	_      [64]byte
+}
+
+// NewEdgeBuilder returns a builder for a graph with n vertices and the
+// given number of producer shards (clamped to at least 1).
+func NewEdgeBuilder(n, shards int) *EdgeBuilder {
+	if n < 0 {
+		n = 0
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return &EdgeBuilder{n: n, shards: make([]EdgeShard, shards)}
+}
+
+// N returns the number of vertices.
+func (b *EdgeBuilder) N() int { return b.n }
+
+// Shards returns the number of producer shards.
+func (b *EdgeBuilder) Shards() int { return len(b.shards) }
+
+// Shard returns producer shard i.
+func (b *EdgeBuilder) Shard(i int) *EdgeShard { return &b.shards[i] }
+
+// Len returns the total number of buffered edges (duplicates included).
+func (b *EdgeBuilder) Len() int64 {
+	var total int64
+	for i := range b.shards {
+		s := &b.shards[i]
+		for _, c := range s.chunks {
+			total += int64(len(c))
+		}
+		total += int64(len(s.cur))
+	}
+	return total
+}
+
+// Add buffers the undirected edge {u, v}. The caller guarantees
+// 0 <= u, v < n and u != v — generators add edges from in-range loop
+// indices, so the hot path carries no checks (out-of-range endpoints are
+// caught by a build-time validation pass; self-loops are not). Use the
+// builder's checked AddEdge for untrusted input.
+func (s *EdgeShard) Add(u, v int32) {
+	if len(s.cur) == cap(s.cur) {
+		if s.cur != nil {
+			s.chunks = append(s.chunks, s.cur)
+		}
+		s.cur = make([]Edge, 0, edgeChunk)
+	}
+	s.cur = append(s.cur, Edge{u, v})
+}
+
+// AddEdges adopts a pre-collected edge slice into the shard without
+// copying. The slice must not be modified afterwards and obeys the same
+// endpoint contract as Add.
+func (s *EdgeShard) AddEdges(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	s.chunks = append(s.chunks, edges)
+}
+
+// AddEdge validates and buffers {u, v} into shard 0. It mirrors
+// Builder.AddEdge's error contract and is intended for single-goroutine
+// callers with untrusted input.
+func (b *EdgeBuilder) AddEdge(u, v int) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: vertex %d", ErrSelfLoop, u)
+	}
+	b.shards[0].Add(int32(u), int32(v))
+	return nil
+}
+
+// chunkList flattens all shard buffers into one slice of chunks — the unit
+// of work for the count and scatter passes.
+func (b *EdgeBuilder) chunkList() [][]Edge {
+	var chunks [][]Edge
+	for i := range b.shards {
+		s := &b.shards[i]
+		chunks = append(chunks, s.chunks...)
+		if len(s.cur) > 0 {
+			chunks = append(chunks, s.cur)
+		}
+	}
+	return chunks
+}
+
+// Build freezes the buffered edges into an immutable Graph using workers
+// goroutines (workers <= 0 means GOMAXPROCS). The builder must not be used
+// afterwards. The result is independent of the worker and shard counts:
+// only the multiset of added edges matters. Build panics if any buffered
+// endpoint is out of range (the unchecked Add contract was violated).
+func (b *EdgeBuilder) Build(workers int) *Graph {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := b.n
+	chunks := b.chunkList()
+	b.shards = nil // free producer buffers on return
+
+	// Pass 1: per-vertex incidence counts. Every edge contributes to both
+	// endpoint rows. The parallel path uses atomic adds — contention is
+	// negligible except on power-law hubs, and correctness never depends on
+	// arrival order.
+	counts := make([]int32, n)
+	validateRange := func(e Edge) {
+		if int(e.U) >= n || e.U < 0 || int(e.V) >= n || e.V < 0 {
+			panic(fmt.Sprintf("graph: EdgeBuilder edge (%d,%d) out of range n=%d", e.U, e.V, n))
+		}
+	}
+	if workers == 1 || len(chunks) == 1 {
+		for _, c := range chunks {
+			for _, e := range c {
+				validateRange(e)
+				counts[e.U]++
+				counts[e.V]++
+			}
+		}
+	} else {
+		parallelJobs(workers, len(chunks), func(j int) {
+			for _, e := range chunks[j] {
+				validateRange(e)
+				atomic.AddInt32(&counts[e.U], 1)
+				atomic.AddInt32(&counts[e.V], 1)
+			}
+		})
+	}
+
+	// Pass 2: prefix-sum the counts into slot ranges and scatter every edge
+	// into both endpoints' ranges. Cursors claim slots with atomic
+	// fetch-adds; the interleaving is nondeterministic but erased by the
+	// sort below.
+	offs := make([]int64, n+1)
+	var pos int64
+	for v := 0; v < n; v++ {
+		offs[v] = pos
+		pos += int64(counts[v])
+	}
+	offs[n] = pos
+	tmp := make([]int32, pos)
+	cur := make([]int32, n)
+	if workers == 1 || len(chunks) == 1 {
+		for _, c := range chunks {
+			for _, e := range c {
+				tmp[offs[e.U]+int64(cur[e.U])] = e.V
+				cur[e.U]++
+				tmp[offs[e.V]+int64(cur[e.V])] = e.U
+				cur[e.V]++
+			}
+		}
+	} else {
+		parallelJobs(workers, len(chunks), func(j int) {
+			for _, e := range chunks[j] {
+				su := atomic.AddInt32(&cur[e.U], 1) - 1
+				tmp[offs[e.U]+int64(su)] = e.V
+				sv := atomic.AddInt32(&cur[e.V], 1) - 1
+				tmp[offs[e.V]+int64(sv)] = e.U
+			}
+		})
+	}
+
+	// Pass 3: sort and deduplicate each row in place, parallel over
+	// edge-balanced vertex ranges; counts[v] becomes the deduplicated row
+	// length.
+	ranges := balancedRanges(offs, workers*4)
+	parallelJobs(workers, len(ranges)-1, func(j int) {
+		for v := ranges[j]; v < ranges[j+1]; v++ {
+			row := tmp[offs[v]:offs[v+1]]
+			slices.Sort(row)
+			counts[v] = int32(len(slices.Compact(row)))
+		}
+	})
+
+	// Pass 4: prefix-sum the deduplicated lengths and compact the rows into
+	// the final neighbors array.
+	fin := make([]int64, n+1)
+	pos = 0
+	for v := 0; v < n; v++ {
+		fin[v] = pos
+		pos += int64(counts[v])
+	}
+	fin[n] = pos
+	neighbors := make([]int32, pos)
+	parallelJobs(workers, len(ranges)-1, func(j int) {
+		for v := ranges[j]; v < ranges[j+1]; v++ {
+			copy(neighbors[fin[v]:fin[v+1]], tmp[offs[v]:offs[v]+int64(counts[v])])
+		}
+	})
+	return &Graph{n: n, offsets: fin, neighbors: neighbors}
+}
+
+// balancedRanges cuts the vertex set [0, n) into at most parts ranges with
+// roughly equal total slot counts, given the n+1 prefix-sum offs. The
+// returned cut points are monotone with ranges[0]=0 and ranges[len-1]=n.
+func balancedRanges(offs []int64, parts int) []int {
+	n := len(offs) - 1
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	if n == 0 {
+		return []int{0, 0}
+	}
+	total := offs[n]
+	cuts := make([]int, 0, parts+1)
+	cuts = append(cuts, 0)
+	for i := 1; i < parts; i++ {
+		target := total * int64(i) / int64(parts)
+		// First vertex whose range starts at or beyond the target.
+		lo, _ := slices.BinarySearch(offs, target)
+		if lo > n {
+			lo = n
+		}
+		if lo <= cuts[len(cuts)-1] || lo >= n {
+			continue
+		}
+		cuts = append(cuts, lo)
+	}
+	cuts = append(cuts, n)
+	return cuts
+}
+
+// parallelJobs runs fn(j) for every j in [0, jobs), spread over at most
+// workers goroutines pulling jobs from a shared atomic counter. With one
+// worker (or one job) it degrades to a plain loop on the calling
+// goroutine.
+func parallelJobs(workers, jobs int, fn func(j int)) {
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for j := 0; j < jobs; j++ {
+			fn(j)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := next.Add(1) - 1
+				if j >= int64(jobs) {
+					return
+				}
+				fn(int(j))
+			}
+		}()
+	}
+	wg.Wait()
+}

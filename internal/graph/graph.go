@@ -10,7 +10,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ErrVertexRange is returned for vertex IDs outside [0, n).
@@ -86,18 +86,9 @@ func (b *Builder) Build() *Graph {
 	offsets := make([]int64, b.n+1)
 	total := 0
 	for v := range b.adj {
-		lst := b.adj[v]
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		// Dedup in place.
-		w := 0
-		for i, x := range lst {
-			if i == 0 || x != lst[i-1] {
-				lst[w] = x
-				w++
-			}
-		}
-		b.adj[v] = lst[:w]
-		total += w
+		slices.Sort(b.adj[v])
+		b.adj[v] = slices.Compact(b.adj[v])
+		total += len(b.adj[v])
 	}
 	neighbors := make([]int32, total)
 	pos := 0
@@ -146,9 +137,8 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if g.Degree(u) > g.Degree(v) {
 		u, v = v, u
 	}
-	lst := g.Neighbors(u)
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= int32(v) })
-	return i < len(lst) && lst[i] == int32(v)
+	_, found := slices.BinarySearch(g.Neighbors(u), int32(v))
+	return found
 }
 
 // Edges calls fn for every edge {u,v} with u < v. Iteration order is

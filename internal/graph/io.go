@@ -45,8 +45,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	n := -1
-	type edge struct{ u, v int }
-	var edges []edge
+	var edges []Edge
 	maxID := -1
 	lineNo := 0
 	for sc.Scan() {
@@ -77,13 +76,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if u < 0 || v < 0 {
 			return nil, fmt.Errorf("graph: line %d: negative vertex ID", lineNo)
 		}
+		if u > maxVertexID || v > maxVertexID {
+			return nil, fmt.Errorf("graph: line %d: vertex ID exceeds int32 range", lineNo)
+		}
 		if u > maxID {
 			maxID = u
 		}
 		if v > maxID {
 			maxID = v
 		}
-		edges = append(edges, edge{u, v})
+		if u != v { // tolerate self-loops in external data by dropping them
+			edges = append(edges, Edge{int32(u), int32(v)})
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: scan: %w", err)
@@ -94,14 +98,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if maxID >= n {
 		return nil, fmt.Errorf("graph: vertex ID %d exceeds declared n=%d", maxID, n)
 	}
-	b := NewBuilder(n)
-	for _, e := range edges {
-		if e.u == e.v {
-			continue // tolerate self-loops in external data by dropping them
-		}
-		if err := b.AddEdge(e.u, e.v); err != nil {
-			return nil, err
-		}
-	}
-	return b.Build(), nil
+	eb := NewEdgeBuilder(n, 1)
+	eb.Shard(0).AddEdges(edges)
+	return eb.Build(1), nil
 }

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// ioWorkerCounts is the invariance matrix for the parallel I/O paths.
+var ioWorkerCounts = []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+
+// buildLarge returns a random graph big enough to span several read blocks
+// when serialized, exercising real chunking.
+func buildLarge(t *testing.T, n, count int, seed int64) *Graph {
+	t.Helper()
+	eb := NewEdgeBuilder(n, 1)
+	eb.Shard(0).AddEdges(randomEdges(n, count, seed))
+	return eb.Build(1)
+}
+
+func TestWriteEdgeListParallelMatchesSequential(t *testing.T) {
+	g := buildLarge(t, 2000, 30000, 1)
+	var want bytes.Buffer
+	if err := g.WriteEdgeList(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range ioWorkerCounts {
+		var got bytes.Buffer
+		if err := g.WriteEdgeListParallel(&got, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("workers=%d: parallel bytes differ from sequential", workers)
+		}
+	}
+}
+
+func TestReadEdgeListParallelMatchesSequential(t *testing.T) {
+	g := buildLarge(t, 3000, 40000, 2)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, workers := range ioWorkerCounts {
+		got, err := ReadEdgeListParallel(bytes.NewReader(data), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !EqualGraph(g, got) {
+			t.Errorf("workers=%d: parsed graph differs", workers)
+		}
+	}
+}
+
+// TestReadEdgeListParallelSemantics re-runs the sequential reader's edge
+// cases through the block parser: comments, blank lines, missing header,
+// self-loops, missing trailing newline.
+func TestReadEdgeListParallelSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		n, m int
+	}{
+		{"no header", "0 1\n1 2\n", 3, 2},
+		{"comments and blanks", "# a comment\n\n0 1\n# another\n2 3\n", 4, 2},
+		{"self-loops dropped", "0 0\n0 1\n", 2, 1},
+		{"isolated via header", "# n 5 m 1\n0 1\n", 5, 1},
+		{"no trailing newline", "0 1\n1 2", 3, 2},
+		{"self-loop extends range", "2 2\n0 1\n", 3, 1},
+	}
+	for _, tc := range cases {
+		seq, err := ReadEdgeList(strings.NewReader(tc.in))
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		par, err := ReadEdgeListParallel(strings.NewReader(tc.in), 4)
+		if err != nil {
+			t.Fatalf("%s: parallel: %v", tc.name, err)
+		}
+		if par.N() != tc.n || par.M() != tc.m {
+			t.Errorf("%s: n=%d m=%d, want n=%d m=%d", tc.name, par.N(), par.M(), tc.n, tc.m)
+		}
+		if !EqualGraph(seq, par) {
+			t.Errorf("%s: parallel differs from sequential", tc.name)
+		}
+	}
+}
+
+func TestReadEdgeListParallelErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"a b\n",            // non-numeric
+		"0 -2\n",           // negative
+		"# n 2 m 1\n0 5\n", // ID exceeds declared n
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeListParallel(strings.NewReader(in), 4); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+// errWriter fails once the byte budget would be exceeded, covering the
+// parallel writer's error-drain path.
+type errWriter struct{ budget int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.budget < len(p) {
+		return 0, errors.New("sink full")
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriteEdgeListParallelPropagatesError(t *testing.T) {
+	g := buildLarge(t, 20000, 150000, 3)
+	if err := g.WriteEdgeListParallel(&errWriter{budget: 1 << 12}, 4); err == nil {
+		t.Error("write error not propagated")
+	}
+}
+
+// TestEdgeListParallelRoundTripLarge pushes a serialization across the
+// readBlockSize boundary so the parallel reader splits into multiple
+// blocks.
+func TestEdgeListParallelRoundTripLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large round-trip")
+	}
+	const n = 200000
+	rng := rand.New(rand.NewSource(7))
+	eb := NewEdgeBuilder(n, 1)
+	s := eb.Shard(0)
+	for i := 0; i < 600000; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			s.Add(int32(u), int32(v))
+		}
+	}
+	g := eb.Build(4)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeListParallel(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < readBlockSize {
+		t.Fatalf("fixture too small to span blocks: %d bytes", buf.Len())
+	}
+	got, err := ReadEdgeListParallel(bytes.NewReader(buf.Bytes()), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualGraph(g, got) {
+		t.Error("large round-trip differs")
+	}
+}
