@@ -30,13 +30,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("plbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "", "experiment ID to run (e.g. E1); empty runs all")
-		quick      = fs.Bool("quick", false, "reduced graph sizes (seconds instead of minutes)")
-		seed       = fs.Int64("seed", 20160711, "generator seed")
-		list       = fs.Bool("list", false, "list experiments and exit")
-		format     = fs.String("format", "table", "output format: table | csv")
-		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		experiment   = fs.String("experiment", "", "experiment ID to run (e.g. E1); empty runs all")
+		quick        = fs.Bool("quick", false, "reduced graph sizes (seconds instead of minutes)")
+		seed         = fs.Int64("seed", 20160711, "generator seed")
+		list         = fs.Bool("list", false, "list experiments and exit")
+		format       = fs.String("format", "table", "output format: table | csv")
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockprofile = fs.String("blockprofile", "", "write a blocking profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +67,17 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "plbench: memprofile: %v\n", err)
 			}
 		}()
+	}
+	// Contention profiles must be armed before the workload starts; each is
+	// written on exit like -memprofile. Useful against the serving
+	// experiments (E23), where lock and channel waits dominate tail latency.
+	if *mutexprofile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexprofile)
+	}
+	if *blockprofile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockprofile)
 	}
 	if *list {
 		for _, r := range experiments.All() {
@@ -105,4 +118,17 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeProfile snapshots a named runtime profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plbench: %sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "plbench: %sprofile: %v\n", name, err)
+	}
 }

@@ -8,10 +8,14 @@
 //	plquery -labels labels.pllb            # interactive: "u v" per line
 //	echo "3 17" | plquery -labels labels.pllb
 //	plquery -labels labels.pllb -batch -workers 8 < pairs.txt
+//	plquery -remote 127.0.0.1:7421 -batch < pairs.txt
 //
 // For fat/thin label stores, queries are served by the pre-parsed
 // zero-allocation core.QueryEngine; -batch reads all pairs up front and
-// answers them in one (optionally sharded-parallel) batch call.
+// answers them in one (optionally sharded-parallel) batch call. With
+// -remote, queries go to a running plserve daemon over the adjserve batch
+// protocol instead of loading any labels locally — output is line-for-line
+// identical to the local mode on the same store.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/adjserve"
 	"repro/internal/core"
 	"repro/internal/labelstore"
 	"repro/internal/schemes/baseline"
@@ -38,71 +43,110 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("plquery", flag.ContinueOnError)
 	var (
-		labelsPath = fs.String("labels", "", "label store file (required)")
+		labelsPath = fs.String("labels", "", "label store file (required unless -remote)")
+		remote     = fs.String("remote", "", "plserve address; answer via the network instead of local labels")
 		stats      = fs.Bool("stats", false, "print store statistics and exit")
 		batch      = fs.Bool("batch", false, "read all pairs, answer as one batch")
-		workers    = fs.Int("workers", 1, "batch shards (0 = GOMAXPROCS); needs -batch")
+		workers    = fs.Int("workers", 1, "batch shards (0 = GOMAXPROCS); needs -batch, local only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *labelsPath == "" {
-		return fmt.Errorf("-labels is required")
-	}
-	f, err := os.Open(*labelsPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	store, err := labelstore.Read(f)
-	if err != nil {
-		return err
-	}
-	n, err := store.IntParam("n")
-	if err != nil {
-		return err
-	}
-	dec, err := decoderFor(store.Scheme, n)
-	if err != nil {
-		return err
+	switch {
+	case *labelsPath == "" && *remote == "":
+		return fmt.Errorf("one of -labels or -remote is required")
+	case *labelsPath != "" && *remote != "":
+		return fmt.Errorf("-labels and -remote are mutually exclusive")
+	case *remote != "" && *stats:
+		return fmt.Errorf("-stats needs the label store; use -labels")
 	}
 
-	if *stats {
-		max, total := 0, int64(0)
-		for _, l := range store.Labels {
-			if l.Len() > max {
-				max = l.Len()
-			}
-			total += int64(l.Len())
+	// answer/answerMany resolve queries; vertex bounds are pre-checked
+	// against n, so both only see in-range pairs.
+	var (
+		n          int
+		answer     func(u, v int) (bool, error)
+		answerMany func(pairs [][2]int, out []bool) ([]bool, error)
+	)
+	if *remote != "" {
+		client, err := adjserve.Dial(*remote)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(stdout, "scheme=%s n=%d max=%d bits mean=%.1f bits\n",
-			store.Scheme, store.N(), max, float64(total)/float64(max1(store.N())))
-		return nil
-	}
+		defer client.Close()
+		if n, err = client.Info(); err != nil {
+			return err
+		}
+		answer = client.Adjacent
+		answerMany = client.AdjacentMany
+	} else {
+		f, err := os.Open(*labelsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		store, err := labelstore.Read(f)
+		if err != nil {
+			return err
+		}
+		if n, err = store.IntParam("n"); err != nil {
+			return err
+		}
+		dec, err := decoderFor(store.Scheme, n)
+		if err != nil {
+			return err
+		}
 
-	// Fat/thin stores are served through the pre-parsed zero-allocation
-	// query engine; other layouts (and stores whose labels the engine
-	// rejects at build time) fall back to the per-query decoder. A format-v2
-	// store hands its word-aligned blob to the engine zero-copy — no
-	// relocation between disk and the probe arena.
-	var eng *core.QueryEngine
-	if _, ok := dec.(*core.FatThinDecoder); ok {
-		if slab, bitLens, ok := store.Arena(); ok {
-			if e, err := core.NewQueryEngineFromArena(slab, bitLens); err == nil {
-				eng = e
+		if *stats {
+			max, total := 0, int64(0)
+			for _, l := range store.Labels {
+				if l.Len() > max {
+					max = l.Len()
+				}
+				total += int64(l.Len())
+			}
+			fmt.Fprintf(stdout, "scheme=%s n=%d max=%d bits mean=%.1f bits\n",
+				store.Scheme, store.N(), max, float64(total)/float64(max1(store.N())))
+			return nil
+		}
+
+		// Fat/thin stores are served through the pre-parsed zero-allocation
+		// query engine; other layouts (and stores whose labels the engine
+		// rejects at build time) fall back to the per-query decoder. A
+		// format-v2 store hands its word-aligned blob to the engine zero-copy
+		// — no relocation between disk and the probe arena.
+		var eng *core.QueryEngine
+		if _, ok := dec.(*core.FatThinDecoder); ok {
+			if slab, bitLens, ok := store.Arena(); ok {
+				if e, err := core.NewQueryEngineFromArena(slab, bitLens); err == nil {
+					eng = e
+				}
+			}
+			if eng == nil {
+				if e, err := core.NewQueryEngineFromLabels(store.Labels); err == nil {
+					eng = e
+				}
 			}
 		}
-		if eng == nil {
-			if e, err := core.NewQueryEngineFromLabels(store.Labels); err == nil {
-				eng = e
+		answer = func(u, v int) (bool, error) {
+			if eng != nil {
+				return eng.Adjacent(u, v)
 			}
+			return dec.Adjacent(store.Labels[u], store.Labels[v])
 		}
-	}
-	answer := func(u, v int) (bool, error) {
-		if eng != nil {
-			return eng.Adjacent(u, v)
+		answerMany = func(pairs [][2]int, out []bool) ([]bool, error) {
+			if eng != nil {
+				return eng.AdjacentManyParallel(pairs, out, *workers)
+			}
+			for _, p := range pairs {
+				adj, err := answer(p[0], p[1])
+				if err != nil {
+					return out, err
+				}
+				out = append(out, adj)
+			}
+			return out, nil
 		}
-		return dec.Adjacent(store.Labels[u], store.Labels[v])
 	}
 
 	// Each input line becomes one output line, in order: either a
@@ -125,8 +169,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		} else {
 			u, err1 := strconv.Atoi(fields[0])
 			v, err2 := strconv.Atoi(fields[1])
-			if err1 != nil || err2 != nil || u < 0 || u >= store.N() || v < 0 || v >= store.N() {
-				entries = append(entries, entry{text: fmt.Sprintf("error: invalid vertex pair %q (n=%d)", line, store.N())})
+			if err1 != nil || err2 != nil || u < 0 || u >= n || v < 0 || v >= n {
+				entries = append(entries, entry{text: fmt.Sprintf("error: invalid vertex pair %q (n=%d)", line, n)})
 			} else {
 				entries = append(entries, entry{pairIdx: len(pairs)})
 				pairs = append(pairs, [2]int{u, v})
@@ -156,19 +200,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if !*batch {
 		return nil
 	}
-	results := make([]bool, 0, len(pairs))
-	if eng != nil {
-		results, err = eng.AdjacentManyParallel(pairs, results, *workers)
-	} else {
-		for _, p := range pairs {
-			adj, aerr := answer(p[0], p[1])
-			if aerr != nil {
-				err = aerr
-				break
-			}
-			results = append(results, adj)
-		}
-	}
+	results, err := answerMany(pairs, make([]bool, 0, len(pairs)))
 	if err != nil {
 		return err
 	}

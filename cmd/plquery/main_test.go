@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/adjserve"
 	"repro/internal/bitstr"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -119,6 +121,61 @@ func TestDecoderFor(t *testing.T) {
 	}
 	if _, err := decoderFor("mystery", 10); err == nil {
 		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestQueryRemoteMode: -remote against a loopback adjserve server over the
+// same labeling must produce byte-identical output to the local -labels
+// mode, in both streaming and batch form (including interleaved parse
+// errors, which never reach the network).
+func TestQueryRemoteMode(t *testing.T) {
+	path, _ := storeFixture(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	store, err := labelstore.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewQueryEngineFromLabels(store.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := adjserve.NewServer(eng, 0)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	input := "garbage\n0 1\n2 3\n0 999\n4 5\n# c\n6 7\n"
+	var want bytes.Buffer
+	if err := run([]string{"-labels", path}, strings.NewReader(input), &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{nil, {"-batch"}} {
+		var got bytes.Buffer
+		if err := run(append([]string{"-remote", addr}, extra...),
+			strings.NewReader(input), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("remote%v output differs\nremote:\n%s\nlocal:\n%s",
+				extra, got.String(), want.String())
+		}
+	}
+	// Flag validation: the two sources are mutually exclusive, and -stats
+	// needs the store file.
+	var out bytes.Buffer
+	if err := run([]string{"-labels", path, "-remote", addr}, strings.NewReader(""), &out); err == nil {
+		t.Error("-labels with -remote accepted")
+	}
+	if err := run([]string{"-remote", addr, "-stats"}, strings.NewReader(""), &out); err == nil {
+		t.Error("-remote with -stats accepted")
 	}
 }
 

@@ -1,0 +1,139 @@
+// Command plserve is the adjacency-serving daemon: it memory-maps a label
+// store produced by pllabel -o, builds a zero-copy core.QueryEngine over the
+// mapped blob, and answers batched adjacency queries over TCP with the
+// internal/adjserve protocol. Startup cost is O(header) — the label bodies
+// stay in the page cache and are shared by every plserve process (and every
+// plquery) mapping the same file.
+//
+// Usage:
+//
+//	pllabel -scheme auto -in graph.el -o labels.pllb
+//	plserve -labels labels.pllb -addr 127.0.0.1:7421
+//	plquery -remote 127.0.0.1:7421        # interactive "u v" lines
+//
+// SIGINT/SIGTERM drain gracefully: in-flight frames are answered and
+// flushed, then the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/adjserve"
+	"repro/internal/core"
+	"repro/internal/labelstore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "plserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon. stop, when non-nil, is an extra shutdown trigger
+// used by tests in place of a signal.
+func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("plserve", flag.ContinueOnError)
+	var (
+		labelsPath = fs.String("labels", "", "label store file (required)")
+		addr       = fs.String("addr", "127.0.0.1:7421", "listen address (port 0 picks a free port)")
+		maxBatch   = fs.Int("max-batch", 0, "max pairs per request frame (0 = default)")
+		useMmap    = fs.Bool("mmap", true, "memory-map the store (false forces the copying reader)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *labelsPath == "" {
+		return fmt.Errorf("-labels is required")
+	}
+
+	start := time.Now()
+	var (
+		store  *labelstore.File
+		mapped bool
+		closer func() error
+	)
+	if *useMmap {
+		mf, err := labelstore.Open(*labelsPath)
+		if err != nil {
+			return err
+		}
+		store, mapped, closer = mf.File, mf.Mapped(), mf.Close
+	} else {
+		f, err := os.Open(*labelsPath)
+		if err != nil {
+			return err
+		}
+		store, err = labelstore.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		closer = func() error { return nil }
+	}
+	defer closer()
+
+	eng, err := engineFor(store)
+	if err != nil {
+		return fmt.Errorf("store %s is not servable: %w", *labelsPath, err)
+	}
+	mode := "copied"
+	if mapped {
+		mode = "mmap"
+	}
+	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d (%s, %v)\n",
+		store.Scheme, store.N(), mode, time.Since(start).Round(time.Microsecond))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := adjserve.NewServer(eng, *maxBatch)
+	// The "listening on" line is the readiness contract scripts wait for
+	// (scripts/serving_smoke.sh greps it for the resolved port).
+	fmt.Fprintf(stdout, "plserve: listening on %s\n", ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	done := make(chan struct{})
+	quit := make(chan struct{}) // released when Serve returns on its own
+	go func() {
+		defer close(done)
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stdout, "plserve: %v, draining\n", sig)
+		case <-stop:
+		case <-quit:
+		}
+		srv.Close()
+	}()
+
+	err = srv.Serve(ln)
+	close(quit)
+	<-done
+	st := srv.Traffic.Stats()
+	fmt.Fprintf(stdout, "plserve: served %d queries in %d frames (%d bytes on the wire)\n",
+		st.Fetches, st.Messages/2, st.Bytes)
+	if err == adjserve.ErrClosed {
+		return nil
+	}
+	return err
+}
+
+// engineFor builds the serving engine: zero-copy from a v2 arena, relocating
+// otherwise. Only fat/thin-layout stores (the engine's label format) are
+// servable; anything else fails here, at startup.
+func engineFor(store *labelstore.File) (*core.QueryEngine, error) {
+	if slab, bitLens, ok := store.Arena(); ok {
+		return core.NewQueryEngineFromArena(slab, bitLens)
+	}
+	return core.NewQueryEngineFromLabels(store.Labels)
+}

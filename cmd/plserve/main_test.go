@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adjserve"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/labelstore"
+)
+
+// storeFixture encodes a power-law graph (arena-backed v2 store) to a file.
+func storeFixture(t *testing.T) (string, *graph.Graph) {
+	t.Helper()
+	g, err := gen.ChungLuPowerLaw(250, 2.5, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, ok := lab.Arena()
+	if !ok {
+		t.Fatal("labeling not arena-backed")
+	}
+	bitLens := make([]int, g.N())
+	for v := range bitLens {
+		l, err := lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitLens[v] = l.Len()
+	}
+	store, err := labelstore.NewArenaFile(lab.Scheme(),
+		map[string]string{"n": strconv.Itoa(g.N())}, slab, bitLens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.pllb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := labelstore.Write(f, store); err != nil {
+		t.Fatal(err)
+	}
+	return path, g
+}
+
+// addrWriter scans the daemon's stdout for the "listening on" readiness line
+// and delivers the resolved address.
+type addrWriter struct {
+	mu    sync.Mutex
+	buf   strings.Builder
+	addrC chan string
+	sent  bool
+}
+
+func newAddrWriter() *addrWriter { return &addrWriter{addrC: make(chan string, 1)} }
+
+func (w *addrWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		for _, line := range strings.Split(w.buf.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "plserve: listening on "); ok {
+				w.addrC <- strings.TrimSpace(rest)
+				w.sent = true
+				break
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *addrWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestServeAndDrain boots the daemon on a free port, checks remote answers
+// against the graph, and verifies the shutdown path drains cleanly.
+func TestServeAndDrain(t *testing.T) {
+	for _, mmap := range []bool{true, false} {
+		path, g := storeFixture(t)
+		out := newAddrWriter()
+		stop := make(chan struct{})
+		errC := make(chan error, 1)
+		args := []string{"-labels", path, "-addr", "127.0.0.1:0"}
+		if !mmap {
+			args = append(args, "-mmap=false")
+		}
+		go func() { errC <- run(args, out, stop) }()
+		var addr string
+		select {
+		case addr = <-out.addrC:
+		case err := <-errC:
+			t.Fatalf("mmap=%v: daemon exited early: %v\n%s", mmap, err, out.String())
+		case <-time.After(10 * time.Second):
+			t.Fatalf("mmap=%v: no listening line\n%s", mmap, out.String())
+		}
+		c, err := adjserve.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := c.Info(); err != nil || n != g.N() {
+			t.Fatalf("mmap=%v: Info = %d, %v; want %d", mmap, n, err, g.N())
+		}
+		for u := 0; u < 40; u++ {
+			for v := u + 1; v < 40; v += 3 {
+				got, err := c.Adjacent(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := g.HasEdge(u, v); got != want {
+					t.Fatalf("mmap=%v: (%d,%d) = %v, want %v", mmap, u, v, got, want)
+				}
+			}
+		}
+		c.Close()
+		close(stop)
+		select {
+		case err := <-errC:
+			if err != nil {
+				t.Fatalf("mmap=%v: daemon exit: %v\n%s", mmap, err, out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("mmap=%v: daemon did not drain\n%s", mmap, out.String())
+		}
+		if !strings.Contains(out.String(), "served") {
+			t.Errorf("mmap=%v: missing serve summary:\n%s", mmap, out.String())
+		}
+		wantMode := "(mmap"
+		if !mmap {
+			wantMode = "(copied"
+		}
+		if !strings.Contains(out.String(), wantMode) {
+			t.Errorf("mmap=%v: loaded-mode line missing %q:\n%s", mmap, wantMode, out.String())
+		}
+	}
+}
+
+func TestMissingLabelsFlag(t *testing.T) {
+	if err := run(nil, newAddrWriter(), nil); err == nil {
+		t.Fatal("no -labels accepted")
+	}
+}
+
+func TestUnservableStore(t *testing.T) {
+	// An empty adjacency-matrix store builds an empty engine and serves; a
+	// pre-closed stop channel makes run drain immediately either way, so
+	// this pins down "run returns promptly, no error other than a refusal".
+	path := filepath.Join(t.TempDir(), "bad.pllb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := labelstore.Write(f, &labelstore.File{Scheme: "adjmatrix", Params: map[string]string{"n": "0"}}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	errC := make(chan error, 1)
+	go func() {
+		errC <- run([]string{"-labels", path, "-addr", "127.0.0.1:0"}, newAddrWriter(), stop)
+	}()
+	select {
+	case <-errC: // refusal or an immediately-drained serve: both fine
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return with a closed stop channel")
+	}
+}

@@ -1,0 +1,88 @@
+package adjserve
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// benchSetup shares one engine + server across all serving benchmarks.
+var benchSetup struct {
+	once sync.Once
+	addr string
+	eng  interface {
+		AdjacentMany(pairs [][2]int, out []bool) ([]bool, error)
+		N() int
+	}
+}
+
+func benchServer(b *testing.B) (string, int) {
+	benchSetup.once.Do(func() {
+		eng := testEngine(b, 20000, 42)
+		// No Cleanup here: the server must outlive the sub-benchmark that
+		// happened to initialize it, so it runs for the whole process.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go NewServer(eng, 0).Serve(ln)
+		benchSetup.addr, benchSetup.eng = ln.Addr().String(), eng
+	})
+	return benchSetup.addr, benchSetup.eng.N()
+}
+
+// BenchmarkAdjserveBatch measures remote queries/sec per batch size over one
+// connection; b.N counts queries, not frames.
+func BenchmarkAdjserveBatch(b *testing.B) {
+	for _, batch := range []int{1, 64, 4096} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			addr, n := benchServer(b)
+			c, err := Dial(addr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			pairs := randomPairs(n, batch, int64(batch))
+			out := make([]bool, 0, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batch {
+				var err error
+				out, err = c.AdjacentMany(pairs, out[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdjserveParallelConns measures aggregate throughput with one
+// pipelined connection per GOMAXPROCS worker at a fixed batch size.
+func BenchmarkAdjserveParallelConns(b *testing.B) {
+	const batch = 1024
+	addr, n := benchServer(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.SetParallelism(1)
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := Dial(addr)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		pairs := randomPairs(n, batch, int64(workers))
+		out := make([]bool, 0, batch)
+		for pb.Next() {
+			var err error
+			out, err = c.AdjacentMany(pairs, out[:0])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package adjserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is a pipelining client for one adjacency server. A batch call
+// splits its pairs into frames of at most MaxBatch, writes them all before
+// reading any response, and lets the server's in-order answering match
+// responses back up — so one TCP round trip covers an arbitrarily large
+// batch. Calls are safe for concurrent goroutines, which share (and
+// pipeline over) a single connection; if the connection dies, the next call
+// transparently redials.
+type Client struct {
+	// MaxBatch caps pairs per request frame (<= 0 selects DefaultMaxBatch).
+	// It must not exceed the server's limit or batches above that limit are
+	// rejected remotely.
+	MaxBatch int
+
+	addr string
+	mu   sync.Mutex // guards conn lifecycle and interleaves frame writes
+	cc   *clientConn
+	req  []byte // pooled request-encoding buffer, guarded by mu
+}
+
+// Dial connects to an adjacency server.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears down the connection. In-flight calls fail with ErrClosed;
+// subsequent calls redial.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cc != nil {
+		c.cc.nc.Close()
+		c.cc = nil
+	}
+	return nil
+}
+
+// call is one outstanding request: the response either fills dest (query) or
+// infoN (info), and done delivers the per-call verdict exactly once.
+type call struct {
+	dest  []bool
+	infoN *int
+	done  chan error
+}
+
+// clientConn is one live connection plus its FIFO of outstanding calls. The
+// reader goroutine owns the receive side; writers enqueue under the queue
+// lock, so a call is either matched by the reader or failed at shutdown —
+// never lost.
+type clientConn struct {
+	nc net.Conn
+	bw *bufio.Writer
+
+	qmu      sync.Mutex
+	pending  []*call
+	shutdown bool
+	err      error
+}
+
+func (cc *clientConn) enqueue(ca *call) error {
+	cc.qmu.Lock()
+	defer cc.qmu.Unlock()
+	if cc.shutdown {
+		return cc.err
+	}
+	cc.pending = append(cc.pending, ca)
+	return nil
+}
+
+func (cc *clientConn) pop() *call {
+	cc.qmu.Lock()
+	defer cc.qmu.Unlock()
+	if len(cc.pending) == 0 {
+		return nil
+	}
+	ca := cc.pending[0]
+	cc.pending = cc.pending[1:]
+	return ca
+}
+
+// fail marks the connection dead and delivers err to every outstanding call.
+func (cc *clientConn) fail(err error) {
+	cc.qmu.Lock()
+	if cc.shutdown {
+		cc.qmu.Unlock()
+		return
+	}
+	cc.shutdown = true
+	cc.err = err
+	pending := cc.pending
+	cc.pending = nil
+	cc.qmu.Unlock()
+	cc.nc.Close()
+	for _, ca := range pending {
+		ca.done <- err
+	}
+}
+
+// ensureConn returns the live connection, dialing a fresh one if the
+// previous connection has shut down. Callers hold c.mu.
+func (c *Client) ensureConn() (*clientConn, error) {
+	if c.cc != nil {
+		c.cc.qmu.Lock()
+		dead := c.cc.shutdown
+		c.cc.qmu.Unlock()
+		if !dead {
+			return c.cc, nil
+		}
+		c.cc = nil
+	}
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("adjserve: dial %s: %w", c.addr, err)
+	}
+	cc := &clientConn{nc: nc, bw: bufio.NewWriterSize(nc, 64<<10)}
+	go cc.readLoop()
+	c.cc = cc
+	return cc, nil
+}
+
+// readLoop receives response frames and delivers them to calls in FIFO
+// order. Any framing violation or I/O error kills the connection and fails
+// everything outstanding.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.nc, 64<<10)
+	var hdr [frameHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[:]))
+		if plen > maxFramePayload {
+			cc.fail(fmt.Errorf("%w: response frame of %d bytes", ErrClosed, plen))
+			return
+		}
+		if cap(payload) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		ca := cc.pop()
+		if ca == nil {
+			cc.fail(fmt.Errorf("%w: unsolicited response frame", ErrClosed))
+			return
+		}
+		if err := deliver(ca, payload); err != nil {
+			ca.done <- err
+			cc.fail(err)
+			return
+		}
+	}
+}
+
+// deliver parses one response payload into its call. A non-nil return is a
+// protocol-level corruption that must kill the connection; per-call server
+// errors are delivered through the call and return nil.
+func deliver(ca *call, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty response", ErrClosed)
+	}
+	status, body := payload[0], payload[1:]
+	switch status {
+	case statusErr:
+		msgLen, n := binary.Uvarint(body)
+		if n <= 0 || uint64(len(body)-n) < msgLen {
+			return fmt.Errorf("%w: truncated error frame", ErrClosed)
+		}
+		ca.done <- &RemoteError{Msg: string(body[n : n+int(msgLen)])}
+		return nil
+	case statusOK:
+		if ca.infoN != nil {
+			v, n := binary.Uvarint(body)
+			if n <= 0 {
+				return fmt.Errorf("%w: truncated info response", ErrClosed)
+			}
+			*ca.infoN = int(v)
+			ca.done <- nil
+			return nil
+		}
+		count, n := binary.Uvarint(body)
+		if n <= 0 || int(count) != len(ca.dest) {
+			return fmt.Errorf("%w: response for %d pairs, asked %d", ErrClosed, count, len(ca.dest))
+		}
+		bits := body[n:]
+		if len(bits) != (len(ca.dest)+7)/8 {
+			return fmt.Errorf("%w: %d answer bytes for %d pairs", ErrClosed, len(bits), len(ca.dest))
+		}
+		for i := range ca.dest {
+			ca.dest[i] = bits[i/8]&(1<<(7-uint(i)%8)) != 0
+		}
+		ca.done <- nil
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown response status %d", ErrClosed, status)
+	}
+}
+
+// sendFrame enqueues ca and writes one frame. Callers hold c.mu, so frames
+// from concurrent callers interleave at whole-frame granularity, matching
+// the FIFO. The write is buffered; the caller flushes after its last frame.
+func (c *Client) sendFrame(cc *clientConn, payload []byte, ca *call) error {
+	if err := cc.enqueue(ca); err != nil {
+		return err
+	}
+	fh := frameHeader(len(payload))
+	if _, err := cc.bw.Write(fh[:]); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		return err
+	}
+	if _, err := cc.bw.Write(payload); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		return err
+	}
+	return nil
+}
+
+// AdjacentMany answers a batch of queries remotely, appending one result per
+// pair to out (same contract as core.QueryEngine.AdjacentMany). The batch is
+// split into pipelined frames of at most MaxBatch pairs; answers land in
+// pair order. On any error the appended results must not be trusted.
+func (c *Client) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
+	start := len(out)
+	if need := start + len(pairs); cap(out) >= need {
+		out = out[:need]
+	} else {
+		grown := make([]bool, need)
+		copy(grown, out)
+		out = grown
+	}
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	dest := out[start:]
+	maxBatch := c.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+
+	c.mu.Lock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		c.mu.Unlock()
+		return out[:start], err
+	}
+	calls := make([]*call, 0, (len(pairs)+maxBatch-1)/maxBatch)
+	for off := 0; off < len(pairs); off += maxBatch {
+		chunk := pairs[off:min(off+maxBatch, len(pairs))]
+		c.req = appendQueryReq(c.req[:0], chunk)
+		ca := &call{dest: dest[off : off+len(chunk)], done: make(chan error, 1)}
+		if err := c.sendFrame(cc, c.req, ca); err != nil {
+			c.mu.Unlock()
+			waitCalls(calls)
+			return out[:start], err
+		}
+		calls = append(calls, ca)
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+	}
+	c.mu.Unlock()
+
+	for _, ca := range calls {
+		if cerr := <-ca.done; cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return out[:start], err
+	}
+	return out, nil
+}
+
+// waitCalls drains calls that were already enqueued when a later frame
+// failed; their verdicts (delivered by the reader or by fail) are discarded.
+func waitCalls(calls []*call) {
+	for _, ca := range calls {
+		<-ca.done
+	}
+}
+
+// Adjacent answers a single query remotely. For throughput, prefer
+// AdjacentMany — one frame per call is the naive baseline E23 measures
+// against.
+func (c *Client) Adjacent(u, v int) (bool, error) {
+	var res [1]bool
+	if _, err := c.AdjacentMany([][2]int{{u, v}}, res[:0]); err != nil {
+		return false, err
+	}
+	return res[0], nil
+}
+
+// Info returns the number of vertices the server's engine answers for.
+func (c *Client) Info() (int, error) {
+	var n int
+	ca := &call{infoN: &n, done: make(chan error, 1)}
+	c.mu.Lock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	if err := c.sendFrame(cc, []byte{opInfo}, ca); err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+	}
+	c.mu.Unlock()
+	if err := <-ca.done; err != nil {
+		return 0, err
+	}
+	return n, nil
+}

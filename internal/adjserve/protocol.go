@@ -1,0 +1,89 @@
+// Package adjserve is the network serving tier for adjacency labelings: a
+// length-prefixed binary batch protocol over TCP, a server that answers
+// query frames from a shared read-only core.QueryEngine, and a pipelining
+// client. It turns the paper's "two tiny labels, no global state" property
+// into the obvious deployment: one process memory-maps a label store
+// (labelstore.Open), builds an engine over the mapped arena in O(header)
+// time, and serves adjacency to the network; any number of such processes
+// share a single page-cache copy of the labels.
+//
+// Wire format (all multi-byte integers are unsigned LEB128 uvarints except
+// the frame length, which is fixed-width):
+//
+//	frame    u32 little-endian payload length, then the payload
+//
+//	request  op u8
+//	         op=1 (query): uvarint pair count, then per pair uvarint u, uvarint v
+//	         op=2 (info):  empty
+//
+//	response status u8
+//	         status=0 (ok), query: uvarint pair count, then ceil(count/8)
+//	                        bytes of answers, bit i MSB-first within its byte
+//	         status=0 (ok), info:  uvarint n (vertex count served)
+//	         status=1 (error): uvarint message length, message bytes
+//
+// Requests on one connection are answered in order, so a client may write
+// many frames before reading any response (pipelining); batching amortizes
+// the syscall and framing cost, and the bit-vector response makes a 4096-
+// query answer 512 bytes + 3 bytes of header.
+package adjserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol constants. A frame payload is capped independently of the batch
+// size so a malicious length prefix cannot make either side buy gigabytes.
+const (
+	opQuery = 1
+	opInfo  = 2
+
+	statusOK  = 0
+	statusErr = 1
+
+	frameHeaderLen  = 4
+	maxFramePayload = 16 << 20
+
+	// DefaultMaxBatch is the default per-frame pair limit, for both the
+	// server's admission check and the client's transparent chunking.
+	DefaultMaxBatch = 1 << 16
+)
+
+// ErrClosed is returned for calls on a client whose connection is gone and
+// for servers that have been shut down.
+var ErrClosed = errors.New("adjserve: closed")
+
+// RemoteError is a server-reported per-request failure (malformed frame,
+// oversized batch, out-of-range vertex). It poisons only the request that
+// caused it: the connection stays up and later requests proceed.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "adjserve: server: " + e.Msg }
+
+// appendErr builds an error-response payload.
+func appendErr(resp []byte, format string, args ...any) []byte {
+	msg := fmt.Sprintf(format, args...)
+	resp = append(resp, statusErr)
+	resp = binary.AppendUvarint(resp, uint64(len(msg)))
+	return append(resp, msg...)
+}
+
+// appendQueryReq builds a query-request payload for a batch of pairs.
+func appendQueryReq(buf []byte, pairs [][2]int) []byte {
+	buf = append(buf, opQuery)
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(p[0]))
+		buf = binary.AppendUvarint(buf, uint64(p[1]))
+	}
+	return buf
+}
+
+// frameHeader encodes a payload length.
+func frameHeader(n int) [frameHeaderLen]byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(n))
+	return hdr
+}

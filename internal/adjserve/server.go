@@ -1,0 +1,250 @@
+package adjserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/peernet"
+)
+
+// Server answers adjacency batches from a shared read-only QueryEngine. The
+// engine is immutable, so any number of connection goroutines query it with
+// no synchronization at all; the only shared mutable state is the connection
+// registry and the traffic counters. Request and response buffers are
+// sync.Pool-backed and reused across every frame of a connection, so the
+// steady-state frame loop performs zero heap allocations.
+type Server struct {
+	engine   *core.QueryEngine
+	maxBatch int
+
+	// Traffic accounts wire bytes, frames (as message pairs) and answered
+	// queries in the same units as the peernet simulation.
+	Traffic peernet.Traffic
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server over an engine. maxBatch caps pairs per frame
+// (<= 0 selects DefaultMaxBatch); larger batches are rejected with an error
+// frame, not a dropped connection.
+func NewServer(engine *core.QueryEngine, maxBatch int) *Server {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	return &Server{engine: engine, maxBatch: maxBatch, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close, answering each connection's
+// frames in order on its own goroutine. It returns ErrClosed after Close, or
+// the first accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Close drains the server: the listener stops accepting, every connection
+// finishes the frame it is answering (pending responses are flushed), and
+// Close returns once all connection goroutines have exited. Frames a
+// pipelining client had buffered beyond the in-flight one are dropped with
+// the connection; clients recover by reconnecting. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	// Wake handlers blocked in a read; they observe draining and exit after
+	// flushing whatever they already answered.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// connBuffers is the pooled per-connection scratch: one request payload
+// buffer, one response buffer, both growing to the connection's working-set
+// size and then reused for every subsequent frame.
+type connBuffers struct{ req, resp []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(connBuffers) }}
+
+// handle runs one connection's frame loop.
+func (s *Server) handle(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		s.wg.Done()
+	}()
+	bufs := bufPool.Get().(*connBuffers)
+	defer bufPool.Put(bufs)
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var hdr [frameHeaderLen]byte
+	for {
+		if s.isDraining() {
+			bw.Flush()
+			return
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// EOF (client went away), the Close wake-up deadline, or a torn
+			// header; nothing more to answer either way.
+			bw.Flush()
+			return
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[:]))
+		var resp []byte
+		queries := 0
+		if plen > maxFramePayload {
+			// The framing itself is still trustworthy, so skip the payload
+			// and answer with an error frame instead of dropping the
+			// connection.
+			if _, err := io.CopyN(io.Discard, br, int64(plen)); err != nil {
+				return
+			}
+			resp = appendErr(bufs.resp[:0], "frame of %d bytes exceeds limit %d", plen, maxFramePayload)
+		} else {
+			if cap(bufs.req) < plen {
+				bufs.req = make([]byte, plen)
+			}
+			req := bufs.req[:plen]
+			if _, err := io.ReadFull(br, req); err != nil {
+				return
+			}
+			resp, queries = s.process(req, bufs.resp[:0])
+		}
+		bufs.resp = resp[:0]
+		fh := frameHeader(len(resp))
+		if _, err := bw.Write(fh[:]); err != nil {
+			return
+		}
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		s.Traffic.Charge(2, int64(2*frameHeaderLen+plen+len(resp)), int64(queries))
+		// Pipelining-aware flush: hold responses while more complete frames
+		// are already buffered, flush before the next read could block.
+		if br.Buffered() < frameHeaderLen {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// process answers one request payload, appending the response payload to
+// resp and returning it along with the number of adjacency queries answered.
+// Malformed requests and engine errors produce error frames; only I/O can
+// kill the connection.
+func (s *Server) process(req, resp []byte) (out []byte, queries int) {
+	if len(req) == 0 {
+		return appendErr(resp, "empty request"), 0
+	}
+	op, body := req[0], req[1:]
+	switch op {
+	case opInfo:
+		resp = append(resp, statusOK)
+		return binary.AppendUvarint(resp, uint64(s.engine.N())), 0
+	case opQuery:
+		count, n := binary.Uvarint(body)
+		if n <= 0 {
+			return appendErr(resp, "bad pair count"), 0
+		}
+		if count > uint64(s.maxBatch) {
+			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, s.maxBatch), 0
+		}
+		body = body[n:]
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, count)
+		bitsOff := len(resp)
+		for i := 0; i < int(count+7)/8; i++ {
+			resp = append(resp, 0)
+		}
+		for i := 0; i < int(count); i++ {
+			u, nu := binary.Uvarint(body)
+			if nu <= 0 {
+				return appendErr(resp[:0], "pair %d: bad u", i), 0
+			}
+			body = body[nu:]
+			v, nv := binary.Uvarint(body)
+			if nv <= 0 {
+				return appendErr(resp[:0], "pair %d: bad v", i), 0
+			}
+			body = body[nv:]
+			adj, err := s.engine.Adjacent(int(u), int(v))
+			if err != nil {
+				return appendErr(resp[:0], "pair %d (%d,%d): %v", i, u, v, err), 0
+			}
+			if adj {
+				resp[bitsOff+i/8] |= 1 << (7 - uint(i)%8)
+			}
+		}
+		if len(body) != 0 {
+			return appendErr(resp[:0], "%d trailing bytes after %d pairs", len(body), count), 0
+		}
+		return resp, int(count)
+	default:
+		return appendErr(resp, "unknown op %d", op), 0
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// encodeLens packs per-label bit lengths as uvarints — the same wire shape
+// the labelstore header uses, so fuzz mutations explore realistic header
+// corruptions (truncated varints, giant lengths, length/blob disagreement).
+func encodeLens(bitLens []int) []byte {
+	out := make([]byte, 0, len(bitLens))
+	var buf [binary.MaxVarintLen64]byte
+	for _, bits := range bitLens {
+		out = append(out, buf[:binary.PutUvarint(buf[:], uint64(bits))]...)
+	}
+	return out
+}
+
+// decodeLens is the fuzz-side inverse: uvarints back to ints, deliberately
+// without sanitizing values (overlong lengths and wrap-around negatives must
+// be rejected by the engine, not by the harness). Only the count is capped
+// so a pathological input can't make the harness itself slow.
+func decodeLens(data []byte) []int {
+	const maxFuzzLabels = 1 << 12
+	var lens []int
+	for len(data) > 0 && len(lens) < maxFuzzLabels {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			break
+		}
+		data = data[n:]
+		lens = append(lens, int(v))
+	}
+	return lens
+}
+
+// FuzzQueryEngineHeaders hammers NewQueryEngineFromArena with raw slab bytes
+// and header-declared bit lengths. The property under test: for ANY input,
+// construction either errors or yields an engine whose queries never panic
+// or read out of bounds — the build-time validation is the only line of
+// defense, because the probe path (bitstr.SlabReadBits) is unchecked by
+// design. Seeds come from real fat/thin and compressed labelings so the
+// corpus starts at valid headers and mutates outward.
+func FuzzQueryEngineHeaders(f *testing.F) {
+	seed := func(encode func() (*Labeling, error)) {
+		lab, err := encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		slab, ok := lab.Arena()
+		if !ok {
+			f.Fatal("seed labeling is not arena-backed")
+		}
+		bitLens := make([]int, lab.N())
+		for v := range bitLens {
+			l, err := lab.Label(v)
+			if err != nil {
+				f.Fatal(err)
+			}
+			bitLens[v] = l.Len()
+		}
+		f.Add(slab, encodeLens(bitLens))
+	}
+	g, err := gen.ChungLuPowerLaw(150, 2.5, 2, 17)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed(func() (*Labeling, error) { return NewPowerLawScheme(2.5).Encode(g) })
+	seed(func() (*Labeling, error) { return NewSparseSchemeAuto().Encode(g) })
+	seed(func() (*Labeling, error) { return NewCompressedScheme(NewPowerLawScheme(2.5)).Encode(g) })
+	f.Add([]byte{}, []byte{})
+	f.Add(make([]byte, 16), encodeLens([]int{9, 64}))
+
+	f.Fuzz(func(t *testing.T, slab []byte, lensBytes []byte) {
+		bitLens := decodeLens(lensBytes)
+		eng, err := NewQueryEngineFromArena(slab, bitLens)
+		if err != nil {
+			return // rejected at build time: exactly what corrupt headers should get
+		}
+		n := eng.N()
+		if n == 0 {
+			if _, err := eng.Adjacent(0, 0); err == nil {
+				t.Fatal("empty engine accepted a query")
+			}
+			return
+		}
+		// Probe a spread of pairs, including out-of-range ones; answers may
+		// be garbage relative to any graph (the slab is noise), but every
+		// call must return without panicking and errors must be range or
+		// label errors, never index faults.
+		pairs := [][2]int{
+			{0, 0}, {0, n - 1}, {n - 1, 0}, {n / 2, n / 3},
+			{-1, 0}, {0, n}, {n, n},
+		}
+		for i := 0; i < n && i < 32; i++ {
+			pairs = append(pairs, [2]int{i, (i * 7) % n})
+		}
+		for _, p := range pairs {
+			_, _ = eng.Adjacent(p[0], p[1])
+		}
+		_, _ = eng.AdjacentMany(pairs, nil)
+	})
+}

@@ -79,6 +79,12 @@ func NewQueryEngineFromArena(slab []byte, bitLens []int) (*QueryEngine, error) {
 		if bits < header {
 			return nil, fmt.Errorf("%w: label %d has %d bits, header needs %d", ErrBadLabel, v, bits, header)
 		}
+		if bits > maxLabelBits {
+			// Also keeps end below overflow for any label count that fits in
+			// memory: untrusted bit lengths (fuzzed or corrupt headers) are
+			// bounded before any offset arithmetic.
+			return nil, fmt.Errorf("%w: label %d has %d bits", ErrBadLabel, v, bits)
+		}
 		end := off + int64(bitstr.SlabWords(bits))*bitstr.SlabWordBits
 		if int(end>>3) > len(slab) {
 			return nil, fmt.Errorf("%w: label %d ends at byte %d of a %d-byte slab", ErrBadLabel, v, end>>3, len(slab))
@@ -97,8 +103,18 @@ func NewQueryEngineFromArena(slab []byte, bitLens []int) (*QueryEngine, error) {
 	return e, nil
 }
 
+// maxLabelBits caps a single label's declared bit length (matching the
+// labelstore's cap): beyond it, offset arithmetic and the int32 body counts
+// below could overflow on attacker-controlled headers.
+const maxLabelBits = 1 << 34
+
 // setBodyCount validates and records a label's body size in body units.
 func setBodyCount(m *vertexMeta, body, w, v int) error {
+	if body > 1<<31-1 {
+		// cnt is an int32; a larger body would silently truncate and turn the
+		// build-time bounds guarantees into query-time garbage.
+		return fmt.Errorf("%w: label %d: body of %d bits", ErrBadLabel, v, body)
+	}
 	switch {
 	case m.fat:
 		m.cnt = int32(body)

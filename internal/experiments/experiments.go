@@ -166,6 +166,7 @@ func All() []Runner {
 		{ID: "E19", Description: "generative models (§6): which admit small labels, by degeneracy", Run: E19GenerativeModels},
 		{ID: "E20", Description: "encoder scalability: sequential vs parallel, ns/vertex", Run: E20EncodeScalability},
 		{ID: "E21", Description: "lower-bound construction: labels are invariant to the embedded H", Run: E21AdversarialH},
+		{ID: "E23", Description: "adjacency serving: loopback TCP throughput/latency + mmap startup", Run: E23ServingThroughput},
 	}
 }
 

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/adjserve"
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/labelstore"
+	"repro/internal/peernet"
+)
+
+// E23ServingThroughput measures the serving tier end to end: a loopback
+// adjserve server over a power-law labeling, driven at batch sizes
+// 1/64/4096 over 1 and GOMAXPROCS pipelined connections. Batch size 1 is
+// the naive one-request-per-pair remote loop; the peer-to-peer
+// TwoLabelService from E16 is the in-process per-pair baseline the paper's
+// deployment model implies. A second table times labelstore.Open (mmap)
+// against labelstore.Read (copying) at two file sizes: the map-don't-copy
+// startup is O(header), so its time must not grow with the label file.
+func E23ServingThroughput(cfg Config) ([]*Table, error) {
+	alpha := 2.5
+	n := 1 << 15
+	targetQ := 1 << 18
+	if cfg.Quick {
+		n = 1 << 11
+		targetQ = 1 << 13
+	}
+	g, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lab, err := core.NewPowerLawScheme(alpha).Encode(g)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewQueryEngine(lab)
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := adjserve.NewServer(eng, 0)
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	tb := &Table{
+		ID:    "E23",
+		Title: fmt.Sprintf("adjacency serving throughput (loopback TCP, Chung–Lu n=%d, α=%.1f)", n, alpha),
+		Cols:  []string{"transport", "batch", "conns", "queries", "q/s", "p50.µs", "p99.µs", "B/query"},
+	}
+
+	// In-process per-pair baseline: the simulated peer-to-peer service whose
+	// traffic units (request + response framing + label bytes) the server
+	// shares, so B/query is directly comparable.
+	labels := make([]bitstr.String, g.N())
+	for v := range labels {
+		if labels[v], err = lab.Label(v); err != nil {
+			return nil, err
+		}
+	}
+	pnet := peernet.New(labels)
+	svc := &peernet.TwoLabelService{Net: pnet, Dec: core.NewFatThinDecoder(g.N())}
+	pairs := randomQueryPairs(g.N(), 1<<12, cfg.Seed+1)
+	baseQ := min(targetQ, 1<<15) // per-pair loops are slow; cap the sample
+	lat := make([]time.Duration, 0, baseQ)
+	start := time.Now()
+	for i := 0; i < baseQ; i++ {
+		p := pairs[i%len(pairs)]
+		qs := time.Now()
+		if _, err := svc.Adjacent(p[0], p[1]); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(qs))
+	}
+	elapsed := time.Since(start)
+	pst := pnet.Stats()
+	tb.AddRow("peernet(sim)", "1", "1", strconv.Itoa(baseQ),
+		fmtQPS(baseQ, elapsed), fmtMicros(quantile(lat, 0.50)), fmtMicros(quantile(lat, 0.99)),
+		fmtF(float64(pst.Bytes)/float64(pst.Fetches)))
+
+	// Remote sweeps. Frame latency is per AdjacentMany call, so at batch b a
+	// p50 of t µs means t/b µs per query.
+	conns := []int{1, runtime.GOMAXPROCS(0)}
+	if conns[1] == 1 {
+		conns = conns[:1]
+	}
+	for _, batch := range []int{1, 64, 4096} {
+		tq := targetQ
+		if batch == 1 {
+			tq = min(targetQ, 1<<15) // one RTT per query; cap the sample
+		}
+		for _, nc := range conns {
+			queries, elapsed, lats, bytesPerQ, err := driveServer(srv, addr, pairs, batch, nc, tq)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow("adjserve(tcp)", strconv.Itoa(batch), strconv.Itoa(nc), strconv.Itoa(queries),
+				fmtQPS(queries, elapsed), fmtMicros(quantile(lats, 0.50)), fmtMicros(quantile(lats, 0.99)),
+				fmtF2(bytesPerQ))
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"batch=1 is the naive one-request-per-pair remote loop; the acceptance bar is batch=4096 q/s >= 10x that",
+		"p50/p99 are per-frame round-trip latencies: at batch b, divide by b for per-query time",
+		"B/query counts frame headers + payloads with the same request/response units as the E16 peer simulation",
+		"loopback TCP: no real network latency, so this isolates protocol + server cost")
+
+	mmapTb, err := mmapStartupTable(lab, g.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{tb, mmapTb}, nil
+}
+
+// driveServer runs nc connections, each pipelining AdjacentMany frames of
+// the given batch size until the shared target is met, and returns total
+// queries, wall time, per-frame latencies, and server-accounted bytes/query.
+func driveServer(srv *adjserve.Server, addr string, pairs [][2]int, batch, nc, targetQ int) (int, time.Duration, []time.Duration, float64, error) {
+	framesPerConn := targetQ / (batch * nc)
+	if framesPerConn < 8 {
+		framesPerConn = 8
+	}
+	clients := make([]*adjserve.Client, nc)
+	for i := range clients {
+		c, err := adjserve.Dial(addr)
+		if err != nil {
+			return 0, 0, nil, 0, err
+		}
+		defer c.Close()
+		c.MaxBatch = batch
+		clients[i] = c
+	}
+	// Warm up connections and pools outside the timed window.
+	for _, c := range clients {
+		if _, err := c.AdjacentMany(pairs[:min(batch, len(pairs))], nil); err != nil {
+			return 0, 0, nil, 0, err
+		}
+	}
+	srv.Traffic.Reset()
+
+	type res struct {
+		lats []time.Duration
+		err  error
+	}
+	results := make(chan res, nc)
+	start := time.Now()
+	for i, c := range clients {
+		go func(i int, c *adjserve.Client) {
+			lats := make([]time.Duration, 0, framesPerConn)
+			out := make([]bool, 0, batch)
+			off := i * 31 // decorrelate the per-connection query streams
+			for f := 0; f < framesPerConn; f++ {
+				lo := (off + f*batch) % len(pairs)
+				chunk := pairs[lo:min(lo+batch, len(pairs))]
+				for len(chunk) < batch {
+					chunk = append(chunk[:len(chunk):len(chunk)], pairs[:min(batch-len(chunk), len(pairs))]...)
+				}
+				fs := time.Now()
+				var err error
+				out, err = c.AdjacentMany(chunk, out[:0])
+				if err != nil {
+					results <- res{err: err}
+					return
+				}
+				lats = append(lats, time.Since(fs))
+			}
+			results <- res{lats: lats}
+		}(i, c)
+	}
+	var all []time.Duration
+	for range clients {
+		r := <-results
+		if r.err != nil {
+			return 0, 0, nil, 0, r.err
+		}
+		all = append(all, r.lats...)
+	}
+	elapsed := time.Since(start)
+	st := srv.Traffic.Stats()
+	queries := framesPerConn * batch * nc
+	bytesPerQ := 0.0
+	if st.Fetches > 0 {
+		bytesPerQ = float64(st.Bytes) / float64(st.Fetches)
+	}
+	return queries, elapsed, all, bytesPerQ, nil
+}
+
+// mmapStartupTable times labelstore.Open (mmap, O(header)) vs labelstore.Read
+// (copying, O(file)) on two stores with the same n but very different label
+// bodies: Open's cost is the n bit-length uvarints of the header and must
+// stay flat as the body grows, while Read's tracks the whole file.
+func mmapStartupTable(sparse *core.Labeling, n int, cfg Config) (*Table, error) {
+	// Same vertex count, ~16x the mean degree: much fatter labels, same
+	// header size.
+	g, err := gen.ChungLuPowerLaw(n, 2.5, 32, cfg.Seed+7)
+	if err != nil {
+		return nil, err
+	}
+	dense, err := core.NewPowerLawScheme(2.5).EncodeParallel(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID:    "E23",
+		Title: fmt.Sprintf("startup cost at n=%d: mmap Open vs copying Read", n),
+		Cols:  []string{"store", "file.KiB", "open.µs", "read.µs", "read/open"},
+	}
+	dir, err := os.MkdirTemp("", "plserve-e23-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	for _, tc := range []struct {
+		name string
+		lab  *core.Labeling
+	}{{"sparse", sparse}, {"dense", dense}} {
+		path := filepath.Join(dir, "labels-"+tc.name+".pllb")
+		size, err := writeArenaStore(path, tc.lab, n)
+		if err != nil {
+			return nil, err
+		}
+		openT, err := medianTime(5, func() error {
+			mf, err := labelstore.Open(path)
+			if err != nil {
+				return err
+			}
+			return mf.Close()
+		})
+		if err != nil {
+			return nil, err
+		}
+		readT, err := medianTime(5, func() error {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = labelstore.Read(f)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(readT) / float64max(float64(openT), 1)
+		tb.AddRow(tc.name, fmtF(float64(size)/1024),
+			fmtMicros(openT), fmtMicros(readT), fmtF2(ratio))
+	}
+	tb.Notes = append(tb.Notes,
+		"same n, so both stores have identical headers (n bit-length uvarints); only the label bodies differ",
+		"Open parses the header and maps the body: its time must stay flat as the body grows; Read decodes every label, so its time tracks the file",
+		"N plserve processes mapping the same file share one page-cache copy of the label bodies")
+	return tb, nil
+}
+
+// writeArenaStore writes lab as a format-v2 arena store and returns the file
+// size in bytes.
+func writeArenaStore(path string, lab *core.Labeling, n int) (int64, error) {
+	slab, ok := lab.Arena()
+	if !ok {
+		return 0, fmt.Errorf("labeling is not arena-backed")
+	}
+	bitLens := make([]int, n)
+	for v := range bitLens {
+		l, err := lab.Label(v)
+		if err != nil {
+			return 0, err
+		}
+		bitLens[v] = l.Len()
+	}
+	store, err := labelstore.NewArenaFile(lab.Scheme(),
+		map[string]string{"n": strconv.Itoa(n)}, slab, bitLens)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if err := labelstore.Write(f, store); err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func randomQueryPairs(n, count int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	return pairs
+}
+
+// quantile returns the q-th latency quantile (sorts a copy).
+func quantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lats))
+	copy(s, lats)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// medianTime returns the median duration of reps runs of fn.
+func medianTime(reps int, fn func() error) (time.Duration, error) {
+	return timeEncode(reps, fn)
+}
+
+func fmtQPS(queries int, elapsed time.Duration) string {
+	if elapsed <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.0f", float64(queries)/elapsed.Seconds())
+}
+
+func fmtMicros(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1000)
+}
+
+func float64max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -53,6 +53,21 @@ const (
 	version2 = 2 // single word-aligned slab blob
 )
 
+// Hard caps on header-declared sizes, shared by the streaming (Read) and
+// in-memory (ReadBytes) parsers: a corrupt or adversarial header must fail
+// validation before it can drive a large allocation or an out-of-bounds
+// view.
+const (
+	maxParams    = 1 << 16
+	maxLabels    = 1 << 31
+	maxString    = 1 << 20
+	maxLabelBits = 1 << 34
+	// blobChunk bounds how much body is bought at a time on the streaming
+	// path, so a header declaring a huge blob over a short stream fails at
+	// EOF having over-allocated at most one chunk.
+	blobChunk = 64 << 20
+)
+
 // File is an in-memory representation of a label store.
 type File struct {
 	Scheme string
@@ -199,7 +214,6 @@ func Read(r io.Reader) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: param count: %v", ErrFormat, err)
 	}
-	const maxParams = 1 << 16
 	if nParams > maxParams {
 		return nil, fmt.Errorf("%w: %d params", ErrFormat, nParams)
 	}
@@ -219,7 +233,6 @@ func Read(r io.Reader) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: label count: %v", ErrFormat, err)
 	}
-	const maxLabels = 1 << 31
 	if n > maxLabels {
 		return nil, fmt.Errorf("%w: %d labels", ErrFormat, n)
 	}
@@ -241,7 +254,7 @@ func Read(r io.Reader) (*File, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: label %d length: %v", ErrFormat, i, err)
 		}
-		if bits > 1<<34 {
+		if bits > maxLabelBits {
 			return nil, fmt.Errorf("%w: label %d has %d bits", ErrFormat, i, bits)
 		}
 		nBytes := int((bits + 7) / 8)
@@ -276,22 +289,33 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 		if err != nil {
 			return nil, fmt.Errorf("%w: label %d length: %v", ErrFormat, i, err)
 		}
-		if bits > 1<<34 {
+		if bits > maxLabelBits {
 			return nil, fmt.Errorf("%w: label %d has %d bits", ErrFormat, i, bits)
 		}
 		bitLens[i] = int(bits)
 		words += int64(bitstr.SlabWords(int(bits)))
 	}
+	// Validate the declared geometry before buying the body: the blob-length
+	// field must agree with what the bit lengths occupy (both mismatch
+	// directions are corruption), and the body is then read in bounded
+	// chunks so a header lying about a huge blob fails at EOF instead of
+	// forcing one giant allocation up front.
+	need := words << 3
 	blobLen, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: blob length: %v", ErrFormat, err)
 	}
-	if int64(blobLen) != words<<3 {
-		return nil, fmt.Errorf("%w: blob of %d bytes, lengths require %d", ErrFormat, blobLen, words<<3)
+	if err := checkBlobLen(int64(blobLen), need); err != nil {
+		return nil, err
 	}
-	slab := make([]byte, blobLen)
-	if _, err := io.ReadFull(br, slab); err != nil {
-		return nil, fmt.Errorf("%w: blob payload: %v", ErrFormat, err)
+	slab := make([]byte, 0, min(need, blobChunk))
+	for int64(len(slab)) < need {
+		chunk := int(min(need-int64(len(slab)), blobChunk))
+		off := len(slab)
+		slab = slices.Grow(slab, chunk)[:off+chunk]
+		if _, err := io.ReadFull(br, slab[off:]); err != nil {
+			return nil, fmt.Errorf("%w: blob payload at byte %d of %d: %v", ErrFormat, off, need, err)
+		}
 	}
 	f, err := NewArenaFile(scheme, params, slab, bitLens)
 	if err != nil {
@@ -320,7 +344,6 @@ func readString(r *bufio.Reader) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w: string length: %v", ErrFormat, err)
 	}
-	const maxString = 1 << 20
 	if n > maxString {
 		return "", fmt.Errorf("%w: string of %d bytes", ErrFormat, n)
 	}

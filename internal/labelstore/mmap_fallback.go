@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package labelstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile reports mmap as unavailable; Open falls back to the plain
+// sequential reader.
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errors.ErrUnsupported }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package labelstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: every process mapping
+// the same store file sees one physical copy of the label blob in the page
+// cache. Nothing in the ReadBytes path writes through the returned slice
+// (v2 views are built with bitstr.SlabViews, which never masks in place), so
+// PROT_READ is safe.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,241 @@
+package labelstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/bitstr"
+)
+
+// ReadBytes parses a store from an in-memory byte slice — typically a
+// memory-mapped file (see Open). For a format-v2 store the body blob is
+// adopted zero-copy: the returned File's arena is a sub-slice of data and
+// the labels are views into it, so nothing is relocated and nothing is
+// written. data must therefore stay alive (and unmodified) for the lifetime
+// of the File; a read-only mapping is fine because, unlike the streaming
+// Read path, ReadBytes never masks padding bits in place. Files written by
+// Write carry zero padding (the slab writer guarantees it), so label
+// equality is unaffected; a hand-built v2 file with dirty padding would
+// compare labels unequal while still answering queries correctly (the query
+// engine only probes bits inside each label's declared length).
+//
+// Format-v1 payloads are not word-aligned, so they take the copying Read
+// path and the returned File does not reference data at all.
+func ReadBytes(data []byte) (*File, error) {
+	p := &byteParser{data: data}
+	if err := p.need(5); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrFormat, err)
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, data[:4])
+	}
+	ver := data[4]
+	p.off = 5
+	switch ver {
+	case version1:
+		// v1 labels are copied and masked on the heap anyway; reuse the
+		// streaming parser.
+		return Read(bytes.NewReader(data))
+	case version2:
+	default:
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrFormat, ver)
+	}
+	scheme, err := p.string()
+	if err != nil {
+		return nil, err
+	}
+	nParams, err := p.uvarint("param count")
+	if err != nil {
+		return nil, err
+	}
+	if nParams > maxParams {
+		return nil, fmt.Errorf("%w: %d params", ErrFormat, nParams)
+	}
+	params := make(map[string]string, nParams)
+	for i := uint64(0); i < nParams; i++ {
+		k, err := p.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.string()
+		if err != nil {
+			return nil, err
+		}
+		params[k] = v
+	}
+	n, err := p.uvarint("label count")
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLabels {
+		return nil, fmt.Errorf("%w: %d labels", ErrFormat, n)
+	}
+	bitLens := make([]int, n)
+	var words int64
+	for i := range bitLens {
+		bits, err := p.uvarint("label length")
+		if err != nil {
+			return nil, fmt.Errorf("%w: label %d length: %v", ErrFormat, i, err)
+		}
+		if bits > maxLabelBits {
+			return nil, fmt.Errorf("%w: label %d has %d bits", ErrFormat, i, bits)
+		}
+		bitLens[i] = int(bits)
+		words += int64(bitstr.SlabWords(int(bits)))
+	}
+	// Validate the declared geometry before any view is constructed: the
+	// blob-length field must agree with the bit lengths, and the blob must
+	// actually be present in data — a short or truncated body fails here, at
+	// load, never at query time.
+	need := words << 3
+	blobLen, err := p.uvarint("blob length")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkBlobLen(int64(blobLen), need); err != nil {
+		return nil, err
+	}
+	if int64(len(data)-p.off) < need {
+		return nil, fmt.Errorf("%w: blob truncated: %d bytes of body, lengths require %d",
+			ErrFormat, len(data)-p.off, need)
+	}
+	arena := data[p.off : p.off+int(need) : p.off+int(need)]
+	labels, err := bitstr.SlabViews(arena, bitLens)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return &File{Scheme: scheme, Params: params, Labels: labels, arena: arena, bitLens: bitLens}, nil
+}
+
+// checkBlobLen validates the declared blob byte count against the size the
+// per-label bit lengths occupy. The two mismatch directions get distinct
+// messages: a short blob is the truncation/corruption case, an oversized one
+// a disagreeing header.
+func checkBlobLen(blobLen, need int64) error {
+	switch {
+	case blobLen < need:
+		return fmt.Errorf("%w: blob of %d bytes too short, declared lengths require %d", ErrFormat, blobLen, need)
+	case blobLen > need:
+		return fmt.Errorf("%w: blob of %d bytes, declared lengths occupy only %d", ErrFormat, blobLen, need)
+	}
+	return nil
+}
+
+// byteParser is a bounds-checked cursor over an in-memory store image.
+type byteParser struct {
+	data []byte
+	off  int
+}
+
+func (p *byteParser) need(n int) error {
+	if len(p.data)-p.off < n {
+		return fmt.Errorf("need %d bytes, have %d", n, len(p.data)-p.off)
+	}
+	return nil
+}
+
+func (p *byteParser) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(p.data[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %s: truncated or overlong uvarint", ErrFormat, what)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *byteParser) string() (string, error) {
+	n, err := p.uvarint("string length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", fmt.Errorf("%w: string of %d bytes", ErrFormat, n)
+	}
+	if err := p.need(int(n)); err != nil {
+		return "", fmt.Errorf("%w: string payload: %v", ErrFormat, err)
+	}
+	s := string(p.data[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, nil
+}
+
+// MappedFile is a File backed by a memory-mapped store file. For format-v2
+// stores on platforms with mmap support, the arena (and every label view) is
+// a window into the page cache: Open costs O(header) regardless of body
+// size, and any number of processes serving the same file share one
+// physical copy of the labels. Close unmaps; the File and anything derived
+// from its arena (query engines included) must not be used afterwards.
+type MappedFile struct {
+	*File
+	mapping []byte
+}
+
+// Mapped reports whether the file's labels are served from a live memory
+// mapping (false for v1 stores and on platforms without mmap, where Open
+// fell back to a heap copy and Close is a no-op).
+func (m *MappedFile) Mapped() bool { return m.mapping != nil }
+
+// Close releases the mapping, if any.
+func (m *MappedFile) Close() error {
+	if m.mapping == nil {
+		return nil
+	}
+	b := m.mapping
+	m.mapping = nil
+	return munmapFile(b)
+}
+
+// Open maps the store at path and parses it with ReadBytes. A format-v2
+// store is adopted zero-copy from the mapping; a v1 store (or a platform
+// without mmap, or a file mmap refuses) is loaded through the plain copying
+// reader instead, so Open works everywhere and is merely fastest where it
+// matters. The caller owns the returned MappedFile and must Close it when
+// the labels are no longer in use.
+func Open(path string) (*MappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size > int64(maxInt) {
+		return openFallback(f)
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		return openFallback(f)
+	}
+	store, err := ReadBytes(data)
+	if err != nil {
+		_ = munmapFile(data)
+		return nil, err
+	}
+	if _, _, ok := store.Arena(); !ok {
+		// v1: every label was copied to the heap, nothing references the
+		// mapping — drop it now rather than at Close.
+		_ = munmapFile(data)
+		return &MappedFile{File: store}, nil
+	}
+	return &MappedFile{File: store, mapping: data}, nil
+}
+
+// openFallback reads the store sequentially from the start of f.
+func openFallback(f *os.File) (*MappedFile, error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	store, err := Read(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &MappedFile{File: store}, nil
+}
+
+const maxInt = int(^uint(0) >> 1)

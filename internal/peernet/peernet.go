@@ -34,15 +34,51 @@ type Stats struct {
 	Fetches  int64 // label fetches (request/response pairs)
 }
 
+// Traffic is the set of atomic wire-accounting counters behind Stats. It is
+// exported so that real serving paths (internal/adjserve charges one
+// request/response pair and the answered query count per frame) account
+// traffic with the same units as the peer-to-peer simulation, making E16/E23
+// bytes-per-query columns directly comparable. The zero value is ready to
+// use; all methods are safe for concurrent callers.
+type Traffic struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+	fetch atomic.Int64
+}
+
+// Charge adds msgs messages, bytes wire bytes and fetches label fetches (or,
+// for a query server, answered queries) to the counters.
+func (t *Traffic) Charge(msgs, bytes, fetches int64) {
+	t.msgs.Add(msgs)
+	t.bytes.Add(bytes)
+	t.fetch.Add(fetches)
+}
+
+// Stats returns a snapshot of the counters. Each counter is read atomically;
+// a snapshot taken while traffic is in flight is consistent per counter, not
+// across counters.
+func (t *Traffic) Stats() Stats {
+	return Stats{
+		Messages: t.msgs.Load(),
+		Bytes:    t.bytes.Load(),
+		Fetches:  t.fetch.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (t *Traffic) Reset() {
+	t.msgs.Store(0)
+	t.bytes.Store(0)
+	t.fetch.Store(0)
+}
+
 // Network is a fleet of peers, each holding one label. Fetch and the stats
 // accessors are safe for concurrent use: coordinators answering a query
 // stream from many goroutines (e.g. AdjacentManyParallel over a service)
 // share one network, so the traffic counters are atomics.
 type Network struct {
-	labels []bitstr.String
-	msgs   atomic.Int64
-	bytes  atomic.Int64
-	fetch  atomic.Int64
+	labels  []bitstr.String
+	traffic Traffic
 }
 
 // New builds a network from per-vertex labels (peer v holds labels[v]).
@@ -60,29 +96,17 @@ func (n *Network) Fetch(v int) (bitstr.String, error) {
 		return bitstr.String{}, fmt.Errorf("%w: %d of %d", ErrUnknownPeer, v, len(n.labels))
 	}
 	l := n.labels[v]
-	n.msgs.Add(2)
-	n.fetch.Add(1)
-	n.bytes.Add(requestBytes + responseOverheadBytes + int64(l.SizeBytes()))
+	n.traffic.Charge(2, requestBytes+responseOverheadBytes+int64(l.SizeBytes()), 1)
 	return l, nil
 }
 
 // Stats returns the accumulated traffic counters. Each counter is read
 // atomically; a snapshot taken while fetches are in flight is consistent per
 // counter, not across counters.
-func (n *Network) Stats() Stats {
-	return Stats{
-		Messages: n.msgs.Load(),
-		Bytes:    n.bytes.Load(),
-		Fetches:  n.fetch.Load(),
-	}
-}
+func (n *Network) Stats() Stats { return n.traffic.Stats() }
 
 // ResetStats zeroes the traffic counters.
-func (n *Network) ResetStats() {
-	n.msgs.Store(0)
-	n.bytes.Store(0)
-	n.fetch.Store(0)
-}
+func (n *Network) ResetStats() { n.traffic.Reset() }
 
 // TwoLabelService answers adjacency queries by fetching both endpoint
 // labels and running a standard two-label decoder.

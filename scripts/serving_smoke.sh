@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Loopback end-to-end smoke test for the serving tier: generate a power-law
+# graph, label it, serve the store with plserve (mmap path), and check that
+# plquery -remote produces byte-identical output to plquery -labels on the
+# same query stream. Exercises the real binaries over real TCP — the CI-run
+# complement to the in-process tests in internal/adjserve.
+#
+# Usage: scripts/serving_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+trap 'kill "${serve_pid:-}" 2>/dev/null || true; wait "${serve_pid:-}" 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
+
+echo "== build"
+mkdir -p "$work/bin"
+go build -o "$work/bin" ./cmd/plgen ./cmd/pllabel ./cmd/plserve ./cmd/plquery
+
+echo "== generate + label"
+"$work/bin/plgen" -model chunglu -n 5000 -alpha 2.5 -wmin 2 -seed 7 -o "$work/graph.el"
+"$work/bin/pllabel" -scheme powerlaw -in "$work/graph.el" -o "$work/labels.pllb"
+
+echo "== serve (port 0 = kernel-assigned)"
+"$work/bin/plserve" -labels "$work/labels.pllb" -addr 127.0.0.1:0 >"$work/serve.log" 2>&1 &
+serve_pid=$!
+# The daemon prints "plserve: listening on HOST:PORT" once ready.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^plserve: listening on //p' "$work/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve.log"; echo "plserve died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$work/serve.log"; echo "plserve never became ready"; exit 1; }
+echo "   plserve up at $addr (pid $serve_pid)"
+
+echo "== query: remote vs local must be byte-identical"
+awk 'BEGIN{srand(9); for(i=0;i<2000;i++) printf "%d %d\n", int(rand()*5000), int(rand()*5000)}' >"$work/pairs.txt"
+"$work/bin/plquery" -labels "$work/labels.pllb" -batch <"$work/pairs.txt" >"$work/local.out"
+"$work/bin/plquery" -remote "$addr" -batch <"$work/pairs.txt" >"$work/remote.out"
+"$work/bin/plquery" -remote "$addr" <"$work/pairs.txt" >"$work/remote-stream.out"
+diff "$work/local.out" "$work/remote.out"
+diff "$work/local.out" "$work/remote-stream.out"
+echo "   $(wc -l <"$work/local.out") answers identical across local, remote-batch, remote-stream"
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "plserve exited non-zero after SIGTERM"; cat "$work/serve.log"; exit 1; }
+grep -q "draining" "$work/serve.log" || { echo "no drain line in log"; cat "$work/serve.log"; exit 1; }
+grep -q "served" "$work/serve.log" || { echo "no serve summary in log"; cat "$work/serve.log"; exit 1; }
+serve_pid=""
+
+echo "== serving smoke OK"
