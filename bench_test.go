@@ -85,6 +85,9 @@ func BenchmarkE20EncodeScalability(b *testing.B) {
 func BenchmarkE21AdversarialH(b *testing.B) {
 	benchExperiment(b, experiments.E21AdversarialH)
 }
+func BenchmarkE24ObservabilityOverhead(b *testing.B) {
+	benchExperiment(b, experiments.E24ObservabilityOverhead)
+}
 
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: encoder throughput and per-query decode latency for each
@@ -235,6 +238,29 @@ func BenchmarkQueryEngineAdjacent(b *testing.B) {
 		if _, err := eng.Adjacent(p[0], p[1]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkQueryEngineAdjacentManyInstrumented is the same batch with a live
+// core.EngineMetrics attached: the tally-and-flush design must keep the path
+// at 0 allocs/op, with the per-batch atomic flush amortized to noise.
+func BenchmarkQueryEngineAdjacentManyInstrumented(b *testing.B) {
+	eng, pairs := benchEngine(b)
+	var em core.EngineMetrics
+	eng.AttachMetrics(&em)
+	out := make([]bool, 0, len(pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = eng.AdjacentMany(pairs, out[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(pairs)), "ns/query")
+	if got := em.Queries.Load(); got != int64(b.N*len(pairs)) {
+		b.Fatalf("metrics counted %d queries, drove %d", got, b.N*len(pairs))
 	}
 }
 

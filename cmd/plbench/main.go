@@ -43,29 +43,21 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Every profile is flushed and closed through a defer, so an error exit
+	// (unknown experiment, failed run, bad format) still leaves valid profile
+	// files behind — exactly the runs worth profiling are often the ones that
+	// fail partway.
 	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+		stop, err := startCPUProfile(*cpuprofile)
 		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+			return err
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
-		}
-		defer pprof.StopCPUProfile()
+		defer stop()
 	}
 	if *memprofile != "" {
 		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "plbench: memprofile: %v\n", err)
-				return
-			}
-			defer f.Close()
 			runtime.GC() // settle live-heap numbers before the snapshot
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "plbench: memprofile: %v\n", err)
-			}
+			writeProfile("heap", *memprofile)
 		}()
 	}
 	// Contention profiles must be armed before the workload starts; each is
@@ -120,15 +112,39 @@ func run(args []string) error {
 	return nil
 }
 
-// writeProfile snapshots a named runtime profile (mutex, block) to path.
+// startCPUProfile begins CPU profiling into path and returns the stop
+// function to defer: it stops the profiler (flushing the final sample batch)
+// and closes the file, surfacing close errors — the write that loses data on
+// a full disk is the one in Close.
+func startCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "plbench: cpuprofile: %v\n", err)
+		}
+	}, nil
+}
+
+// writeProfile snapshots a named runtime profile (heap, mutex, block) to
+// path, reporting write and close failures rather than silently truncating.
 func writeProfile(name, path string) {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plbench: %sprofile: %v\n", name, err)
 		return
 	}
-	defer f.Close()
 	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "plbench: %sprofile: %v\n", name, err)
+	}
+	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "plbench: %sprofile: %v\n", name, err)
 	}
 }

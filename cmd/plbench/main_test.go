@@ -48,6 +48,31 @@ func TestRunWritesProfiles(t *testing.T) {
 	}
 }
 
+// TestRunErrorExitStillWritesProfiles: an error exit (unknown experiment)
+// must still stop, flush and close every armed profile — valid non-empty
+// files, not truncated ones.
+func TestRunErrorExitStillWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	mtx := filepath.Join(dir, "mutex.pprof")
+	blk := filepath.Join(dir, "block.pprof")
+	err := run([]string{"-experiment", "E99",
+		"-cpuprofile", cpu, "-memprofile", mem, "-mutexprofile", mtx, "-blockprofile", blk})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, p := range []string{cpu, mem, mtx, blk} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written on error exit: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty on error exit", p)
+		}
+	}
+}
+
 func TestRunBadProfilePath(t *testing.T) {
 	if err := run([]string{"-experiment", "E13", "-quick", "-cpuprofile", "/nonexistent/dir/cpu.pprof"}); err == nil {
 		t.Error("unwritable cpuprofile path accepted")

@@ -16,18 +16,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/adjserve"
 	"repro/internal/core"
 	"repro/internal/labelstore"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	var (
 		labelsPath = fs.String("labels", "", "label store file (required)")
 		addr       = fs.String("addr", "127.0.0.1:7421", "listen address (port 0 picks a free port)")
+		adminAddr  = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
 		maxBatch   = fs.Int("max-batch", 0, "max pairs per request frame (0 = default)")
 		useMmap    = fs.Bool("mmap", true, "memory-map the store (false forces the copying reader)")
 	)
@@ -91,14 +96,46 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d (%s, %v)\n",
 		store.Scheme, store.N(), mode, time.Since(start).Round(time.Microsecond))
 
+	srv := adjserve.NewServer(eng, *maxBatch)
+
+	// The admin plane is optional and read-only: one registry spanning the
+	// server, engine, store and runtime families, plus pprof. Readiness flips
+	// before the query listener accepts and back off when draining starts, so
+	// a load balancer stops routing while in-flight frames finish.
+	var ready atomic.Bool
+	var admin *obs.AdminServer
+	if *adminAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		srv.Metrics().Register(reg)
+		engMetrics := new(core.EngineMetrics)
+		engMetrics.Register(reg)
+		eng.AttachMetrics(engMetrics)
+		labelstore.RegisterMetrics(reg)
+		srv.Traffic.Register(reg, "adjserve_traffic")
+		admin = obs.NewAdminServer(reg)
+		admin.Readyz = func() error {
+			if !ready.Load() {
+				return errors.New("not serving")
+			}
+			return nil
+		}
+		resolved, err := admin.Listen(*adminAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "plserve: admin on %s\n", resolved)
+		go admin.Serve()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := adjserve.NewServer(eng, *maxBatch)
 	// The "listening on" line is the readiness contract scripts wait for
 	// (scripts/serving_smoke.sh greps it for the resolved port).
 	fmt.Fprintf(stdout, "plserve: listening on %s\n", ln.Addr())
+	ready.Store(true)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -113,12 +150,20 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		case <-stop:
 		case <-quit:
 		}
+		ready.Store(false)
 		srv.Close()
 	}()
 
 	err = srv.Serve(ln)
 	close(quit)
 	<-done
+	// Admin shutdown is ordered after the drain: a scrape during the drain
+	// window still sees the final counters (and readyz already says 503).
+	if admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(ctx)
+		cancel()
+	}
 	st := srv.Traffic.Stats()
 	fmt.Fprintf(stdout, "plserve: served %d queries in %d frames (%d bytes on the wire)\n",
 		st.Fetches, st.Messages/2, st.Bytes)

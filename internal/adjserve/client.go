@@ -7,6 +7,22 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
+)
+
+// Redial policy defaults. A lost connection is redialed transparently, but
+// not forever: attempts are capped and spaced by exponential backoff, so a
+// dead server surfaces as an error carrying the last dial failure instead of
+// an infinitely retrying call.
+const (
+	// DefaultMaxDialAttempts is the consecutive dial-attempt cap per
+	// reconnect when Client.MaxDialAttempts is unset.
+	DefaultMaxDialAttempts = 4
+	// DefaultRedialBackoff is the initial inter-attempt backoff when
+	// Client.RedialBackoff is unset; it doubles per failure up to
+	// maxRedialBackoff.
+	DefaultRedialBackoff = 25 * time.Millisecond
+	maxRedialBackoff     = 1 * time.Second
 )
 
 // Client is a pipelining client for one adjacency server. A batch call
@@ -15,22 +31,47 @@ import (
 // responses back up — so one TCP round trip covers an arbitrarily large
 // batch. Calls are safe for concurrent goroutines, which share (and
 // pipeline over) a single connection; if the connection dies, the next call
-// transparently redials.
+// transparently redials — bounded by MaxDialAttempts with exponential
+// backoff, so a dead server surfaces as the last dial error rather than a
+// silent retry loop.
 type Client struct {
 	// MaxBatch caps pairs per request frame (<= 0 selects DefaultMaxBatch).
 	// It must not exceed the server's limit or batches above that limit are
 	// rejected remotely.
 	MaxBatch int
 
+	// MaxDialAttempts caps consecutive dial attempts per reconnect (<= 0
+	// selects DefaultMaxDialAttempts). After that many consecutive failures
+	// the triggering call returns the last dial error.
+	MaxDialAttempts int
+
+	// RedialBackoff is the initial delay between dial attempts (<= 0
+	// selects DefaultRedialBackoff), doubling per consecutive failure up to
+	// one second. The backoff sleeps while holding the client's connection
+	// lock, so concurrent calls wait out the same reconnect rather than
+	// piling up their own dial storms.
+	RedialBackoff time.Duration
+
 	addr string
 	mu   sync.Mutex // guards conn lifecycle and interleaves frame writes
 	cc   *clientConn
 	req  []byte // pooled request-encoding buffer, guarded by mu
+
+	everConnected bool // a redial (vs first dial) is a reconnect, for metrics
+	metrics       ClientMetrics
 }
 
-// Dial connects to an adjacency server.
+// NewClient returns a client that dials lazily: the first call establishes
+// the connection (with the same bounded-retry policy as any redial). Useful
+// when the server may come up after the client, or to configure the redial
+// knobs before any network traffic.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Dial connects to an adjacency server eagerly, returning the first
+// connection error (after the client's bounded retry policy) instead of
+// deferring it to the first call.
 func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr}
+	c := NewClient(addr)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.ensureConn(); err != nil {
@@ -38,6 +79,10 @@ func Dial(addr string) (*Client, error) {
 	}
 	return c, nil
 }
+
+// Metrics returns the client's instrumentation, for registering on an
+// obs.Registry (c.Metrics().Register(reg)) or reading in tests.
+func (c *Client) Metrics() *ClientMetrics { return &c.metrics }
 
 // Close tears down the connection. In-flight calls fail with ErrClosed;
 // subsequent calls redial.
@@ -64,8 +109,9 @@ type call struct {
 // lock, so a call is either matched by the reader or failed at shutdown —
 // never lost.
 type clientConn struct {
-	nc net.Conn
-	bw *bufio.Writer
+	nc      net.Conn
+	bw      *bufio.Writer
+	metrics *ClientMetrics // owning client's, for in-flight accounting
 
 	qmu      sync.Mutex
 	pending  []*call
@@ -80,6 +126,7 @@ func (cc *clientConn) enqueue(ca *call) error {
 		return cc.err
 	}
 	cc.pending = append(cc.pending, ca)
+	cc.metrics.InFlight.Add(1)
 	return nil
 }
 
@@ -91,6 +138,7 @@ func (cc *clientConn) pop() *call {
 	}
 	ca := cc.pending[0]
 	cc.pending = cc.pending[1:]
+	cc.metrics.InFlight.Add(-1)
 	return ca
 }
 
@@ -105,6 +153,7 @@ func (cc *clientConn) fail(err error) {
 	cc.err = err
 	pending := cc.pending
 	cc.pending = nil
+	cc.metrics.InFlight.Add(-int64(len(pending)))
 	cc.qmu.Unlock()
 	cc.nc.Close()
 	for _, ca := range pending {
@@ -113,7 +162,11 @@ func (cc *clientConn) fail(err error) {
 }
 
 // ensureConn returns the live connection, dialing a fresh one if the
-// previous connection has shut down. Callers hold c.mu.
+// previous connection has shut down. A reconnect tries at most
+// MaxDialAttempts dials with exponential backoff between them and then
+// surfaces the last dial error — transparent redial is bounded, never an
+// infinite silent retry. Callers hold c.mu, so one caller performs the
+// reconnect while the rest queue behind it.
 func (c *Client) ensureConn() (*clientConn, error) {
 	if c.cc != nil {
 		c.cc.qmu.Lock()
@@ -124,14 +177,39 @@ func (c *Client) ensureConn() (*clientConn, error) {
 		}
 		c.cc = nil
 	}
-	nc, err := net.Dial("tcp", c.addr)
-	if err != nil {
-		return nil, fmt.Errorf("adjserve: dial %s: %w", c.addr, err)
+	attempts := c.MaxDialAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxDialAttempts
 	}
-	cc := &clientConn{nc: nc, bw: bufio.NewWriterSize(nc, 64<<10)}
-	go cc.readLoop()
-	c.cc = cc
-	return cc, nil
+	backoff := c.RedialBackoff
+	if backoff <= 0 {
+		backoff = DefaultRedialBackoff
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxRedialBackoff {
+				backoff = maxRedialBackoff
+			}
+		}
+		c.metrics.DialAttempts.Inc()
+		nc, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			c.metrics.DialFailures.Inc()
+			lastErr = err
+			continue
+		}
+		if c.everConnected {
+			c.metrics.Redials.Inc()
+		}
+		c.everConnected = true
+		cc := &clientConn{nc: nc, bw: bufio.NewWriterSize(nc, 64<<10), metrics: &c.metrics}
+		go cc.readLoop()
+		c.cc = cc
+		return cc, nil
+	}
+	return nil, fmt.Errorf("adjserve: dial %s: %d consecutive failures, last: %w", c.addr, attempts, lastErr)
 }
 
 // readLoop receives response frames and delivers them to calls in FIFO
@@ -223,6 +301,7 @@ func (c *Client) sendFrame(cc *clientConn, payload []byte, ca *call) error {
 	if err := cc.enqueue(ca); err != nil {
 		return err
 	}
+	c.metrics.FramesSent.Inc()
 	fh := frameHeader(len(payload))
 	if _, err := cc.bw.Write(fh[:]); err != nil {
 		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))

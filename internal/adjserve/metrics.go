@@ -1,0 +1,84 @@
+package adjserve
+
+import (
+	"repro/internal/obs"
+)
+
+// batchClassLabels partitions query-frame sizes into the label values of the
+// per-batch-size latency histograms. The classes straddle the benchmark and
+// experiment batch sizes (1, 64, 1024, 4096, 65536), so each sweep point
+// lands in its own series.
+var batchClassLabels = [...]string{"1", "2-64", "65-1024", "1025-4096", ">4096"}
+
+// batchClass maps a frame's answered pair count to its histogram class.
+func batchClass(pairs int) int {
+	switch {
+	case pairs <= 1:
+		return 0
+	case pairs <= 64:
+		return 1
+	case pairs <= 1024:
+		return 2
+	case pairs <= 4096:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// ServerMetrics is the server's always-on instrumentation: plain atomics the
+// frame loop updates unconditionally (a handful of uncontended adds per
+// frame, nothing per query), exposed by Register. Every Server owns one —
+// the metrics exist whether or not a registry ever reads them, so the hot
+// path carries no nil checks and no registration state.
+type ServerMetrics struct {
+	ConnsActive obs.Gauge   // open client connections
+	ConnsTotal  obs.Counter // connections accepted since start
+	Frames      obs.Counter // request frames answered, all ops
+	ErrorFrames obs.Counter // frames answered with an error status
+	Queries     obs.Counter // adjacency pairs answered
+	BytesIn     obs.Counter // request wire bytes, frame headers included
+	BytesOut    obs.Counter // response wire bytes, frame headers included
+	// FrameLatencyNs[batchClass] is the server-side frame handling time
+	// (request fully read → response buffered, excluding the flush) of
+	// successful query frames, one histogram per batch-size class.
+	FrameLatencyNs [len(batchClassLabels)]obs.Histogram
+}
+
+// Register exposes the metrics on reg under the adjserve_* family names.
+// Call once per registry.
+func (m *ServerMetrics) Register(reg *obs.Registry) {
+	reg.Gauge("adjserve_connections_active", "Open client connections.", &m.ConnsActive)
+	reg.Counter("adjserve_connections_total", "Client connections accepted.", &m.ConnsTotal)
+	reg.Counter("adjserve_frames_total", "Request frames answered (all ops).", &m.Frames)
+	reg.Counter("adjserve_error_frames_total", "Frames answered with an error status.", &m.ErrorFrames)
+	reg.Counter("adjserve_queries_total", "Adjacency pairs answered.", &m.Queries)
+	reg.Counter("adjserve_bytes_in_total", "Request bytes read, frame headers included.", &m.BytesIn)
+	reg.Counter("adjserve_bytes_out_total", "Response bytes written, frame headers included.", &m.BytesOut)
+	for i := range m.FrameLatencyNs {
+		reg.Histogram("adjserve_frame_latency_ns",
+			"Server-side query-frame handling time in nanoseconds by batch-size class.",
+			&m.FrameLatencyNs[i], "batch", batchClassLabels[i])
+	}
+}
+
+// ClientMetrics is the client's always-on instrumentation, mirroring
+// ServerMetrics: redial behavior and pipelining depth, updated by the call
+// path and exposed by Register.
+type ClientMetrics struct {
+	DialAttempts obs.Counter // dials tried, including retries
+	DialFailures obs.Counter // dials that returned an error
+	Redials      obs.Counter // successful reconnects after a lost connection
+	FramesSent   obs.Counter // request frames written
+	InFlight     obs.Gauge   // frames written but not yet answered
+}
+
+// Register exposes the metrics on reg under the adjserve_client_* family
+// names. Call once per registry.
+func (m *ClientMetrics) Register(reg *obs.Registry) {
+	reg.Counter("adjserve_client_dial_attempts_total", "Connection dials attempted, retries included.", &m.DialAttempts)
+	reg.Counter("adjserve_client_dial_failures_total", "Connection dials that failed.", &m.DialFailures)
+	reg.Counter("adjserve_client_redials_total", "Successful reconnects after a lost connection.", &m.Redials)
+	reg.Counter("adjserve_client_frames_total", "Request frames written.", &m.FramesSent)
+	reg.Gauge("adjserve_client_inflight_frames", "Frames written but not yet answered.", &m.InFlight)
+}

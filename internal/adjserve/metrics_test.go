@@ -1,0 +1,256 @@
+package adjserve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func TestBatchClass(t *testing.T) {
+	cases := []struct {
+		pairs int
+		want  string
+	}{
+		{1, "1"}, {2, "2-64"}, {64, "2-64"}, {65, "65-1024"},
+		{1024, "65-1024"}, {1025, "1025-4096"}, {4096, "1025-4096"},
+		{4097, ">4096"}, {1 << 20, ">4096"},
+	}
+	for _, c := range cases {
+		if got := batchClassLabels[batchClass(c.pairs)]; got != c.want {
+			t.Errorf("batchClass(%d) = %q, want %q", c.pairs, got, c.want)
+		}
+	}
+}
+
+// scrapeSeries fetches url and returns the value of the exactly-named series
+// (name including any label set, e.g. `adjserve_queries_total` or
+// `labelstore_open_total{mode="mmap"}`).
+func scrapeSeries(t *testing.T, url, series string) float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s: bad value %q", series, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found in scrape:\n%s", series, body)
+	return 0
+}
+
+// TestServerMetricsE2E is the admin-endpoint acceptance check: a loopback
+// server handles a concurrent batch storm while its metrics (and the engine's)
+// are exposed through a real obs.AdminServer, and the scraped counters must
+// equal the client-side ground truth exactly — every pair sent is one query
+// counted, once.
+func TestServerMetricsE2E(t *testing.T) {
+	eng := testEngine(t, 300, 11)
+	var em core.EngineMetrics
+	eng.AttachMetrics(&em)
+	addr, srv, _ := startServer(t, eng, 0)
+
+	reg := obs.NewRegistry()
+	srv.Metrics().Register(reg)
+	em.Register(reg)
+	srv.Traffic.Register(reg, "adjserve_traffic")
+	admin := obs.NewAdminServer(reg)
+	adminAddr, err := admin.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go admin.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		admin.Shutdown(ctx)
+	}()
+	metricsURL := fmt.Sprintf("http://%s/metrics", adminAddr)
+
+	const (
+		workers = 8
+		batches = 20
+		pairsN  = 64
+	)
+	var wg sync.WaitGroup
+	scraped := make(chan struct{})
+	go func() {
+		// Scrape mid-storm: rendering must be safe against concurrent
+		// observation, and the snapshot must be a plausible partial count.
+		<-scraped
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(addr)
+			defer c.Close()
+			for b := 0; b < batches; b++ {
+				pairs := randomPairs(eng.N(), pairsN, int64(100*w+b))
+				if _, err := c.AdjacentMany(pairs, nil); err != nil {
+					t.Errorf("worker %d batch %d: %v", w, b, err)
+					return
+				}
+				if w == 0 && b == batches/2 {
+					mid := scrapeSeries(t, metricsURL, "adjserve_queries_total")
+					if mid <= 0 || mid > workers*batches*pairsN {
+						t.Errorf("mid-storm adjserve_queries_total = %v, want in (0, %d]", mid, workers*batches*pairsN)
+					}
+					close(scraped)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const wantQueries = workers * batches * pairsN
+	if got := scrapeSeries(t, metricsURL, "adjserve_queries_total"); got != wantQueries {
+		t.Errorf("adjserve_queries_total = %v, want %d", got, wantQueries)
+	}
+	if got := scrapeSeries(t, metricsURL, "engine_queries_total"); got != wantQueries {
+		t.Errorf("engine_queries_total = %v, want %d", got, wantQueries)
+	}
+	if got := scrapeSeries(t, metricsURL, "engine_batches_total"); got != workers*batches {
+		t.Errorf("engine_batches_total = %v, want %d", got, workers*batches)
+	}
+	if got := scrapeSeries(t, metricsURL, "adjserve_frames_total"); got != workers*batches {
+		t.Errorf("adjserve_frames_total = %v, want %d", got, workers*batches)
+	}
+	if got := scrapeSeries(t, metricsURL, "adjserve_traffic_fetches_total"); got != wantQueries {
+		t.Errorf("adjserve_traffic_fetches_total = %v, want %d", got, wantQueries)
+	}
+	// The branch split partitions the queries.
+	thin := scrapeSeries(t, metricsURL, "engine_branch_thin_total")
+	fat := scrapeSeries(t, metricsURL, "engine_branch_fat_total")
+	self := scrapeSeries(t, metricsURL, "engine_branch_self_total")
+	if thin+fat+self != wantQueries {
+		t.Errorf("branch split %v+%v+%v != %d", thin, fat, self, wantQueries)
+	}
+	if got := scrapeSeries(t, metricsURL, "adjserve_error_frames_total"); got != 0 {
+		t.Errorf("adjserve_error_frames_total = %v before any error", got)
+	}
+	if got := scrapeSeries(t, metricsURL, "adjserve_connections_total"); got != workers {
+		t.Errorf("adjserve_connections_total = %v, want %d", got, workers)
+	}
+	if in := scrapeSeries(t, metricsURL, "adjserve_bytes_in_total"); in <= 0 {
+		t.Errorf("adjserve_bytes_in_total = %v, want > 0", in)
+	}
+	if out := scrapeSeries(t, metricsURL, "adjserve_bytes_out_total"); out <= 0 {
+		t.Errorf("adjserve_bytes_out_total = %v, want > 0", out)
+	}
+	// Frame latency lands in the histogram for the exact batch class driven.
+	if got := scrapeSeries(t, metricsURL, `adjserve_frame_latency_ns_count{batch="2-64"}`); got != workers*batches {
+		t.Errorf(`frame_latency count{batch="2-64"} = %v, want %d`, got, workers*batches)
+	}
+
+	// An out-of-range vertex produces an error frame, visible in the scrape,
+	// and charges no query.
+	c := NewClient(addr)
+	defer c.Close()
+	if _, err := c.Adjacent(eng.N()+5, 0); err == nil {
+		t.Fatal("out-of-range query succeeded")
+	}
+	if got := scrapeSeries(t, metricsURL, "adjserve_error_frames_total"); got != 1 {
+		t.Errorf("adjserve_error_frames_total = %v after one error frame, want 1", got)
+	}
+	if got := scrapeSeries(t, metricsURL, "adjserve_queries_total"); got != wantQueries {
+		t.Errorf("adjserve_queries_total = %v after error frame, want unchanged %d", got, wantQueries)
+	}
+
+	// All calls answered: nothing is in flight.
+	if got := srv.Metrics().ConnsActive.Load(); got < 1 {
+		t.Errorf("ConnsActive = %d with open clients, want >= 1", got)
+	}
+	cl := NewClient(addr)
+	cl.Close()
+}
+
+// TestClientDialBounded: a client pointed at a dead address gives up after
+// MaxDialAttempts with the last dial error, and the attempt/failure counters
+// record exactly the configured cap.
+func TestClientDialBounded(t *testing.T) {
+	// A listener opened and closed immediately yields an address that
+	// reliably refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := NewClient(addr)
+	c.MaxDialAttempts = 3
+	c.RedialBackoff = time.Millisecond
+	_, err = c.AdjacentMany([][2]int{{0, 1}}, nil)
+	if err == nil {
+		t.Fatal("call to dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 consecutive failures") {
+		t.Errorf("error %q does not mention the attempt cap", err)
+	}
+	m := c.Metrics()
+	if got := m.DialAttempts.Load(); got != 3 {
+		t.Errorf("DialAttempts = %d, want 3", got)
+	}
+	if got := m.DialFailures.Load(); got != 3 {
+		t.Errorf("DialFailures = %d, want 3", got)
+	}
+	if got := m.Redials.Load(); got != 0 {
+		t.Errorf("Redials = %d for a never-connected client, want 0", got)
+	}
+
+	// Dial surfaces the same bounded policy eagerly.
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("Dial of dead server succeeded")
+	}
+}
+
+// TestClientRedialCounted: a reconnect after a lost connection counts as a
+// redial; the first connection does not.
+func TestClientRedialCounted(t *testing.T) {
+	eng := testEngine(t, 50, 2)
+	addr, _, _ := startServer(t, eng, 0)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Metrics().Redials.Load(); got != 0 {
+		t.Errorf("Redials = %d after first dial, want 0", got)
+	}
+	if _, err := c.AdjacentMany([][2]int{{0, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // drop the connection; the next call must redial
+	if _, err := c.AdjacentMany([][2]int{{1, 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metrics().Redials.Load(); got != 1 {
+		t.Errorf("Redials = %d after reconnect, want 1", got)
+	}
+	if got := c.Metrics().InFlight.Load(); got != 0 {
+		t.Errorf("InFlight = %d at rest, want 0", got)
+	}
+}

@@ -26,6 +26,11 @@ type Server struct {
 	// queries in the same units as the peernet simulation.
 	Traffic peernet.Traffic
 
+	// metrics is the always-on Prometheus-facing instrumentation; see
+	// ServerMetrics for what the frame loop charges and why it stays off
+	// the per-query path.
+	metrics ServerMetrics
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -43,13 +48,21 @@ func NewServer(engine *core.QueryEngine, maxBatch int) *Server {
 	return &Server{engine: engine, maxBatch: maxBatch, conns: make(map[net.Conn]struct{})}
 }
 
+// Metrics returns the server's instrumentation, for registering on an
+// obs.Registry (srv.Metrics().Register(reg)) or reading in tests.
+func (s *Server) Metrics() *ServerMetrics { return &s.metrics }
+
 // Serve accepts connections on ln until Close, answering each connection's
 // frames in order on its own goroutine. It returns ErrClosed after Close, or
 // the first accept error otherwise.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
+		// Close raced ahead of us and never saw this listener; close it here
+		// or it would keep accepting handshakes into the kernel backlog that
+		// no goroutine will ever answer.
 		s.mu.Unlock()
+		ln.Close()
 		return ErrClosed
 	}
 	s.ln = ln
@@ -124,7 +137,10 @@ var bufPool = sync.Pool{New: func() any { return new(connBuffers) }}
 
 // handle runs one connection's frame loop.
 func (s *Server) handle(c net.Conn) {
+	s.metrics.ConnsTotal.Inc()
+	s.metrics.ConnsActive.Add(1)
 	defer func() {
+		s.metrics.ConnsActive.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
@@ -150,6 +166,7 @@ func (s *Server) handle(c net.Conn) {
 		plen := int(binary.LittleEndian.Uint32(hdr[:]))
 		var resp []byte
 		queries := 0
+		var frameStart time.Time
 		if plen > maxFramePayload {
 			// The framing itself is still trustworthy, so skip the payload
 			// and answer with an error frame instead of dropping the
@@ -166,7 +183,21 @@ func (s *Server) handle(c net.Conn) {
 			if _, err := io.ReadFull(br, req); err != nil {
 				return
 			}
+			frameStart = time.Now()
 			resp, queries = s.process(req, bufs.resp[:0])
+		}
+		// Frame-granular accounting: a few uncontended atomic adds per
+		// frame, amortized over the whole batch — the per-query serving path
+		// stays untouched.
+		s.metrics.Frames.Inc()
+		s.metrics.BytesIn.Add(int64(frameHeaderLen + plen))
+		s.metrics.BytesOut.Add(int64(frameHeaderLen + len(resp)))
+		switch {
+		case len(resp) > 0 && resp[0] == statusErr:
+			s.metrics.ErrorFrames.Inc()
+		case queries > 0:
+			s.metrics.Queries.Add(int64(queries))
+			s.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
 		}
 		bufs.resp = resp[:0]
 		fh := frameHeader(len(resp))
@@ -221,6 +252,9 @@ func (s *Server) process(req, resp []byte) (out []byte, queries int) {
 		for i := 0; i < int(count+7)/8; i++ {
 			resp = append(resp, 0)
 		}
+		// One tally per frame, flushed below: the engine's per-query metric
+		// cost on this path is two stack increments (see core.QueryTally).
+		var t core.QueryTally
 		for i := 0; i < int(count); i++ {
 			u, nu := binary.Uvarint(body)
 			if nu <= 0 {
@@ -232,8 +266,9 @@ func (s *Server) process(req, resp []byte) (out []byte, queries int) {
 				return appendErr(resp[:0], "pair %d: bad v", i), 0
 			}
 			body = body[nv:]
-			adj, err := s.engine.Adjacent(int(u), int(v))
+			adj, err := s.engine.AdjacentTallied(int(u), int(v), &t)
 			if err != nil {
+				s.engine.FlushTally(&t, 0)
 				return appendErr(resp[:0], "pair %d (%d,%d): %v", i, u, v, err), 0
 			}
 			if adj {
@@ -241,8 +276,10 @@ func (s *Server) process(req, resp []byte) (out []byte, queries int) {
 			}
 		}
 		if len(body) != 0 {
+			s.engine.FlushTally(&t, 0)
 			return appendErr(resp[:0], "%d trailing bytes after %d pairs", len(body), count), 0
 		}
+		s.engine.FlushTally(&t, int(count))
 		return resp, int(count)
 	default:
 		return appendErr(resp, "unknown op %d", op), 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/bitstr"
 	"repro/internal/graph"
@@ -223,6 +224,7 @@ func encodeFatThinSlab(name string, g *graph.Graph, tau, workers int) (*Labeling
 	// Phase 1: size-plan. Fat/thin class and degree determine each label
 	// exactly; the scan is O(n) arithmetic on top of the id assignment and
 	// the thin-list transpose.
+	planStart := time.Now()
 	plan := newSlabPlan(g, tau, w)
 	plan.buildNeighborLists(g)
 	id, k := plan.id, plan.k
@@ -234,12 +236,17 @@ func encodeFatThinSlab(name string, g *graph.Graph, tau, workers int) (*Labeling
 		}
 	}
 	plan.layout()
+	pipelineMetrics.PlanNs.ObserveDuration(time.Since(planStart))
 
 	// Phase 2: parallel direct-to-arena fill.
+	fillStart := time.Now()
 	slab := make([]byte, int(plan.offs[n]>>3))
 	runRanges(splitByWords(plan.offs, workers), func(lo, hi int) {
 		fillFatThinSlab(plan, slab, lo, hi)
 	})
+	pipelineMetrics.FillNs.ObserveDuration(time.Since(fillStart))
+	pipelineMetrics.Runs.Inc()
+	pipelineMetrics.Labels.Add(int64(n))
 	return NewArenaLabeling(name, slab, plan.bitLens, &FatThinDecoder{n: n, w: w})
 }
 
@@ -290,6 +297,7 @@ func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int) (*Label
 	w := bitstr.WidthFor(uint64(n))
 	header := 1 + w
 
+	planStart := time.Now()
 	plan := newSlabPlan(g, tau, w)
 	plan.buildNeighborLists(g)
 	id, k := plan.id, plan.k
@@ -331,8 +339,10 @@ func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int) (*Label
 		}
 	})
 	plan.layout()
+	pipelineMetrics.PlanNs.ObserveDuration(time.Since(planStart))
 
 	// Phase 2 (parallel): fill.
+	fillStart := time.Now()
 	slab := make([]byte, int(plan.offs[n]>>3))
 	runRanges(splitByWords(plan.offs, workers), func(lo, hi int) {
 		sw := bitstr.NewSlabWriter(slab)
@@ -367,5 +377,8 @@ func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int) (*Label
 			sw.Flush()
 		}
 	})
+	pipelineMetrics.FillNs.ObserveDuration(time.Since(fillStart))
+	pipelineMetrics.Runs.Inc()
+	pipelineMetrics.Labels.Add(int64(n))
 	return NewArenaLabeling(name, slab, plan.bitLens, &CompressedDecoder{n: n, w: w})
 }

@@ -36,7 +36,18 @@ type QueryEngine struct {
 	// bitstr.SlabReadBits never cross the end of the backing slice (see the
 	// in-bounds argument there).
 	slab []byte
+	// metrics, when attached, receives per-call tallies (nil costs the hot
+	// path a single predictable branch). It is the one mutable piece of an
+	// otherwise immutable engine: attach before sharing the engine across
+	// goroutines.
+	metrics *EngineMetrics
 }
+
+// AttachMetrics wires instrumentation into the engine's query paths. Must be
+// called before the engine is shared (typically right after construction);
+// passing nil detaches. The per-query cost is a stack-local tally flushed
+// with O(1) atomic adds per call, preserving the 0 allocs/op guarantee.
+func (e *QueryEngine) AttachMetrics(m *EngineMetrics) { e.metrics = m }
 
 // vertexMeta is one label's pre-parsed header.
 type vertexMeta struct {
@@ -183,21 +194,40 @@ func (e *QueryEngine) N() int { return e.n }
 // allocation-free and answers bit-for-bit identically to
 // FatThinDecoder.Adjacent over the same labels.
 func (e *QueryEngine) Adjacent(u, v int) (bool, error) {
+	var t QueryTally
+	ok, err := e.AdjacentTallied(u, v, &t)
+	if m := e.metrics; m != nil {
+		m.flush(&t)
+	}
+	return ok, err
+}
+
+// AdjacentTallied is the shared probe path: it answers one query and tallies
+// which decode branch resolved it into t — plain stack increments that the
+// batch paths (and external frame loops like adjserve) flush to atomics once
+// per span via FlushTally. It is the call to use when streaming single
+// queries at batch rates: same probes as Adjacent, no per-query metric cost.
+func (e *QueryEngine) AdjacentTallied(u, v int, t *QueryTally) (bool, error) {
 	if uint(u) >= uint(e.n) || uint(v) >= uint(e.n) {
 		return false, fmt.Errorf("%w: (%d,%d) of %d", ErrVertexRange, u, v, e.n)
 	}
+	t.queries++
 	mu, mv := &e.meta[u], &e.meta[v]
 	if mu.id == mv.id {
 		// Same vertex: never self-adjacent in a simple graph.
+		t.self++
 		return false, nil
 	}
 	switch {
 	case !mu.fat:
+		t.thin++
 		return e.thinProbe(mu, mv.id), nil
 	case !mv.fat:
+		t.thin++
 		return e.thinProbe(mv, mu.id), nil
 	default:
 		// Both fat: bit mv.id of u's adjacency vector.
+		t.fat++
 		if mv.id >= uint64(mu.cnt) {
 			return false, fmt.Errorf("%w: fat id %d outside vector of %d bits", ErrBadLabel, mv.id, mu.cnt)
 		}
@@ -236,14 +266,44 @@ func (e *QueryEngine) thinProbe(m *vertexMeta, target uint64) bool {
 // for len(pairs) results makes the whole batch allocation-free. It stops at
 // the first failing query.
 func (e *QueryEngine) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
+	var t QueryTally
 	for _, p := range pairs {
-		ok, err := e.Adjacent(p[0], p[1])
+		ok, err := e.AdjacentTallied(p[0], p[1], &t)
 		if err != nil {
+			e.flushBatch(&t, len(pairs))
 			return out, fmt.Errorf("core: query (%d,%d): %w", p[0], p[1], err)
 		}
 		out = append(out, ok)
 	}
+	e.flushBatch(&t, len(pairs))
 	return out, nil
+}
+
+// flushBatch charges one batch call's tally: O(1) atomic adds however many
+// pairs the batch held.
+func (e *QueryEngine) flushBatch(t *QueryTally, pairs int) {
+	if m := e.metrics; m != nil {
+		m.flush(t)
+		m.Batches.Inc()
+		m.BatchPairs.Observe(int64(pairs))
+	}
+}
+
+// FlushTally charges a caller-managed tally span (see QueryTally) to the
+// attached metrics and zeroes the tally. pairs > 0 additionally records one
+// batch of that many pairs, making an externally-streamed frame
+// indistinguishable from an AdjacentMany call in the exposition; pass 0 for
+// a span that ended early (the queries already probed still count). A no-op
+// apart from the zeroing when no metrics are attached.
+func (e *QueryEngine) FlushTally(t *QueryTally, pairs int) {
+	if m := e.metrics; m != nil {
+		m.flush(t)
+		if pairs > 0 {
+			m.Batches.Inc()
+			m.BatchPairs.Observe(int64(pairs))
+		}
+	}
+	*t = QueryTally{}
 }
 
 // AdjacentManyParallel shards a batch across workers goroutines (workers
@@ -285,17 +345,27 @@ func (e *QueryEngine) AdjacentManyParallel(pairs [][2]int, out []bool, workers i
 		wg.Add(1)
 		go func(wi, lo, hi int) {
 			defer wg.Done()
+			// Worker-local tally, flushed once per shard: the atomics merge
+			// shards without any cross-worker coordination in the loop.
+			var t QueryTally
 			for i := lo; i < hi; i++ {
-				ok, err := e.Adjacent(pairs[i][0], pairs[i][1])
+				ok, err := e.AdjacentTallied(pairs[i][0], pairs[i][1], &t)
 				if err != nil {
 					errs[wi] = fmt.Errorf("core: query (%d,%d): %w", pairs[i][0], pairs[i][1], err)
-					return
+					break
 				}
 				res[i] = ok
+			}
+			if m := e.metrics; m != nil {
+				m.flush(&t)
 			}
 		}(wi, lo, hi)
 	}
 	wg.Wait()
+	if m := e.metrics; m != nil {
+		m.Batches.Inc()
+		m.BatchPairs.Observe(int64(len(pairs)))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return out[:start], err

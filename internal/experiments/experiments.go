@@ -167,6 +167,7 @@ func All() []Runner {
 		{ID: "E20", Description: "encoder scalability: sequential vs parallel, ns/vertex", Run: E20EncodeScalability},
 		{ID: "E21", Description: "lower-bound construction: labels are invariant to the embedded H", Run: E21AdversarialH},
 		{ID: "E23", Description: "adjacency serving: loopback TCP throughput/latency + mmap startup", Run: E23ServingThroughput},
+		{ID: "E24", Description: "observability: obs primitive cost + engine instrumentation overhead", Run: E24ObservabilityOverhead},
 	}
 }
 

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// E24ObservabilityOverhead prices the observability layer. Table one times
+// the obs primitives themselves — the costs every instrumented hot path pays
+// per event. Table two answers the question that gates shipping metrics in
+// the serving path at all: the engine's batch-4096 AdjacentMany throughput
+// with no metrics attached versus with a live EngineMetrics, as an overhead
+// percentage. The instrumented design (stack-local tally, O(1) atomic
+// flushes per batch) is accepted when that delta stays within the noise
+// budget (≤2%); the raw numbers are recorded in EXPERIMENTS.md E24.
+func E24ObservabilityOverhead(cfg Config) ([]*Table, error) {
+	prim := &Table{
+		ID:    "E24",
+		Title: "observability primitive cost (single goroutine unless noted)",
+		Cols:  []string{"primitive", "ops", "ns/op"},
+	}
+	primOps := 1 << 22
+	if cfg.Quick {
+		primOps = 1 << 19
+	}
+
+	var c obs.Counter
+	prim.AddRow("Counter.Add", fmt.Sprint(primOps), fmtNsOp(timeOps(primOps, func(i int) { c.Add(1) })))
+	var g obs.Gauge
+	prim.AddRow("Gauge.Set", fmt.Sprint(primOps), fmtNsOp(timeOps(primOps, func(i int) { g.Set(int64(i)) })))
+	var h obs.Histogram
+	prim.AddRow("Histogram.Observe", fmt.Sprint(primOps), fmtNsOp(timeOps(primOps, func(i int) { h.Observe(int64(i)) })))
+
+	// Contended observe: every worker hammering one histogram — the worst
+	// case for the serving path, where per-connection goroutines share the
+	// frame-latency histograms.
+	workers := runtime.GOMAXPROCS(0)
+	var contended obs.Histogram
+	perWorker := primOps / workers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				contended.Observe(int64(w + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	prim.AddRow(fmt.Sprintf("Histogram.Observe x%d goroutines", workers),
+		fmt.Sprint(workers*perWorker),
+		fmtNsOp(float64(time.Since(start).Nanoseconds())/float64(workers*perWorker)))
+
+	// A full registry render at serving shape: the scrape cost an admin
+	// endpoint pays, amortized over however often Prometheus polls.
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	reg.Counter("e24_counter", "E24 scratch.", &c)
+	reg.Gauge("e24_gauge", "E24 scratch.", &g)
+	reg.Histogram("e24_hist", "E24 scratch.", &h)
+	renders := 200
+	if cfg.Quick {
+		renders = 50
+	}
+	var sb strings.Builder
+	rstart := time.Now()
+	for i := 0; i < renders; i++ {
+		sb.Reset()
+		if err := reg.WritePrometheus(&sb); err != nil {
+			return nil, err
+		}
+	}
+	prim.AddRow("Registry render (runtime+3 fams)", fmt.Sprint(renders),
+		fmtNsOp(float64(time.Since(rstart).Nanoseconds())/float64(renders)))
+
+	// Engine batch path, uninstrumented vs instrumented.
+	alpha := 2.5
+	n := 1 << 14
+	reps := 9
+	if cfg.Quick {
+		n = 1 << 11
+		reps = 5
+	}
+	graph, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	lab, err := core.NewPowerLawScheme(alpha).Encode(graph)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewQueryEngine(lab)
+	if err != nil {
+		return nil, err
+	}
+	pairs := randomQueryPairs(n, 1<<12, cfg.Seed+1)
+	out := make([]bool, 0, len(pairs))
+	batchesPerRep := 64
+	runBatches := func() error {
+		for b := 0; b < batchesPerRep; b++ {
+			var err error
+			if out, err = eng.AdjacentMany(pairs, out[:0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm caches before either arm so the first-touch cost lands on neither.
+	if err := runBatches(); err != nil {
+		return nil, err
+	}
+	plainT, err := medianTime(reps, runBatches)
+	if err != nil {
+		return nil, err
+	}
+	var em core.EngineMetrics
+	eng.AttachMetrics(&em)
+	instrT, err := medianTime(reps, runBatches)
+	if err != nil {
+		return nil, err
+	}
+	eng.AttachMetrics(nil)
+
+	queries := batchesPerRep * len(pairs)
+	overhead := &Table{
+		ID:    "E24",
+		Title: fmt.Sprintf("engine instrumentation overhead (AdjacentMany, batch %d, Chung–Lu n=%d)", len(pairs), n),
+		Cols:  []string{"engine", "q/s", "ns/query", "overhead.%"},
+	}
+	nsq := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(queries) }
+	overhead.AddRow("metrics detached", fmtQPS(queries, plainT), fmtF2(nsq(plainT)), "0.00")
+	delta := (nsq(instrT) - nsq(plainT)) / nsq(plainT) * 100
+	overhead.AddRow("metrics attached", fmtQPS(queries, instrT), fmtF2(nsq(instrT)), fmtF2(delta))
+	if em.Queries.Load() != int64(reps*queries) {
+		return nil, fmt.Errorf("E24: attached run counted %d queries, drove %d", em.Queries.Load(), reps*queries)
+	}
+	return []*Table{prim, overhead}, nil
+}
+
+// timeOps times n calls of fn and returns ns/op.
+func timeOps(n int, fn func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func fmtNsOp(ns float64) string { return fmt.Sprintf("%.1f", ns) }

@@ -1,0 +1,28 @@
+package labelstore
+
+import (
+	"repro/internal/obs"
+)
+
+// storeMetrics instruments store loading: which path Open took (mmap vs the
+// copying fallback), how long it cost, and how many label-body bytes are
+// live. Package-level because Open is a free function; the counters
+// accumulate whether or not a registry exposes them, so loads that happen
+// before registration (the usual daemon startup order) still show up.
+var storeMetrics struct {
+	OpenMmap    obs.Counter
+	OpenCopy    obs.Counter
+	OpenNs      obs.Histogram
+	MappedBytes obs.Gauge
+	BlobBytes   obs.Counter
+}
+
+// RegisterMetrics exposes the labelstore metrics on reg under the
+// labelstore_* family names. Call once per registry.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter("labelstore_open_total", "Stores opened, by load mode.", &storeMetrics.OpenMmap, "mode", "mmap")
+	reg.Counter("labelstore_open_total", "Stores opened, by load mode.", &storeMetrics.OpenCopy, "mode", "copy")
+	reg.Histogram("labelstore_open_ns", "Open duration (map or copy, header parse included).", &storeMetrics.OpenNs)
+	reg.Gauge("labelstore_mapped_bytes", "Bytes of live store mappings.", &storeMetrics.MappedBytes)
+	reg.Counter("labelstore_blob_bytes_total", "Label-body blob bytes loaded (mapped or copied).", &storeMetrics.BlobBytes)
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bitstr"
 )
@@ -185,6 +186,7 @@ func (m *MappedFile) Close() error {
 	}
 	b := m.mapping
 	m.mapping = nil
+	storeMetrics.MappedBytes.Add(-int64(len(b)))
 	return munmapFile(b)
 }
 
@@ -195,6 +197,8 @@ func (m *MappedFile) Close() error {
 // matters. The caller owns the returned MappedFile and must Close it when
 // the labels are no longer in use.
 func Open(path string) (*MappedFile, error) {
+	start := time.Now()
+	defer func() { storeMetrics.OpenNs.ObserveDuration(time.Since(start)) }()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -217,12 +221,17 @@ func Open(path string) (*MappedFile, error) {
 		_ = munmapFile(data)
 		return nil, err
 	}
-	if _, _, ok := store.Arena(); !ok {
+	arena, _, ok := store.Arena()
+	if !ok {
 		// v1: every label was copied to the heap, nothing references the
 		// mapping — drop it now rather than at Close.
 		_ = munmapFile(data)
+		storeMetrics.OpenCopy.Inc()
 		return &MappedFile{File: store}, nil
 	}
+	storeMetrics.OpenMmap.Inc()
+	storeMetrics.MappedBytes.Add(int64(len(data)))
+	storeMetrics.BlobBytes.Add(int64(len(arena)))
 	return &MappedFile{File: store, mapping: data}, nil
 }
 
@@ -234,6 +243,10 @@ func openFallback(f *os.File) (*MappedFile, error) {
 	store, err := Read(bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
 		return nil, err
+	}
+	storeMetrics.OpenCopy.Inc()
+	if arena, _, ok := store.Arena(); ok {
+		storeMetrics.BlobBytes.Add(int64(len(arena)))
 	}
 	return &MappedFile{File: store}, nil
 }

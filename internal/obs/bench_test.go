@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The obs primitives sit on zero-allocation hot paths (engine probes,
+// adjserve frame loop), so every benchmark here reports allocs: the bar is
+// 0 allocs/op for Observe/Add/Set and a handful of nanoseconds each.
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	var g Gauge
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xFFFF))
+	}
+}
+
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(0)
+		for pb.Next() {
+			v++
+			h.Observe(v & 0xFFFF)
+		}
+	})
+}
+
+func BenchmarkObsHistogramQuantile(b *testing.B) {
+	var h Histogram
+	for i := int64(0); i < 1<<16; i++ {
+		h.Observe(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Quantile(0.99)
+	}
+}
+
+// BenchmarkObsRegistryRender measures a full scrape over a realistic family
+// count (what /metrics costs the admin endpoint per request).
+func BenchmarkObsRegistryRender(b *testing.B) {
+	reg := NewRegistry()
+	counters := make([]Counter, 24)
+	for i := range counters {
+		counters[i].Add(int64(i) * 1000)
+		reg.Counter("bench_family_total", "Render benchmark series.", &counters[i],
+			"shard", string(rune('a'+i)))
+	}
+	var h Histogram
+	for i := int64(0); i < 4096; i++ {
+		h.Observe(i)
+	}
+	reg.Histogram("bench_latency_ns", "Render benchmark histogram.", &h)
+	RegisterRuntimeMetrics(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

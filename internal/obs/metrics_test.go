@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+// TestBucketIndexBoundaries pins the bucket function at every power-of-two
+// boundary: v lands in the smallest bucket whose bound 2^i satisfies v <= 2^i.
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, // bucket 0: v <= 1
+		{2, 1},         // le=2
+		{3, 2}, {4, 2}, // le=4
+		{5, 3}, {8, 3}, // le=8
+		{9, 4}, {16, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21},
+		{histMaxFinite, HistogramBuckets - 2},
+		{histMaxFinite + 1, HistogramBuckets - 1}, // +Inf overflow
+		{int64(1) << 62, HistogramBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Exhaustive invariant over a wide sample: every value is <= its bound
+	// and > the previous bucket's bound (finite buckets only).
+	for shift := 0; shift < 38; shift++ {
+		for _, v := range []int64{(1 << shift) - 1, 1 << shift, (1 << shift) + 1} {
+			if v < 1 {
+				continue
+			}
+			i := bucketIndex(v)
+			if ub := BucketBound(i); ub >= 0 && v > ub {
+				t.Fatalf("v=%d in bucket %d with bound %d", v, i, ub)
+			}
+			if i > 0 {
+				if lb := BucketBound(i - 1); v <= lb {
+					t.Fatalf("v=%d in bucket %d but fits bucket %d (bound %d)", v, i, i-1, lb)
+				}
+			}
+		}
+	}
+	_ = bits.Len64 // keep the import obviously tied to the function under test
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 1106 {
+		t.Fatalf("sum = %d, want 1106", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+	// 1000 observations uniform in (512, 1024]: all land in the le=1024
+	// bucket, so interpolation should spread quantiles across (512, 1024].
+	for i := 0; i < 1000; i++ {
+		h.Observe(513 + int64(i)%512)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 512 || p50 > 1024 {
+		t.Fatalf("p50 = %d, want within (512, 1024]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 || p99 > 1024 {
+		t.Fatalf("p99 = %d, want within [p50=%d, 1024]", p99, p50)
+	}
+	// A bimodal distribution: quantiles must respect bucket ordering.
+	var h2 Histogram
+	for i := 0; i < 90; i++ {
+		h2.Observe(100) // le=128
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(1 << 20) // le=2^20
+	}
+	if p50 := h2.Quantile(0.5); p50 > 128 {
+		t.Fatalf("bimodal p50 = %d, want <= 128", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 <= 128 {
+		t.Fatalf("bimodal p99 = %d, want in the slow mode", p99)
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(int64(1) << 60)
+	if got := h.Quantile(0.99); got != histMaxFinite {
+		t.Fatalf("overflow p99 = %d, want saturated %d", got, histMaxFinite)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Nanosecond)
+	if got := h.Sum(); got != 1500 {
+		t.Fatalf("sum = %d, want 1500", got)
+	}
+	if d := h.QuantileDuration(1); d < time.Microsecond || d > 2048*time.Nanosecond {
+		t.Fatalf("p100 = %v, want within the le=2048ns bucket", d)
+	}
+}
+
+// TestConcurrentObserveAddRender hammers every primitive from many
+// goroutines while a renderer scrapes — the -race proof that the metrics
+// core is lock-free-safe under fire.
+func TestConcurrentObserveAddRender(t *testing.T) {
+	reg := NewRegistry()
+	var (
+		c Counter
+		g Gauge
+		h Histogram
+	)
+	reg.Counter("storm_total", "c", &c)
+	reg.Gauge("storm_gauge", "g", &g)
+	reg.Histogram("storm_ns", "h", &h)
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%4096) + 1)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var renderWG sync.WaitGroup
+	renderWG.Add(1)
+	go func() {
+		defer renderWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = reg.Expose()
+				_ = h.Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	renderWG.Wait()
+
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Load(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+}

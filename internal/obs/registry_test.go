@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact exposition bytes for one of every
+// metric kind: the text format is an interface other tools parse, so it is
+// golden-tested, not spot-checked.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	var reqs Counter
+	reqs.Add(42)
+	reg.Counter("demo_requests_total", "Requests answered.", &reqs, "scheme", "fatthin")
+	var inflight Gauge
+	inflight.Set(3)
+	reg.Gauge("demo_inflight", "Outstanding calls.", &inflight)
+	reg.CounterFunc("demo_fn_total", "Computed counter.", func() int64 { return 7 })
+	var h Histogram
+	h.Observe(1)  // le=1
+	h.Observe(3)  // le=4
+	h.Observe(3)  // le=4
+	h.Observe(60) // le=64
+	reg.Histogram("demo_latency_ns", "Frame latency.", &h, "batch", "4096")
+
+	want := `# HELP demo_requests_total Requests answered.
+# TYPE demo_requests_total counter
+demo_requests_total{scheme="fatthin"} 42
+# HELP demo_inflight Outstanding calls.
+# TYPE demo_inflight gauge
+demo_inflight 3
+# HELP demo_fn_total Computed counter.
+# TYPE demo_fn_total counter
+demo_fn_total 7
+# HELP demo_latency_ns Frame latency.
+# TYPE demo_latency_ns histogram
+demo_latency_ns_bucket{batch="4096",le="1"} 1
+demo_latency_ns_bucket{batch="4096",le="4"} 3
+demo_latency_ns_bucket{batch="4096",le="64"} 4
+demo_latency_ns_bucket{batch="4096",le="+Inf"} 4
+demo_latency_ns_sum{batch="4096"} 67
+demo_latency_ns_count{batch="4096"} 4
+`
+	if got := reg.Expose(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestMultipleSeriesOneFamily(t *testing.T) {
+	reg := NewRegistry()
+	var a, b Counter
+	a.Add(1)
+	b.Add(2)
+	reg.Counter("multi_total", "Multi-series.", &a, "mode", "mmap")
+	reg.Counter("multi_total", "Multi-series.", &b, "mode", "copy")
+	out := reg.Expose()
+	if strings.Count(out, "# TYPE multi_total counter") != 1 {
+		t.Fatalf("family header not deduplicated:\n%s", out)
+	}
+	for _, line := range []string{`multi_total{mode="mmap"} 1`, `multi_total{mode="copy"} 2`} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	reg.Counter("esc_total", "Help with \\ backslash\nand newline.", &c, "path", `C:\x "q"`+"\n")
+	out := reg.Expose()
+	if !strings.Contains(out, `# HELP esc_total Help with \\ backslash\nand newline.`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="C:\\x \"q\"\n"} 0`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	var c Counter
+	var g Gauge
+	mustPanic("bad name", func() { NewRegistry().Counter("bad-name", "h", &c) })
+	mustPanic("leading digit", func() { NewRegistry().Counter("0bad", "h", &c) })
+	mustPanic("odd labels", func() { NewRegistry().Counter("ok_total", "h", &c, "key") })
+	mustPanic("type clash", func() {
+		reg := NewRegistry()
+		reg.Counter("clash", "h", &c)
+		reg.Gauge("clash", "h", &g)
+	})
+	mustPanic("help clash", func() {
+		reg := NewRegistry()
+		reg.Counter("clash", "h1", &c)
+		reg.Counter("clash", "h2", &c, "l", "v")
+	})
+	mustPanic("duplicate series", func() {
+		reg := NewRegistry()
+		reg.Counter("dup", "h", &c, "l", "v")
+		reg.Counter("dup", "h", &c, "l", "v")
+	})
+}
+
+func TestOnGatherRunsBeforeValues(t *testing.T) {
+	reg := NewRegistry()
+	snapshot := int64(0)
+	reg.OnGather(func() { snapshot = 99 })
+	reg.GaugeFunc("hooked", "Reads the hook snapshot.", func() int64 { return snapshot })
+	if out := reg.Expose(); !strings.Contains(out, "hooked 99") {
+		t.Fatalf("gather hook did not run before value funcs:\n%s", out)
+	}
+}

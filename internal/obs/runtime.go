@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers the go_* process/runtime family on reg:
+// goroutine count, heap occupancy, GC cycle and pause accounting. MemStats is
+// snapshotted once per scrape via a gather hook (ReadMemStats stops the
+// world briefly, so one snapshot serves every series), and the value funcs
+// read the shared snapshot under the registry lock.
+func RegisterRuntimeMetrics(reg *Registry) {
+	var (
+		ms    runtime.MemStats
+		start = time.Now()
+	)
+	reg.OnGather(func() { runtime.ReadMemStats(&ms) })
+	reg.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() int64 { return int64(ms.HeapAlloc) })
+	reg.GaugeFunc("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		func() int64 { return int64(ms.HeapSys) })
+	reg.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() int64 { return int64(ms.HeapObjects) })
+	reg.GaugeFunc("go_next_gc_bytes", "Heap size at which the next GC cycle triggers.",
+		func() int64 { return int64(ms.NextGC) })
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() int64 { return int64(ms.NumGC) })
+	reg.CounterFunc("go_gc_pause_ns_total", "Cumulative nanoseconds of GC stop-the-world pauses.",
+		func() int64 { return int64(ms.PauseTotalNs) })
+	reg.GaugeFunc("go_gc_last_pause_ns", "Duration of the most recent GC pause in nanoseconds.",
+		func() int64 {
+			if ms.NumGC == 0 {
+				return 0
+			}
+			return int64(ms.PauseNs[(ms.NumGC+255)%256])
+		})
+	reg.CounterFunc("process_uptime_seconds_total", "Seconds since the process registered its metrics.",
+		func() int64 { return int64(time.Since(start).Seconds()) })
+	reg.GaugeFunc("go_gomaxprocs", "Value of GOMAXPROCS.",
+		func() int64 { return int64(runtime.GOMAXPROCS(0)) })
+}

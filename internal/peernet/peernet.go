@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bitstr"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/schemes/onequery"
 )
 
@@ -70,6 +71,20 @@ func (t *Traffic) Reset() {
 	t.msgs.Store(0)
 	t.bytes.Store(0)
 	t.fetch.Store(0)
+}
+
+// Register bridges the traffic atomics into an obs.Registry as counter
+// funcs under prefix — the same counters back both the exposition and
+// Stats, never a duplicated tally. Reset makes the exposed series
+// non-monotone, so daemons that register the counters should not Reset
+// mid-flight (experiments that Reset between sweeps never register).
+func (t *Traffic) Register(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_messages_total",
+		"Protocol messages (requests + responses) in peernet accounting units.", t.msgs.Load)
+	reg.CounterFunc(prefix+"_bytes_total",
+		"Wire bytes in the request/response framing units shared with the E16 simulation.", t.bytes.Load)
+	reg.CounterFunc(prefix+"_fetches_total",
+		"Label fetches, or answered queries for a serving-tier Traffic.", t.fetch.Load)
 }
 
 // Network is a fleet of peers, each holding one label. Fetch and the stats

@@ -20,10 +20,11 @@ echo "== generate + label"
 "$work/bin/plgen" -model chunglu -n 5000 -alpha 2.5 -wmin 2 -seed 7 -o "$work/graph.el"
 "$work/bin/pllabel" -scheme powerlaw -in "$work/graph.el" -o "$work/labels.pllb"
 
-echo "== serve (port 0 = kernel-assigned)"
-"$work/bin/plserve" -labels "$work/labels.pllb" -addr 127.0.0.1:0 >"$work/serve.log" 2>&1 &
+echo "== serve (port 0 = kernel-assigned, admin plane on)"
+"$work/bin/plserve" -labels "$work/labels.pllb" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 >"$work/serve.log" 2>&1 &
 serve_pid=$!
-# The daemon prints "plserve: listening on HOST:PORT" once ready.
+# The daemon prints "plserve: listening on HOST:PORT" once ready (and
+# "plserve: admin on HOST:PORT" for the admin endpoint).
 addr=""
 for _ in $(seq 1 100); do
     addr=$(sed -n 's/^plserve: listening on //p' "$work/serve.log")
@@ -32,7 +33,13 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -n "$addr" ] || { cat "$work/serve.log"; echo "plserve never became ready"; exit 1; }
-echo "   plserve up at $addr (pid $serve_pid)"
+admin=$(sed -n 's/^plserve: admin on //p' "$work/serve.log")
+[ -n "$admin" ] || { cat "$work/serve.log"; echo "no admin address line"; exit 1; }
+echo "   plserve up at $addr, admin at $admin (pid $serve_pid)"
+
+echo "== admin: health + readiness"
+curl -fsS "http://$admin/healthz" | grep -qx "ok" || { echo "/healthz not ok"; exit 1; }
+curl -fsS "http://$admin/readyz" | grep -qx "ok" || { echo "/readyz not ok while serving"; exit 1; }
 
 echo "== query: remote vs local must be byte-identical"
 awk 'BEGIN{srand(9); for(i=0;i<2000;i++) printf "%d %d\n", int(rand()*5000), int(rand()*5000)}' >"$work/pairs.txt"
@@ -42,6 +49,23 @@ awk 'BEGIN{srand(9); for(i=0;i<2000;i++) printf "%d %d\n", int(rand()*5000), int
 diff "$work/local.out" "$work/remote.out"
 diff "$work/local.out" "$work/remote-stream.out"
 echo "   $(wc -l <"$work/local.out") answers identical across local, remote-batch, remote-stream"
+
+echo "== admin: /metrics mid-serve reflects the traffic just driven"
+curl -fsS "http://$admin/metrics" >"$work/metrics.txt"
+# 2000 batch pairs + 2000 streamed pairs answered so far, counted by both the
+# frame loop and the engine; the store was mmapped exactly once.
+metric() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "$work/metrics.txt"; }
+q=$(metric adjserve_queries_total) || { echo "no adjserve_queries_total in scrape"; exit 1; }
+[ "$q" = 4000 ] || { echo "adjserve_queries_total=$q, want 4000"; exit 1; }
+eq=$(metric engine_queries_total) || { echo "no engine_queries_total in scrape"; exit 1; }
+[ "$eq" = 4000 ] || { echo "engine_queries_total=$eq, want 4000"; exit 1; }
+mm=$(metric 'labelstore_open_total{mode="mmap"}') || { echo "no labelstore_open_total in scrape"; exit 1; }
+[ "$mm" = 1 ] || { echo "labelstore_open_total{mode=mmap}=$mm, want 1"; exit 1; }
+for fam in adjserve_frames_total adjserve_bytes_in_total engine_branch_thin_total \
+           labelstore_mapped_bytes go_goroutines process_uptime_seconds_total; do
+    grep -q "^$fam" "$work/metrics.txt" || { echo "family $fam missing from scrape"; exit 1; }
+done
+echo "   scrape OK: adjserve_queries_total=$q engine_queries_total=$eq mmap_opens=$mm"
 
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$serve_pid"
