@@ -35,6 +35,8 @@ func run(args []string) error {
 		seed         = fs.Int64("seed", 20160711, "generator seed")
 		list         = fs.Bool("list", false, "list experiments and exit")
 		format       = fs.String("format", "table", "output format: table | csv")
+		dist         = fs.String("dist", "", "probe distribution for skew experiments: uniform | zipf | degprop (empty = default sweep)")
+		zipfS        = fs.Float64("zipf-s", 1.1, "Zipf exponent for -dist zipf")
 		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		mutexprofile = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -77,7 +79,12 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *dist != "" {
+		if _, err := experiments.ParseProbeDist(*dist); err != nil {
+			return err
+		}
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Dist: *dist, ZipfS: *zipfS}
 	runners := experiments.All()
 	if *experiment != "" {
 		r, ok := experiments.ByID(*experiment)

@@ -51,9 +51,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fit        = fs.Bool("fit", false, "report the fitted power-law exponent")
 		analyze    = fs.Bool("analyze", false, "report clustering and assortativity (O(m·Δ) time)")
 		workers    = fs.Int("workers", 1, "parallel encode fill shards (0 = GOMAXPROCS)")
+		layoutStr  = fs.String("layout", "id", "physical slab layout: id | degree (degree packs hubs contiguously)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the encode to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lay, err := core.ParseLayout(*layoutStr)
+	if err != nil {
 		return err
 	}
 	r := stdin
@@ -89,6 +94,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if ls, ok := scheme.(interface{ SetLayout(core.Layout) }); ok {
+		ls.SetLayout(lay)
+	} else if lay != core.LayoutID {
+		return fmt.Errorf("scheme %q does not support -layout %s", *schemeName, lay)
+	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -110,6 +120,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		elapsed.Seconds(), float64(g.N())/max(elapsed.Seconds(), 1e-9), *workers)
 	st := lab.Stats()
 	fmt.Fprintf(stdout, "scheme: %s\n", lab.Scheme())
+	// Report the layout the encoder actually produced (degenerate graphs fall
+	// back to the id order even when -layout degree was asked for) and what
+	// the permutation block will cost in the store.
+	if order := lab.LayoutOrder(); order != nil {
+		fmt.Fprintf(stdout, "layout: degree-ordered (permutation overhead %d bytes)\n",
+			labelstore.PermutationOverheadBytes(order))
+	} else {
+		fmt.Fprintln(stdout, "layout: id-ordered (permutation overhead 0 bytes)")
+	}
 	fmt.Fprintf(stdout, "labels: max=%d bits, mean=%.1f, p50=%d, p90=%d, p99=%d, total=%d bits (%.1f KiB)\n",
 		st.Max, st.Mean, st.P50, st.P90, st.P99, st.Total, float64(st.Total)/8/1024)
 	if *verify {
@@ -144,9 +163,10 @@ func encode(scheme core.Scheme, g *graph.Graph, workers int) (*core.Labeling, er
 func saveStore(path string, n int, lab *core.Labeling) error {
 	params := map[string]string{"n": strconv.Itoa(n)}
 	var store *labelstore.File
-	if slab, ok := lab.Arena(); ok {
+	if slab, order, ok := lab.ArenaLayout(); ok {
 		// Arena-backed labeling: persist the slab verbatim as a format-v2
-		// single-blob store (loaded zero-copy by plquery).
+		// single-blob store (loaded zero-copy by plquery). A degree-ordered
+		// slab additionally carries its logical→physical permutation.
 		bitLens := make([]int, n)
 		for v := 0; v < n; v++ {
 			l, err := lab.Label(v)
@@ -155,7 +175,7 @@ func saveStore(path string, n int, lab *core.Labeling) error {
 			}
 			bitLens[v] = l.Len()
 		}
-		f, err := labelstore.NewArenaFile(lab.Scheme(), params, slab, bitLens)
+		f, err := labelstore.NewPermutedArenaFile(lab.Scheme(), params, slab, bitLens, order)
 		if err != nil {
 			return err
 		}

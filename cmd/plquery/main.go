@@ -117,8 +117,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		// — no relocation between disk and the probe arena.
 		var eng *core.QueryEngine
 		if _, ok := dec.(*core.FatThinDecoder); ok {
-			if slab, bitLens, ok := store.Arena(); ok {
-				if e, err := core.NewQueryEngineFromArena(slab, bitLens); err == nil {
+			if slab, bitLens, order, ok := store.ArenaLayout(); ok {
+				if e, err := core.NewQueryEngineFromPermutedArena(slab, bitLens, order); err == nil {
 					eng = e
 				}
 			}

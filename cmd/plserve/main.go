@@ -51,6 +51,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		adminAddr  = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
 		maxBatch   = fs.Int("max-batch", 0, "max pairs per request frame (0 = default)")
 		useMmap    = fs.Bool("mmap", true, "memory-map the store (false forces the copying reader)")
+		cacheBits  = fs.Int("pair-cache-bits", 0, "log2 slots of the (u,v) result cache (0 = disabled; enable only once the store is read-only warm)")
+		sortMin    = fs.Int("sort-min", 0, "min pairs per frame to probe in arena-offset order (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,14 +91,26 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return fmt.Errorf("store %s is not servable: %w", *labelsPath, err)
 	}
+	// The result cache is attached before the engine is shared with any
+	// connection goroutine (EnableResultCache's publication contract).
+	if *cacheBits > 0 {
+		if err := eng.EnableResultCache(*cacheBits); err != nil {
+			return err
+		}
+	}
 	mode := "copied"
 	if mapped {
 		mode = "mmap"
 	}
-	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d (%s, %v)\n",
-		store.Scheme, store.N(), mode, time.Since(start).Round(time.Microsecond))
+	layout := "id"
+	if store.LayoutOrder() != nil {
+		layout = "degree"
+	}
+	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d layout=%s (%s, %v)\n",
+		store.Scheme, store.N(), layout, mode, time.Since(start).Round(time.Microsecond))
 
 	srv := adjserve.NewServer(eng, *maxBatch)
+	srv.SetSortedBatchMin(*sortMin)
 
 	// The admin plane is optional and read-only: one registry spanning the
 	// server, engine, store and runtime families, plus pprof. Readiness flips
@@ -173,12 +187,14 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	return err
 }
 
-// engineFor builds the serving engine: zero-copy from a v2 arena, relocating
-// otherwise. Only fat/thin-layout stores (the engine's label format) are
-// servable; anything else fails here, at startup.
+// engineFor builds the serving engine: zero-copy from a v2 arena (id- or
+// degree-ordered — a permuted store hands its logical→physical order along so
+// the engine's id-indexed lookup stays exact), relocating otherwise. Only
+// fat/thin-layout stores (the engine's label format) are servable; anything
+// else fails here, at startup.
 func engineFor(store *labelstore.File) (*core.QueryEngine, error) {
-	if slab, bitLens, ok := store.Arena(); ok {
-		return core.NewQueryEngineFromArena(slab, bitLens)
+	if slab, bitLens, order, ok := store.ArenaLayout(); ok {
+		return core.NewQueryEngineFromPermutedArena(slab, bitLens, order)
 	}
 	return core.NewQueryEngineFromLabels(store.Labels)
 }

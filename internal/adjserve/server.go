@@ -22,6 +22,13 @@ type Server struct {
 	engine   *core.QueryEngine
 	maxBatch int
 
+	// sortedMin, when > 0, routes frames of at least that many pairs through
+	// core.AdjacentManySorted: pairs are decoded up front, probed in
+	// arena-offset order, and the answers scattered back into request order.
+	// 0 keeps the streaming per-pair path. Set before Serve; never mutated
+	// under traffic.
+	sortedMin int
+
 	// Traffic accounts wire bytes, frames (as message pairs) and answered
 	// queries in the same units as the peernet simulation.
 	Traffic peernet.Traffic
@@ -51,6 +58,12 @@ func NewServer(engine *core.QueryEngine, maxBatch int) *Server {
 // Metrics returns the server's instrumentation, for registering on an
 // obs.Registry (srv.Metrics().Register(reg)) or reading in tests.
 func (s *Server) Metrics() *ServerMetrics { return &s.metrics }
+
+// SetSortedBatchMin opts frames of >= min pairs into offset-sorted probing
+// (core.AdjacentManySorted); min <= 0 disables it. Answers are identical to
+// the streaming path — only the probe order changes. Must be called before
+// Serve.
+func (s *Server) SetSortedBatchMin(min int) { s.sortedMin = min }
 
 // Serve accepts connections on ln until Close, answering each connection's
 // frames in order on its own goroutine. It returns ErrClosed after Close, or
@@ -128,10 +141,16 @@ func (s *Server) Close() error {
 	return err
 }
 
-// connBuffers is the pooled per-connection scratch: one request payload
-// buffer, one response buffer, both growing to the connection's working-set
-// size and then reused for every subsequent frame.
-type connBuffers struct{ req, resp []byte }
+// connBuffers is the pooled per-connection scratch: request and response
+// payload buffers plus the sorted-batch working set (decoded pairs, answer
+// slice, sort keys), all growing to the connection's working-set size and
+// then reused for every subsequent frame.
+type connBuffers struct {
+	req, resp []byte
+	pairs     [][2]int
+	res       []bool
+	sc        core.BatchScratch
+}
 
 var bufPool = sync.Pool{New: func() any { return new(connBuffers) }}
 
@@ -184,7 +203,7 @@ func (s *Server) handle(c net.Conn) {
 				return
 			}
 			frameStart = time.Now()
-			resp, queries = s.process(req, bufs.resp[:0])
+			resp, queries = s.process(req, bufs)
 		}
 		// Frame-granular accounting: a few uncontended atomic adds per
 		// frame, amortized over the whole batch — the per-query serving path
@@ -225,10 +244,11 @@ func (s *Server) isDraining() bool {
 }
 
 // process answers one request payload, appending the response payload to
-// resp and returning it along with the number of adjacency queries answered.
-// Malformed requests and engine errors produce error frames; only I/O can
-// kill the connection.
-func (s *Server) process(req, resp []byte) (out []byte, queries int) {
+// bufs.resp (reused from its start) and returning it along with the number of
+// adjacency queries answered. Malformed requests and engine errors produce
+// error frames; only I/O can kill the connection.
+func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int) {
+	resp := bufs.resp[:0]
 	if len(req) == 0 {
 		return appendErr(resp, "empty request"), 0
 	}
@@ -251,6 +271,9 @@ func (s *Server) process(req, resp []byte) (out []byte, queries int) {
 		bitsOff := len(resp)
 		for i := 0; i < int(count+7)/8; i++ {
 			resp = append(resp, 0)
+		}
+		if s.sortedMin > 0 && int(count) >= s.sortedMin {
+			return s.processSorted(body, resp, bitsOff, int(count), bufs)
 		}
 		// One tally per frame, flushed below: the engine's per-query metric
 		// cost on this path is two stack increments (see core.QueryTally).
@@ -284,4 +307,47 @@ func (s *Server) process(req, resp []byte) (out []byte, queries int) {
 	default:
 		return appendErr(resp, "unknown op %d", op), 0
 	}
+}
+
+// processSorted is the opt-in locality path for large frames: it decodes the
+// whole pair list into the connection scratch, answers it with one
+// AdjacentManySorted call (probes run in arena-offset order, answers come
+// back in request order), and packs the answer bits exactly as the streaming
+// loop would. resp already carries the status byte, count and zeroed bit
+// block starting at bitsOff. The pair list, answer slice and sort keys all
+// live in bufs, so the steady-state frame loop stays allocation-free.
+func (s *Server) processSorted(body, resp []byte, bitsOff, count int, bufs *connBuffers) (out []byte, queries int) {
+	pairs := bufs.pairs[:0]
+	for i := 0; i < count; i++ {
+		u, nu := binary.Uvarint(body)
+		if nu <= 0 {
+			bufs.pairs = pairs
+			return appendErr(resp[:0], "pair %d: bad u", i), 0
+		}
+		body = body[nu:]
+		v, nv := binary.Uvarint(body)
+		if nv <= 0 {
+			bufs.pairs = pairs
+			return appendErr(resp[:0], "pair %d: bad v", i), 0
+		}
+		body = body[nv:]
+		pairs = append(pairs, [2]int{int(u), int(v)})
+	}
+	bufs.pairs = pairs
+	if len(body) != 0 {
+		return appendErr(resp[:0], "%d trailing bytes after %d pairs", len(body), count), 0
+	}
+	res, err := s.engine.AdjacentManySorted(pairs, bufs.res[:0], &bufs.sc)
+	if cap(res) > cap(bufs.res) {
+		bufs.res = res
+	}
+	if err != nil {
+		return appendErr(resp[:0], "%v", err), 0
+	}
+	for i, adj := range res {
+		if adj {
+			resp[bitsOff+i/8] |= 1 << (7 - uint(i)%8)
+		}
+	}
+	return resp, count
 }

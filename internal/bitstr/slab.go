@@ -70,6 +70,49 @@ func SlabViews(slab []byte, bitLens []int) ([]String, error) {
 	return views, nil
 }
 
+// SlabViewsPermuted is SlabViews for a physically permuted slab: the label
+// stored at slab rank r (the r-th word-aligned slot) is label order[r], so
+// the slot holds bitLens[order[r]] bits. The returned views are indexed by
+// label number — views[v] is label v wherever it physically lives — which
+// restores id-indexed lookup over a degree-ordered (or otherwise reordered)
+// arena. order must be a permutation of 0..len(bitLens)-1; like SlabViews it
+// never masks or writes, so it is safe over read-only mappings, and the same
+// zero-padding caveat applies. A nil order is the identity.
+func SlabViewsPermuted(slab []byte, bitLens []int, order []int32) ([]String, error) {
+	if order == nil {
+		return SlabViews(slab, bitLens)
+	}
+	n := len(bitLens)
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: permutation of %d entries over %d labels", ErrMalformed, len(order), n)
+	}
+	views := make([]String, n)
+	seen := make([]uint64, (n+63)>>6)
+	var off int64
+	for r, v32 := range order {
+		v := int(v32)
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("%w: permutation entry %d = %d of %d labels", ErrMalformed, r, v32, n)
+		}
+		if seen[v>>6]&(1<<uint(v&63)) != 0 {
+			return nil, fmt.Errorf("%w: permutation repeats label %d at rank %d", ErrMalformed, v, r)
+		}
+		seen[v>>6] |= 1 << uint(v&63)
+		bits := bitLens[v]
+		end := off + int64((bits+7)>>3)
+		if bits < 0 || end > int64(len(slab)) {
+			return nil, fmt.Errorf("%w: slab label %d of %d bits at byte %d in %d-byte slab",
+				ErrOutOfBounds, v, bits, off, len(slab))
+		}
+		views[v] = String{data: slab[off:end:end], n: bits}
+		off += int64(SlabWords(bits)) << 3
+	}
+	if off != int64(len(slab)) {
+		return nil, fmt.Errorf("%w: labels occupy %d of %d slab bytes", ErrMalformed, off, len(slab))
+	}
+	return views, nil
+}
+
 // SlabSetBit sets bit pos of the slab to 1 in place — the word-free OR store
 // used for fat adjacency bitmaps, whose bit positions are computed rather
 // than appended. The surrounding word must already be materialized (slabs

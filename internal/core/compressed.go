@@ -23,7 +23,8 @@ import (
 // flag keeps every label within one bit of the fixed-width layout. This
 // trade-off is measured by experiment E15. Decoding remains a single scan.
 type CompressedScheme struct {
-	inner *FatThinScheme
+	inner  *FatThinScheme
+	layout Layout
 }
 
 var _ Scheme = (*CompressedScheme)(nil)
@@ -40,6 +41,10 @@ func (s *CompressedScheme) Name() string { return "compressed+" + s.inner.Name()
 // Threshold exposes the wrapped threshold rule.
 func (s *CompressedScheme) Threshold(g *graph.Graph) (int, error) { return s.inner.threshold(g) }
 
+// SetLayout selects the physical slab layout of subsequent encodes, exactly
+// as FatThinScheme.SetLayout.
+func (s *CompressedScheme) SetLayout(l Layout) { s.layout = l }
+
 // Encode implements Scheme, through the slab pipeline (see pipeline.go):
 // the returned labeling is arena-backed and born compact.
 func (s *CompressedScheme) Encode(g *graph.Graph) (*Labeling, error) {
@@ -47,7 +52,7 @@ func (s *CompressedScheme) Encode(g *graph.Graph) (*Labeling, error) {
 	if err != nil {
 		return nil, err
 	}
-	return encodeCompressedSlab(s.Name(), g, tau, 1)
+	return encodeCompressedSlab(s.Name(), g, tau, 1, s.layout)
 }
 
 // encodeCompressedLegacy is the original Builder-based encoder, kept as the

@@ -61,6 +61,11 @@ type Labeling struct {
 	// encoders produce labelings born this way; NewQueryEngine adopts the
 	// slab zero-copy instead of relocating label bodies.
 	arena []byte
+	// order, when non-nil, is the physical layout permutation of the arena:
+	// the label at slab rank r is label order[r] (LayoutDegree packs hubs
+	// first). The labels slice is always id-indexed — views already point at
+	// the right offsets — so every query answer is layout-independent.
+	order []int32
 }
 
 // NewLabeling bundles per-vertex labels with their decoder. It is exported
@@ -84,12 +89,48 @@ func NewArenaLabeling(scheme string, slab []byte, bitLens []int, dec AdjacencyDe
 	return &Labeling{scheme: scheme, labels: labels, decoder: dec, compacted: true, arena: slab}, nil
 }
 
+// NewPermutedArenaLabeling is NewArenaLabeling for a physically permuted
+// slab: the label at slab rank r is label order[r] (bitLens stays indexed by
+// label number). The returned labeling's labels are id-indexed views into
+// the permuted slab, so Label, Adjacent, Verify and Stats are oblivious to
+// the layout. order must be a permutation of 0..len(bitLens)-1; nil
+// delegates to NewArenaLabeling.
+func NewPermutedArenaLabeling(scheme string, slab []byte, bitLens []int, order []int32, dec AdjacencyDecoder) (*Labeling, error) {
+	if order == nil {
+		return NewArenaLabeling(scheme, slab, bitLens, dec)
+	}
+	labels, err := bitstr.SlabViewsPermuted(slab, bitLens, order)
+	if err != nil {
+		return nil, fmt.Errorf("core: arena labels: %w", err)
+	}
+	return &Labeling{scheme: scheme, labels: labels, decoder: dec, compacted: true, arena: slab, order: order}, nil
+}
+
 // Arena returns the word-aligned slab backing an arena labeling, or ok=false
 // for labelings assembled label-by-label. The per-label bit lengths (and
-// hence slab offsets) are recoverable from the labels themselves.
+// hence slab offsets) are recoverable from the labels themselves. For a
+// permuted arena (LayoutDegree) Arena reports ok=false — label v is *not* at
+// the v-th slot, so callers unaware of the permutation would misread every
+// offset; use ArenaLayout, which hands out the permutation alongside.
 func (l *Labeling) Arena() (slab []byte, ok bool) {
+	if l.order != nil {
+		return nil, false
+	}
 	return l.arena, l.arena != nil
 }
+
+// ArenaLayout returns the backing slab together with its physical layout
+// permutation: order is nil for the id-ordered layout, otherwise the label
+// at slab rank r is label order[r]. The pair (plus the per-label bit
+// lengths) is what NewQueryEngineFromPermutedArena and
+// labelstore.NewPermutedArenaFile accept.
+func (l *Labeling) ArenaLayout() (slab []byte, order []int32, ok bool) {
+	return l.arena, l.order, l.arena != nil
+}
+
+// LayoutOrder returns the arena's physical layout permutation, or nil when
+// the labeling is id-ordered (or not arena-backed).
+func (l *Labeling) LayoutOrder() []int32 { return l.order }
 
 // Scheme returns the name of the scheme that produced the labeling.
 func (l *Labeling) Scheme() string { return l.scheme }

@@ -34,6 +34,7 @@ import (
 type FatThinScheme struct {
 	name      string
 	threshold func(g *graph.Graph) (int, error)
+	layout    Layout
 }
 
 var _ Scheme = (*FatThinScheme)(nil)
@@ -232,6 +233,13 @@ func (s *FatThinScheme) Name() string { return s.name }
 // Threshold exposes the degree threshold the scheme would use on g.
 func (s *FatThinScheme) Threshold(g *graph.Graph) (int, error) { return s.threshold(g) }
 
+// SetLayout selects the physical slab layout of subsequent encodes
+// (LayoutID, the default, or LayoutDegree — see layout.go). Label contents
+// and query answers are identical under either; only the arena order (and
+// with it the locality of skewed traffic) changes. Call before Encode; a
+// scheme is not safe to reconfigure concurrently with an encode.
+func (s *FatThinScheme) SetLayout(l Layout) { s.layout = l }
+
 // Encode implements Scheme. It runs in O(n + m) time beyond the threshold
 // computation, through the two-phase slab pipeline (see pipeline.go): the
 // returned labeling is arena-backed and born compact.
@@ -240,7 +248,7 @@ func (s *FatThinScheme) Encode(g *graph.Graph) (*Labeling, error) {
 	if err != nil {
 		return nil, err
 	}
-	return encodeFatThinSlab(s.name, g, tau, 1)
+	return encodeFatThinSlab(s.name, g, tau, 1, s.layout)
 }
 
 // encodeFatThinLegacy is the original one-Builder-per-label encoder. It is

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestParseLayout(t *testing.T) {
+	for s, want := range map[string]Layout{"id": LayoutID, "degree": LayoutDegree} {
+		got, err := ParseLayout(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLayout(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("Layout(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseLayout("zigzag"); err == nil {
+		t.Error("ParseLayout accepted garbage")
+	}
+}
+
+// layoutScheme is any scheme that can switch its physical slab layout.
+type layoutScheme interface {
+	Scheme
+	SetLayout(Layout)
+	EncodeParallel(*graph.Graph, int) (*Labeling, error)
+}
+
+// TestLayoutEquivalence is the tentpole invariant: the degree-ordered layout
+// is a physical rearrangement only. Across schemes, graphs, and worker
+// counts, every per-vertex label must be byte-equal to the id-ordered
+// encoding's and every adjacency answer identical pair-for-pair — through
+// the decoder and (for the engine's label format) through the query engine.
+func TestLayoutEquivalence(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":  gen.Path(24),
+		"empty": graph.Empty(3),
+		"n1":    graph.Empty(1),
+		"n0":    graph.Empty(0),
+	}
+	if g, err := gen.ChungLuPowerLaw(600, 2.5, 2, 17); err == nil {
+		graphs["chunglu"] = g
+	} else {
+		t.Fatal(err)
+	}
+	if g, err := gen.BarabasiAlbert(400, 3, 23); err == nil {
+		graphs["ba"] = g
+	} else {
+		t.Fatal(err)
+	}
+	schemes := map[string]func() layoutScheme{
+		"powerlaw":   func() layoutScheme { return NewPowerLawScheme(2.5) },
+		"sparse":     func() layoutScheme { return NewSparseSchemeAuto() },
+		"compressed": func() layoutScheme { return NewCompressedScheme(NewPowerLawScheme(2.5)) },
+	}
+	for sname, mk := range schemes {
+		for gname, g := range graphs {
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", sname, gname, workers), func(t *testing.T) {
+					idScheme, degScheme := mk(), mk()
+					idScheme.SetLayout(LayoutID)
+					degScheme.SetLayout(LayoutDegree)
+					idLab, err := idScheme.EncodeParallel(g, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					degLab, err := degScheme.EncodeParallel(g, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for v := 0; v < g.N(); v++ {
+						a, err1 := idLab.Label(v)
+						b, err2 := degLab.Label(v)
+						if err1 != nil || err2 != nil {
+							t.Fatal(err1, err2)
+						}
+						if !a.Equal(b) {
+							t.Fatalf("label %d differs between layouts", v)
+						}
+					}
+					rng := rand.New(rand.NewSource(1))
+					checkPairs := equivalencePairs(g, rng, 500)
+					for _, p := range checkPairs {
+						a, err1 := idLab.Adjacent(p[0], p[1])
+						b, err2 := degLab.Adjacent(p[0], p[1])
+						if err1 != nil || err2 != nil {
+							t.Fatal(err1, err2)
+						}
+						if a != b {
+							t.Fatalf("decoder answers differ at (%d,%d): id=%v degree=%v", p[0], p[1], a, b)
+						}
+						if a != g.HasEdge(p[0], p[1]) {
+							t.Fatalf("wrong answer at (%d,%d)", p[0], p[1])
+						}
+					}
+					if sname == "compressed" || g.N() == 0 {
+						return // engine serves the plain fat/thin format only
+					}
+					engID, err := NewQueryEngine(idLab)
+					if err != nil {
+						t.Fatal(err)
+					}
+					engDeg, err := NewQueryEngine(degLab)
+					if err != nil {
+						t.Fatal(err)
+					}
+					outID, err := engID.AdjacentMany(checkPairs, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					outDeg, err := engDeg.AdjacentMany(checkPairs, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sc BatchScratch
+					outSorted, err := engDeg.AdjacentManySorted(checkPairs, nil, &sc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range checkPairs {
+						if outID[i] != outDeg[i] || outID[i] != outSorted[i] {
+							t.Fatalf("engine answers differ at pair %d (%v): id=%v degree=%v sorted=%v",
+								i, checkPairs[i], outID[i], outDeg[i], outSorted[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// equivalencePairs mixes every edge (up to a cap) with random pairs so both
+// positive and negative answers are exercised.
+func equivalencePairs(g *graph.Graph, rng *rand.Rand, extra int) [][2]int {
+	var pairs [][2]int
+	g.Edges(func(u, v int) {
+		if len(pairs) < 2000 {
+			pairs = append(pairs, [2]int{u, v})
+		}
+	})
+	for i := 0; i < extra && g.N() > 0; i++ {
+		pairs = append(pairs, [2]int{rng.Intn(g.N()), rng.Intn(g.N())})
+	}
+	return pairs
+}
+
+func TestAdjacentManySortedFallsBackWithoutScratch(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(200, 2.5, 2, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := equivalencePairs(g, rand.New(rand.NewSource(2)), 100)
+	want, err := eng.AdjacentMany(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.AdjacentManySorted(pairs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if want[i] != got[i] {
+			t.Fatalf("fallback answer differs at %d", i)
+		}
+	}
+}
+
+func TestEnableResultCacheValidates(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(100, 2.5, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableResultCache(40); err == nil {
+		t.Error("oversized cache accepted")
+	}
+	if err := eng.EnableResultCache(10); err != nil {
+		t.Errorf("EnableResultCache(10): %v", err)
+	}
+	if err := eng.EnableResultCache(0); err != nil {
+		t.Errorf("EnableResultCache(0) should detach, got %v", err)
+	}
+}
+
+// TestResultCacheAnswersAndCounters: with the cache attached, answers stay
+// identical and a repeated batch registers hits on the engine metrics.
+func TestResultCacheAnswersAndCounters(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(400, 2.5, 2, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := equivalencePairs(g, rand.New(rand.NewSource(3)), 300)
+	want, err := eng.AdjacentMany(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableResultCache(12); err != nil {
+		t.Fatal(err)
+	}
+	var em EngineMetrics
+	eng.AttachMetrics(&em)
+	var sc BatchScratch
+	for round := 0; round < 2; round++ {
+		got, err := eng.AdjacentManySorted(pairs, nil, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pairs {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: cached answer differs at pair %d (%v)", round, i, pairs[i])
+			}
+		}
+	}
+	hits, misses := em.CacheHits.Load(), em.CacheMisses.Load()
+	if hits == 0 {
+		t.Errorf("no cache hits after a repeated batch (misses=%d)", misses)
+	}
+	if misses == 0 {
+		t.Error("no cache misses recorded on a cold cache")
+	}
+}
+
+// TestResultCacheConcurrentBatches hammers one cache-enabled engine from
+// many goroutines (run under -race in CI): the direct-mapped slots are
+// single-word atomics, so concurrent batches may lose updates but can never
+// corrupt an answer.
+func TestResultCacheConcurrentBatches(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(500, 2.5, 2, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewPowerLawScheme(2.5)
+	s.SetLayout(LayoutDegree)
+	lab, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableResultCache(8); err != nil { // tiny: force eviction races
+		t.Fatal(err)
+	}
+	pairs := equivalencePairs(g, rand.New(rand.NewSource(4)), 400)
+	want, err := eng.AdjacentMany(pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([][2]int, len(pairs))
+			idx := rng.Perm(len(pairs))
+			for i, j := range idx {
+				local[i] = pairs[j]
+			}
+			var sc BatchScratch
+			var out []bool
+			for round := 0; round < 20; round++ {
+				var err error
+				out, err = eng.AdjacentManySorted(local, out[:0], &sc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range local {
+					if out[i] != want[idx[i]] {
+						errs <- fmt.Errorf("worker %d round %d: wrong answer at pair %v", seed, round, local[i])
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestAdjacentManySortedZeroAlloc is the acceptance bar from the issue: the
+// hot batch path performs zero heap allocations per call, result cache
+// enabled included.
+func TestAdjacentManySortedZeroAlloc(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(400, 2.5, 2, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewPowerLawScheme(2.5)
+	s.SetLayout(LayoutDegree)
+	lab, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableResultCache(10); err != nil {
+		t.Fatal(err)
+	}
+	pairs := equivalencePairs(g, rand.New(rand.NewSource(5)), 200)
+	out := make([]bool, 0, len(pairs))
+	var sc BatchScratch
+	if out, err = eng.AdjacentManySorted(pairs, out[:0], &sc); err != nil {
+		t.Fatal(err) // warm-up grows the scratch once
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		out, err = eng.AdjacentManySorted(pairs, out[:0], &sc)
+		if err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AdjacentManySorted allocates %.1f objects/op, want 0", allocs)
+	}
+}

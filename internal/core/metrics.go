@@ -15,12 +15,14 @@ import (
 // Theorems 3–4, FatBranch the O(1) hub bitmap probes, SelfBranch the
 // same-identifier short-circuit.
 type EngineMetrics struct {
-	Queries    obs.Counter // adjacency queries answered
-	Batches    obs.Counter // AdjacentMany/AdjacentManyParallel calls
-	ThinBranch obs.Counter // queries resolved by a thin binary-search probe
-	FatBranch  obs.Counter // queries resolved by a fat bitmap probe
-	SelfBranch obs.Counter // same-identifier short-circuits
-	BatchPairs obs.Histogram
+	Queries     obs.Counter // adjacency queries answered
+	Batches     obs.Counter // AdjacentMany/AdjacentManyParallel calls
+	ThinBranch  obs.Counter // queries resolved by a thin binary-search probe
+	FatBranch   obs.Counter // queries resolved by a fat bitmap probe
+	SelfBranch  obs.Counter // same-identifier short-circuits
+	CacheHits   obs.Counter // result-cache hits (cache enabled only)
+	CacheMisses obs.Counter // result-cache misses (cache enabled only)
+	BatchPairs  obs.Histogram
 }
 
 // Register exposes the metrics on reg under the engine_* family names. Call
@@ -31,6 +33,8 @@ func (m *EngineMetrics) Register(reg *obs.Registry) {
 	reg.Counter("engine_branch_thin_total", "Queries resolved by the thin O(log n) binary-search branch.", &m.ThinBranch)
 	reg.Counter("engine_branch_fat_total", "Queries resolved by the fat O(1) bitmap-probe branch.", &m.FatBranch)
 	reg.Counter("engine_branch_self_total", "Queries short-circuited by equal identifiers.", &m.SelfBranch)
+	reg.Counter("engine_cache_hits_total", "Queries answered from the (u,v) result cache.", &m.CacheHits)
+	reg.Counter("engine_cache_misses_total", "Result-cache lookups that fell through to a slab probe.", &m.CacheMisses)
 	reg.Histogram("engine_batch_pairs", "Pairs per batch call.", &m.BatchPairs)
 }
 
@@ -42,6 +46,7 @@ func (m *EngineMetrics) Register(reg *obs.Registry) {
 // increments, never an atomic.
 type QueryTally struct {
 	queries, thin, fat, self int64
+	cacheHits, cacheMisses   int64
 }
 
 // flush merges a tally into the atomics.
@@ -50,6 +55,8 @@ func (m *EngineMetrics) flush(t *QueryTally) {
 	m.ThinBranch.Add(t.thin)
 	m.FatBranch.Add(t.fat)
 	m.SelfBranch.Add(t.self)
+	m.CacheHits.Add(t.cacheHits)
+	m.CacheMisses.Add(t.cacheMisses)
 }
 
 // pipelineMetrics instruments the slab encode pipeline (both the fat/thin

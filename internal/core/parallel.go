@@ -17,7 +17,7 @@ func (s *FatThinScheme) EncodeParallel(g *graph.Graph, workers int) (*Labeling, 
 	if err != nil {
 		return nil, err
 	}
-	return encodeFatThinSlab(s.name, g, tau, workers)
+	return encodeFatThinSlab(s.name, g, tau, workers, s.layout)
 }
 
 // EncodeParallel is the sharded-fill counterpart of CompressedScheme.Encode;
@@ -28,5 +28,5 @@ func (s *CompressedScheme) EncodeParallel(g *graph.Graph, workers int) (*Labelin
 	if err != nil {
 		return nil, err
 	}
-	return encodeCompressedSlab(s.Name(), g, tau, workers)
+	return encodeCompressedSlab(s.Name(), g, tau, workers, s.layout)
 }

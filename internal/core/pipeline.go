@@ -28,6 +28,13 @@ import (
 // adopts zero-copy, and which labelstore writes as a single body blob. The
 // labels are bit-for-bit identical to the legacy Builder-based encoder's
 // (asserted by TestPipelineMatchesLegacy* in pipeline_test.go).
+//
+// An optional layout pass (Layout, layout.go) reorders the *physical* slots:
+// LayoutDegree stores bodies in descending-degree order — hubs packed into
+// the first contiguous pages, thin tail after — while every label keeps its
+// exact bits and its id-indexed view, carried by the rank→vertex permutation
+// that NewPermutedArenaLabeling, the labelstore format and the query engine
+// all thread through.
 
 // slabPlan is the output of phase 1: the identifier tables and the exact
 // slab layout.
@@ -40,9 +47,19 @@ type slabPlan struct {
 	// counting-sort transpose of the fill phase.
 	byID    []int32
 	fatBits []uint64
-	// offs[v] is the bit offset of label v's word-aligned start; offs[n] is
-	// the total slab size in bits.
-	offs []int64
+	// order, when non-nil, is the physical layout permutation: slab rank r
+	// holds vertex order[r]'s label. LayoutDegree simply points it at byID —
+	// identifiers are assigned in descending-degree order (fat hubs 0..k-1,
+	// then the thin tail), so identifier order *is* degree order and the
+	// layout pass costs nothing beyond the plan's existing tables.
+	order []int32
+	// offs[v] is the bit offset of label v's word-aligned start (id-indexed,
+	// non-monotonic under a permuted layout); physOffs[r] is the offset of
+	// slab rank r (monotonic — what splitByWords and the slab size read),
+	// with physOffs[n] the total slab size in bits. Under LayoutID the two
+	// share backing.
+	offs     []int64
+	physOffs []int64
 	// nbrIDs[nbrOffs[v]:nbrOffs[v+1]] holds thin vertex v's neighbor
 	// identifiers in ascending order — the exact body of its label, built by
 	// buildNeighborLists. Fat vertices have empty ranges; instead,
@@ -148,21 +165,46 @@ func (p *slabPlan) buildNeighborLists(g *graph.Graph) {
 	p.fatOffs, p.fatIDs = fatOffs, fatIDs
 }
 
-// layout prefix-sums word-aligned label offsets from the bit lengths.
-func (p *slabPlan) layout() {
+// layout prefix-sums word-aligned label offsets from the bit lengths, in the
+// physical order the chosen layout dictates. LayoutID keeps the historical
+// identity (label v at slot v); LayoutDegree walks ranks through byID, which
+// packs the fat-set hubs — the labels skewed traffic actually touches — into
+// the first contiguous pages of the slab, thin tail after.
+func (p *slabPlan) layout(lay Layout) {
 	n := len(p.bitLens)
-	p.offs = make([]int64, n+1)
-	words := 0
-	for v, bits := range p.bitLens {
-		p.offs[v] = int64(words) * bitstr.SlabWordBits
-		words += bitstr.SlabWords(bits)
+	if lay == LayoutDegree {
+		p.order = p.byID
 	}
-	p.offs[n] = int64(words) * bitstr.SlabWordBits
+	p.physOffs = make([]int64, n+1)
+	words := 0
+	for r := 0; r < n; r++ {
+		p.physOffs[r] = int64(words) * bitstr.SlabWordBits
+		words += bitstr.SlabWords(p.bitLens[p.vertexAt(r)])
+	}
+	p.physOffs[n] = int64(words) * bitstr.SlabWordBits
+	if p.order == nil {
+		p.offs = p.physOffs[:n]
+		return
+	}
+	p.offs = make([]int64, n)
+	for r, v := range p.order {
+		p.offs[v] = p.physOffs[r]
+	}
 }
 
-// splitByWords partitions vertices into up to `workers` contiguous ranges of
-// roughly equal slab footprint, so one hub-heavy range cannot serialize the
-// fill phase.
+// vertexAt maps a slab rank to the vertex whose label occupies it.
+func (p *slabPlan) vertexAt(r int) int {
+	if p.order == nil {
+		return r
+	}
+	return int(p.order[r])
+}
+
+// splitByWords partitions slab ranks into up to `workers` contiguous ranges
+// of roughly equal slab footprint, so one hub-heavy range cannot serialize
+// the fill phase. offs must be the monotonic rank-indexed offsets
+// (plan.physOffs); under a permuted layout the ranges are rank ranges, which
+// keeps each worker's stores contiguous in the slab.
 func splitByWords(offs []int64, workers int) [][2]int {
 	n := len(offs) - 1
 	total := offs[n]
@@ -202,14 +244,17 @@ func runRanges(ranges [][2]int, fill func(lo, hi int)) {
 }
 
 // encodeFatThinSlab is the pipeline encoder behind FatThinScheme.Encode and
-// EncodeParallel. workers <= 0 selects GOMAXPROCS.
-func encodeFatThinSlab(name string, g *graph.Graph, tau, workers int) (*Labeling, error) {
+// EncodeParallel. workers <= 0 selects GOMAXPROCS; lay selects the physical
+// body order (LayoutDegree returns a permuted arena labeling, answers
+// unchanged).
+func encodeFatThinSlab(name string, g *graph.Graph, tau, workers int, lay Layout) (*Labeling, error) {
 	if tau < 1 {
 		return nil, fmt.Errorf("core: threshold must be >= 1, got %d", tau)
 	}
 	n := g.N()
 	if n <= 1 {
-		// Degenerate graphs take the legacy path (no body bits to plan).
+		// Degenerate graphs take the legacy path (no body bits to plan, no
+		// layout to choose).
 		return encodeFatThinLegacy(name, g, tau)
 	}
 	if workers <= 0 {
@@ -235,28 +280,29 @@ func encodeFatThinSlab(name string, g *graph.Graph, tau, workers int) (*Labeling
 			plan.bitLens[v] = header + g.Degree(v)*w
 		}
 	}
-	plan.layout()
+	plan.layout(lay)
 	pipelineMetrics.PlanNs.ObserveDuration(time.Since(planStart))
 
 	// Phase 2: parallel direct-to-arena fill.
 	fillStart := time.Now()
-	slab := make([]byte, int(plan.offs[n]>>3))
-	runRanges(splitByWords(plan.offs, workers), func(lo, hi int) {
+	slab := make([]byte, int(plan.physOffs[n]>>3))
+	runRanges(splitByWords(plan.physOffs, workers), func(lo, hi int) {
 		fillFatThinSlab(plan, slab, lo, hi)
 	})
 	pipelineMetrics.FillNs.ObserveDuration(time.Since(fillStart))
 	pipelineMetrics.Runs.Inc()
 	pipelineMetrics.Labels.Add(int64(n))
-	return NewArenaLabeling(name, slab, plan.bitLens, &FatThinDecoder{n: n, w: w})
+	return NewPermutedArenaLabeling(name, slab, plan.bitLens, plan.order, &FatThinDecoder{n: n, w: w})
 }
 
-// fillFatThinSlab writes the labels of vertices [lo, hi) directly into the
+// fillFatThinSlab writes the labels of slab ranks [lo, hi) directly into the
 // slab, with zero allocations. Both label bodies come straight from the
 // plan's transposed lists — the graph is never consulted here.
 func fillFatThinSlab(plan *slabPlan, slab []byte, lo, hi int) {
 	sw := bitstr.NewSlabWriter(slab)
 	id, k, w := plan.id, plan.k, plan.w
-	for v := lo; v < hi; v++ {
+	for r := lo; r < hi; r++ {
+		v := plan.vertexAt(r)
 		off := plan.offs[v]
 		sw.SeekBit(off)
 		// The header — fat bit then the w-bit identifier — is one write: the
@@ -280,7 +326,7 @@ func fillFatThinSlab(plan *slabPlan, slab []byte, lo, hi int) {
 // size plan is heavier than the fat/thin one — choosing between fixed-width
 // and δ-gap thin encodings requires the sorted neighbor ids — so phase 1 is
 // parallelized too; only the prefix sum is sequential.
-func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int) (*Labeling, error) {
+func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int, lay Layout) (*Labeling, error) {
 	if tau < 1 {
 		return nil, fmt.Errorf("core: threshold must be >= 1, got %d", tau)
 	}
@@ -338,15 +384,16 @@ func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int) (*Label
 			}
 		}
 	})
-	plan.layout()
+	plan.layout(lay)
 	pipelineMetrics.PlanNs.ObserveDuration(time.Since(planStart))
 
-	// Phase 2 (parallel): fill.
+	// Phase 2 (parallel): fill, over rank ranges as in fillFatThinSlab.
 	fillStart := time.Now()
-	slab := make([]byte, int(plan.offs[n]>>3))
-	runRanges(splitByWords(plan.offs, workers), func(lo, hi int) {
+	slab := make([]byte, int(plan.physOffs[n]>>3))
+	runRanges(splitByWords(plan.physOffs, workers), func(lo, hi int) {
 		sw := bitstr.NewSlabWriter(slab)
-		for v := lo; v < hi; v++ {
+		for r := lo; r < hi; r++ {
+			v := plan.vertexAt(r)
 			off := plan.offs[v]
 			sw.SeekBit(off)
 			if vid := id[v]; vid < k {
@@ -380,5 +427,5 @@ func encodeCompressedSlab(name string, g *graph.Graph, tau, workers int) (*Label
 	pipelineMetrics.FillNs.ObserveDuration(time.Since(fillStart))
 	pipelineMetrics.Runs.Inc()
 	pipelineMetrics.Labels.Add(int64(n))
-	return NewArenaLabeling(name, slab, plan.bitLens, &CompressedDecoder{n: n, w: w})
+	return NewPermutedArenaLabeling(name, slab, plan.bitLens, plan.order, &CompressedDecoder{n: n, w: w})
 }

@@ -89,7 +89,7 @@ func TestPipelineMatchesLegacyFatThin(t *testing.T) {
 					t.Fatalf("legacy encode: %v", err)
 				}
 				for _, workers := range []int{1, 3, 0} {
-					pipe, err := encodeFatThinSlab(s.Name(), g, tau, workers)
+					pipe, err := encodeFatThinSlab(s.Name(), g, tau, workers, LayoutID)
 					if err != nil {
 						t.Fatalf("pipeline encode (workers=%d): %v", workers, err)
 					}
@@ -157,7 +157,7 @@ func TestPipelineMatchesLegacyCompressed(t *testing.T) {
 					t.Fatalf("legacy encode: %v", err)
 				}
 				for _, workers := range []int{1, 4} {
-					pipe, err := encodeCompressedSlab(s.Name(), g, tau, workers)
+					pipe, err := encodeCompressedSlab(s.Name(), g, tau, workers, LayoutID)
 					if err != nil {
 						t.Fatalf("pipeline encode (workers=%d): %v", workers, err)
 					}
@@ -272,7 +272,7 @@ func BenchmarkEncodePipeline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := encodeFatThinSlab(s.Name(), g, tau, 1); err != nil {
+		if _, err := encodeFatThinSlab(s.Name(), g, tau, 1, LayoutID); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -289,7 +289,7 @@ func BenchmarkEncodePipelineParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := encodeFatThinSlab(s.Name(), g, tau, 0); err != nil {
+		if _, err := encodeFatThinSlab(s.Name(), g, tau, 0, LayoutID); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -319,7 +319,7 @@ func BenchmarkEncodePipelineFill(b *testing.B) {
 			plan.bitLens[v] = header + g.Degree(v)*w
 		}
 	}
-	plan.layout()
+	plan.layout(LayoutID)
 	slab := make([]byte, int(plan.offs[n]>>3))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -357,7 +357,7 @@ func BenchmarkEncodeCompressedPipeline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := encodeCompressedSlab(s.Name(), g, tau, 0); err != nil {
+		if _, err := encodeCompressedSlab(s.Name(), g, tau, 0, LayoutID); err != nil {
 			b.Fatal(err)
 		}
 	}

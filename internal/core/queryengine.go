@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/bitstr"
@@ -20,16 +21,20 @@ import (
 //
 // Arena-backed labelings (the encode pipeline's output, or a format-v2 label
 // store) are adopted zero-copy: the engine points straight at the encoder's
-// slab and only parses headers. Labelings assembled label-by-label are
-// relocated into a fresh slab, as before.
+// slab and only parses headers. A degree-ordered slab (LayoutDegree) is
+// adopted just the same through NewQueryEngineFromPermutedArena — the meta
+// table stays id-indexed, only the offsets follow the permutation, so every
+// answer is bit-for-bit identical to the id-ordered layout. Labelings
+// assembled label-by-label are relocated into a fresh slab, as before.
 //
 // A QueryEngine is immutable after construction and safe for concurrent use
 // by any number of goroutines.
 type QueryEngine struct {
 	n int // number of vertices
 	w int // identifier width: ceil(log2 n)
-	// meta holds the flat pre-parsed headers, one entry per vertex, packed
-	// so a query touches a single cache line per endpoint.
+	// meta holds the flat pre-parsed headers, one 16-byte record per vertex
+	// (four to a cache line), indexed by vertex id regardless of the slab's
+	// physical layout.
 	meta []vertexMeta
 	// slab holds the label bodies: each vertex's body (neighbor ids or fat
 	// vector) starts at bit offset meta[v].off. Probes via
@@ -41,6 +46,11 @@ type QueryEngine struct {
 	// otherwise immutable engine: attach before sharing the engine across
 	// goroutines.
 	metrics *EngineMetrics
+	// cache, when enabled, memoizes (u,v)→answer in a fixed direct-mapped
+	// table probed before the slab (see cache.go). Like metrics it must be
+	// attached before the engine is shared; afterwards it is written only
+	// through single-word atomics and is safe under concurrent batches.
+	cache *pairCache
 }
 
 // AttachMetrics wires instrumentation into the engine's query paths. Must be
@@ -49,28 +59,65 @@ type QueryEngine struct {
 // with O(1) atomic adds per call, preserving the 0 allocs/op guarantee.
 func (e *QueryEngine) AttachMetrics(m *EngineMetrics) { e.metrics = m }
 
-// vertexMeta is one label's pre-parsed header.
+// vertexMeta is one label's pre-parsed header, packed into a single 16-byte
+// record: the body's slab bit offset, and one word holding the identifier,
+// the body count, and the fat flag —
+//
+//	word = id<<32 | cnt<<1 | fat
+//
+// cnt is the body size in body units: for thin labels the number of neighbor
+// identifiers, for fat labels the vector length in bits; both are capped at
+// 2^31-1 at build time, and identifiers fit 32 bits because the engine
+// refuses id widths above 32 (2^32 vertices is far beyond maxLabels).
 type vertexMeta struct {
-	off int64  // slab bit offset of the body
-	id  uint64 // the vertex's own identifier
-	// cnt is the body size in body units: for thin labels the number of
-	// neighbor identifiers, for fat labels the vector length in bits.
-	cnt int32
-	fat bool
+	off  int64
+	word uint64
+}
+
+func (m vertexMeta) id() uint64 { return m.word >> 32 }
+func (m vertexMeta) cnt() int64 { return int64(m.word >> 1 & (1<<31 - 1)) }
+func (m vertexMeta) fat() bool  { return m.word&1 != 0 }
+
+// packMeta validates a label's body size and packs the header word.
+func packMeta(fat bool, id uint64, body, w, v int) (uint64, error) {
+	if body > 1<<31-1 {
+		// cnt occupies 31 bits; a larger body would silently truncate and turn
+		// the build-time bounds guarantees into query-time garbage.
+		return 0, fmt.Errorf("%w: label %d: body of %d bits", ErrBadLabel, v, body)
+	}
+	cnt := 0
+	switch {
+	case fat:
+		cnt = body
+	case w == 0:
+		cnt = 0
+	default:
+		if body%w != 0 {
+			return 0, fmt.Errorf("%w: label %d: thin body %d bits not a multiple of id width %d",
+				ErrBadLabel, v, body, w)
+		}
+		cnt = body / w
+	}
+	word := id<<32 | uint64(cnt)<<1
+	if fat {
+		word |= 1
+	}
+	return word, nil
 }
 
 // NewQueryEngine builds an engine over a labeling produced by any scheme
 // using the fat/thin label layout (FatThinScheme, baseline.NeighborList).
 // Labels are validated once here; malformed labels that FatThinDecoder
 // would reject at query time are rejected at build time instead. An
-// arena-backed labeling is adopted without relocating a single body bit.
+// arena-backed labeling — id-ordered or degree-ordered — is adopted without
+// relocating a single body bit.
 func NewQueryEngine(lab *Labeling) (*QueryEngine, error) {
-	if slab, ok := lab.Arena(); ok {
+	if lab.arena != nil {
 		bitLens := make([]int, len(lab.labels))
 		for v, s := range lab.labels {
 			bitLens[v] = s.Len()
 		}
-		return NewQueryEngineFromArena(slab, bitLens)
+		return NewQueryEngineFromPermutedArena(lab.arena, bitLens, lab.order)
 	}
 	return NewQueryEngineFromLabels(lab.labels)
 }
@@ -81,12 +128,47 @@ func NewQueryEngine(lab *Labeling) (*QueryEngine, error) {
 // slab is adopted zero-copy: construction parses and validates the n label
 // headers but never moves a body.
 func NewQueryEngineFromArena(slab []byte, bitLens []int) (*QueryEngine, error) {
+	return NewQueryEngineFromPermutedArena(slab, bitLens, nil)
+}
+
+// NewQueryEngineFromPermutedArena builds an engine over a physically
+// permuted slab: the label at slab rank r is label order[r], occupying
+// bitLens[order[r]] bits (the LayoutDegree output of the encode pipeline,
+// or a label store carrying a layout permutation). The meta table is still
+// indexed by vertex id — reconstruction is a matter of walking the slab in
+// rank order while scattering headers to meta[order[r]] — so queries are
+// answered byte-for-byte identically to an id-ordered engine over the same
+// labeling. order must be a permutation of 0..len(bitLens)-1; nil is the
+// identity (NewQueryEngineFromArena).
+func NewQueryEngineFromPermutedArena(slab []byte, bitLens []int, order []int32) (*QueryEngine, error) {
 	n := len(bitLens)
 	w := bitstr.WidthFor(uint64(n))
+	if w > 32 {
+		return nil, fmt.Errorf("%w: %d labels need id width %d, engine packs ids in 32 bits", ErrBadLabel, n, w)
+	}
+	if order != nil && len(order) != n {
+		return nil, fmt.Errorf("%w: layout permutation of %d entries over %d labels", ErrBadLabel, len(order), n)
+	}
 	header := 1 + w
 	e := &QueryEngine{n: n, w: w, meta: make([]vertexMeta, n), slab: slab}
+	var seen []uint64
+	if order != nil {
+		seen = make([]uint64, (n+63)>>6)
+	}
 	var off int64
-	for v, bits := range bitLens {
+	for r := 0; r < n; r++ {
+		v := r
+		if order != nil {
+			v = int(order[r])
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("%w: layout permutation entry %d = %d of %d labels", ErrBadLabel, r, order[r], n)
+			}
+			if seen[v>>6]&(1<<uint(v&63)) != 0 {
+				return nil, fmt.Errorf("%w: layout permutation repeats label %d at rank %d", ErrBadLabel, v, r)
+			}
+			seen[v>>6] |= 1 << uint(v&63)
+		}
+		bits := bitLens[v]
 		if bits < header {
 			return nil, fmt.Errorf("%w: label %d has %d bits, header needs %d", ErrBadLabel, v, bits, header)
 		}
@@ -100,46 +182,25 @@ func NewQueryEngineFromArena(slab []byte, bitLens []int) (*QueryEngine, error) {
 		if int(end>>3) > len(slab) {
 			return nil, fmt.Errorf("%w: label %d ends at byte %d of a %d-byte slab", ErrBadLabel, v, end>>3, len(slab))
 		}
-		m := &e.meta[v]
-		m.fat = bitstr.SlabReadBits(slab, off, 1) == 1
+		fat := bitstr.SlabReadBits(slab, off, 1) == 1
+		var id uint64
 		if w > 0 {
-			m.id = bitstr.SlabReadBits(slab, off+1, w)
+			id = bitstr.SlabReadBits(slab, off+1, w)
 		}
-		if err := setBodyCount(m, bits-header, w, v); err != nil {
+		word, err := packMeta(fat, id, bits-header, w, v)
+		if err != nil {
 			return nil, err
 		}
-		m.off = off + int64(header)
+		e.meta[v] = vertexMeta{off: off + int64(header), word: word}
 		off = end
 	}
 	return e, nil
 }
 
 // maxLabelBits caps a single label's declared bit length (matching the
-// labelstore's cap): beyond it, offset arithmetic and the int32 body counts
-// below could overflow on attacker-controlled headers.
+// labelstore's cap): beyond it, offset arithmetic and the 31-bit body counts
+// could overflow on attacker-controlled headers.
 const maxLabelBits = 1 << 34
-
-// setBodyCount validates and records a label's body size in body units.
-func setBodyCount(m *vertexMeta, body, w, v int) error {
-	if body > 1<<31-1 {
-		// cnt is an int32; a larger body would silently truncate and turn the
-		// build-time bounds guarantees into query-time garbage.
-		return fmt.Errorf("%w: label %d: body of %d bits", ErrBadLabel, v, body)
-	}
-	switch {
-	case m.fat:
-		m.cnt = int32(body)
-	case w == 0:
-		m.cnt = 0
-	default:
-		if body%w != 0 {
-			return fmt.Errorf("%w: label %d: thin body %d bits not a multiple of id width %d",
-				ErrBadLabel, v, body, w)
-		}
-		m.cnt = int32(body / w)
-	}
-	return nil
-}
 
 // NewQueryEngineFromLabels builds an engine over per-vertex labels from any
 // source (e.g. a legacy label store), relocating the bodies into a fresh
@@ -148,6 +209,9 @@ func setBodyCount(m *vertexMeta, body, w, v int) error {
 func NewQueryEngineFromLabels(labels []bitstr.String) (*QueryEngine, error) {
 	n := len(labels)
 	w := bitstr.WidthFor(uint64(n))
+	if w > 32 {
+		return nil, fmt.Errorf("%w: %d labels need id width %d, engine packs ids in 32 bits", ErrBadLabel, n, w)
+	}
 	header := 1 + w
 	e := &QueryEngine{
 		n:    n,
@@ -160,12 +224,12 @@ func NewQueryEngineFromLabels(labels []bitstr.String) (*QueryEngine, error) {
 		if s.Len() < header {
 			return nil, fmt.Errorf("%w: label %d has %d bits, header needs %d", ErrBadLabel, v, s.Len(), header)
 		}
-		m := &e.meta[v]
-		m.fat = s.MustPeekUint(0, 1) == 1
-		m.id = s.MustPeekUint(1, w)
-		if err := setBodyCount(m, s.Len()-header, w, v); err != nil {
+		fat := s.MustPeekUint(0, 1) == 1
+		word, err := packMeta(fat, s.MustPeekUint(1, w), s.Len()-header, w, v)
+		if err != nil {
 			return nil, err
 		}
+		e.meta[v] = vertexMeta{word: word}
 		totalWords += bitstr.SlabWords(s.Len() - header)
 	}
 	// Pass 2: copy bodies into the slab, MSB-first within each big-endian
@@ -207,31 +271,51 @@ func (e *QueryEngine) Adjacent(u, v int) (bool, error) {
 // batch paths (and external frame loops like adjserve) flush to atomics once
 // per span via FlushTally. It is the call to use when streaming single
 // queries at batch rates: same probes as Adjacent, no per-query metric cost.
+// With a result cache enabled (EnableResultCache) the slab is only probed on
+// a miss; hits and misses are tallied alongside the branch counts.
 func (e *QueryEngine) AdjacentTallied(u, v int, t *QueryTally) (bool, error) {
 	if uint(u) >= uint(e.n) || uint(v) >= uint(e.n) {
 		return false, fmt.Errorf("%w: (%d,%d) of %d", ErrVertexRange, u, v, e.n)
 	}
 	t.queries++
-	mu, mv := &e.meta[u], &e.meta[v]
-	if mu.id == mv.id {
+	if c := e.cache; c != nil {
+		key := pairCacheKey(u, v)
+		if ans, hit := c.get(key); hit {
+			t.cacheHits++
+			return ans, nil
+		}
+		t.cacheMisses++
+		ans, err := e.probe(u, v, t)
+		if err == nil {
+			c.put(key, ans)
+		}
+		return ans, err
+	}
+	return e.probe(u, v, t)
+}
+
+// probe resolves one in-range query against the slab.
+func (e *QueryEngine) probe(u, v int, t *QueryTally) (bool, error) {
+	mu, mv := e.meta[u], e.meta[v]
+	if mu.id() == mv.id() {
 		// Same vertex: never self-adjacent in a simple graph.
 		t.self++
 		return false, nil
 	}
 	switch {
-	case !mu.fat:
+	case !mu.fat():
 		t.thin++
-		return e.thinProbe(mu, mv.id), nil
-	case !mv.fat:
+		return e.thinProbe(mu, mv.id()), nil
+	case !mv.fat():
 		t.thin++
-		return e.thinProbe(mv, mu.id), nil
+		return e.thinProbe(mv, mu.id()), nil
 	default:
 		// Both fat: bit mv.id of u's adjacency vector.
 		t.fat++
-		if mv.id >= uint64(mu.cnt) {
-			return false, fmt.Errorf("%w: fat id %d outside vector of %d bits", ErrBadLabel, mv.id, mu.cnt)
+		if mv.id() >= uint64(mu.cnt()) {
+			return false, fmt.Errorf("%w: fat id %d outside vector of %d bits", ErrBadLabel, mv.id(), mu.cnt())
 		}
-		return bitstr.SlabReadBits(e.slab, mu.off+int64(mv.id), 1) == 1, nil
+		return bitstr.SlabReadBits(e.slab, mu.off+int64(mv.id()), 1) == 1, nil
 	}
 }
 
@@ -239,13 +323,13 @@ func (e *QueryEngine) AdjacentTallied(u, v int, t *QueryTally) (bool, error) {
 // target — the O(log n) decode of Theorems 3/4, with each probe at most two
 // word loads at a computed slab offset. Bounds were validated at build
 // time.
-func (e *QueryEngine) thinProbe(m *vertexMeta, target uint64) bool {
+func (e *QueryEngine) thinProbe(m vertexMeta, target uint64) bool {
 	w := e.w
 	if w == 0 {
 		return false
 	}
 	slab, base := e.slab, m.off
-	lo, hi := 0, int(m.cnt)-1
+	lo, hi := 0, int(m.cnt())-1
 	for lo <= hi {
 		mid := int(uint(lo+hi) >> 1)
 		got := bitstr.SlabReadBits(slab, base+int64(mid*w), w)
@@ -277,6 +361,85 @@ func (e *QueryEngine) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
 	}
 	e.flushBatch(&t, len(pairs))
 	return out, nil
+}
+
+// BatchScratch holds the reusable working memory of AdjacentManySorted. One
+// scratch serves any number of sequential batches on one goroutine (the
+// buffers grow to the largest batch seen and stay); concurrent batches each
+// need their own.
+type BatchScratch struct {
+	keys []uint64
+}
+
+// sortIdxBits is the width of the pair-index field packed into a sort key;
+// the remaining 40 bits carry the probe's slab word index.
+const sortIdxBits = 24
+
+// AdjacentManySorted answers a batch like AdjacentMany but probes the pairs
+// in ascending arena-offset order and scatters the answers back into request
+// order — on a degree-ordered slab under skewed traffic the probe stream
+// walks the hot pages nearly sequentially instead of striding the whole
+// arena. Each pair's key is the slab word its probe will touch (the first
+// endpoint's body, or the thin endpoint's when a fat/thin pair binary-searches
+// the thin list), packed with the pair's index so the sort itself is
+// allocation-free over sc.keys. Answers are identical to AdjacentMany in any
+// order and layout; only the probe schedule changes. Batches of 2^24 pairs
+// or more (beyond the index field) and calls without a scratch fall back to
+// AdjacentMany. Unlike AdjacentMany, a failing query drops the whole batch:
+// probes run out of request order, so "results so far" has no prefix
+// meaning.
+func (e *QueryEngine) AdjacentManySorted(pairs [][2]int, out []bool, sc *BatchScratch) ([]bool, error) {
+	if sc == nil || len(pairs) >= 1<<sortIdxBits {
+		return e.AdjacentMany(pairs, out)
+	}
+	start := len(out)
+	out = growBools(out, len(pairs))
+	res := out[start:]
+	if cap(sc.keys) < len(pairs) {
+		sc.keys = make([]uint64, len(pairs))
+	}
+	keys := sc.keys[:len(pairs)]
+	const maxSortKey = 1<<(64-sortIdxBits) - 1
+	for i, p := range pairs {
+		u, v := p[0], p[1]
+		if uint(u) >= uint(e.n) || uint(v) >= uint(e.n) {
+			return out[:start], fmt.Errorf("core: query (%d,%d): %w: (%d,%d) of %d", u, v, ErrVertexRange, u, v, e.n)
+		}
+		mu, mv := e.meta[u], e.meta[v]
+		off := mu.off
+		if mu.fat() && !mv.fat() {
+			off = mv.off
+		}
+		key := uint64(off) >> 6
+		if key > maxSortKey {
+			// Only the schedule degrades; the index bits stay exact.
+			key = maxSortKey
+		}
+		keys[i] = key<<sortIdxBits | uint64(i)
+	}
+	slices.Sort(keys)
+	var t QueryTally
+	for _, k := range keys {
+		i := int(k & (1<<sortIdxBits - 1))
+		ok, err := e.AdjacentTallied(pairs[i][0], pairs[i][1], &t)
+		if err != nil {
+			e.flushBatch(&t, len(pairs))
+			return out[:start], fmt.Errorf("core: query (%d,%d): %w", pairs[i][0], pairs[i][1], err)
+		}
+		res[i] = ok
+	}
+	e.flushBatch(&t, len(pairs))
+	return out, nil
+}
+
+// growBools extends out by extra entries, reusing capacity when it can.
+func growBools(out []bool, extra int) []bool {
+	if need := len(out) + extra; cap(out) >= need {
+		return out[:need]
+	}
+	grown := make([]bool, len(out)+extra)
+	copy(grown, out)
+	return grown
 }
 
 // flushBatch charges one batch call's tally: O(1) atomic adds however many
@@ -322,13 +485,7 @@ func (e *QueryEngine) AdjacentManyParallel(pairs [][2]int, out []bool, workers i
 		return e.AdjacentMany(pairs, out)
 	}
 	start := len(out)
-	if need := start + len(pairs); cap(out) >= need {
-		out = out[:need]
-	} else {
-		grown := make([]bool, need)
-		copy(grown, out)
-		out = grown
-	}
+	out = growBools(out, len(pairs))
 	res := out[start:]
 	errs := make([]error, workers)
 	var wg sync.WaitGroup

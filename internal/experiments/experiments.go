@@ -22,6 +22,13 @@ type Config struct {
 	Quick bool
 	// Seed drives every generator; experiments are bit-reproducible.
 	Seed int64
+	// Dist, when non-empty, restricts probe-driven experiments (E25) to one
+	// vertex-pair sampling distribution: uniform | zipf | degprop. Empty
+	// runs each experiment's default distribution sweep.
+	Dist string
+	// ZipfS is the Zipf exponent used when Dist selects zipf (0 picks the
+	// experiment default).
+	ZipfS float64
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -168,6 +175,7 @@ func All() []Runner {
 		{ID: "E21", Description: "lower-bound construction: labels are invariant to the embedded H", Run: E21AdversarialH},
 		{ID: "E23", Description: "adjacency serving: loopback TCP throughput/latency + mmap startup", Run: E23ServingThroughput},
 		{ID: "E24", Description: "observability: obs primitive cost + engine instrumentation overhead", Run: E24ObservabilityOverhead},
+		{ID: "E25", Description: "skew-aware layout: id- vs degree-ordered arena under Zipf/degree-proportional query skew", Run: E25SkewLayout},
 	}
 }
 

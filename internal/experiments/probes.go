@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ProbeDist names a vertex-pair sampling distribution for query workloads.
+// Real adjacency traffic on power-law graphs is itself power-law — a few hub
+// vertices appear in most queries — so the harness can skew its probe streams
+// the same way instead of sampling endpoints uniformly.
+type ProbeDist string
+
+const (
+	// DistUniform draws each endpoint uniformly from [0, n).
+	DistUniform ProbeDist = "uniform"
+	// DistZipf draws endpoints Zipf-distributed over the degree ranking: the
+	// r-th highest-degree vertex (1-based) is drawn with probability
+	// proportional to r^-s. Implemented by inverse-CDF search rather than
+	// rand.Zipf, which requires s > 1; skew exponents below 1 (s = 0.8) are
+	// part of the sweep.
+	DistZipf ProbeDist = "zipf"
+	// DistDegProp draws endpoints with probability proportional to degree+1
+	// — the stationary distribution of a lazy random walk, smoothed so
+	// isolated vertices stay reachable.
+	DistDegProp ProbeDist = "degprop"
+)
+
+// ParseProbeDist validates a distribution name from a flag.
+func ParseProbeDist(s string) (ProbeDist, error) {
+	switch d := ProbeDist(s); d {
+	case DistUniform, DistZipf, DistDegProp:
+		return d, nil
+	}
+	return "", fmt.Errorf("unknown probe distribution %q (uniform | zipf | degprop)", s)
+}
+
+// ProbeSampler draws vertex pairs with independent, identically distributed
+// endpoints from a chosen marginal over a graph's vertices. Sampling is
+// deterministic in the seed: the same (graph, dist, s, seed) always yields
+// the same probe stream, so experiment tables are bit-reproducible.
+type ProbeSampler struct {
+	rng   *rand.Rand
+	n     int
+	cum   []float64 // cumulative weights by sampling index; nil = uniform
+	verts []int32   // vertex at sampling index; nil = identity
+	wt    []float64 // per-vertex weight, id-indexed; nil = uniform
+	total float64
+}
+
+// NewProbeSampler builds a sampler over g's vertices. zipfS is only read for
+// DistZipf and must be positive there.
+func NewProbeSampler(g *graph.Graph, dist ProbeDist, zipfS float64, seed int64) (*ProbeSampler, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("probe sampler over an empty graph")
+	}
+	p := &ProbeSampler{rng: rand.New(rand.NewSource(seed)), n: n}
+	switch dist {
+	case DistUniform:
+		return p, nil
+	case DistZipf:
+		if zipfS <= 0 {
+			return nil, fmt.Errorf("zipf exponent must be > 0, got %g", zipfS)
+		}
+		// Rank vertices by descending degree (ties by id, so the ranking is
+		// deterministic): Zipf mass follows popularity, and in a power-law
+		// graph popularity is degree.
+		verts := make([]int32, n)
+		for v := range verts {
+			verts[v] = int32(v)
+		}
+		deg := g.Degrees()
+		sort.SliceStable(verts, func(i, j int) bool { return deg[verts[i]] > deg[verts[j]] })
+		p.verts = verts
+		p.cum = make([]float64, n)
+		p.wt = make([]float64, n)
+		for r, v := range verts {
+			w := math.Pow(float64(r+1), -zipfS)
+			p.total += w
+			p.cum[r] = p.total
+			p.wt[v] = w
+		}
+		return p, nil
+	case DistDegProp:
+		p.cum = make([]float64, n)
+		p.wt = make([]float64, n)
+		for v := 0; v < n; v++ {
+			w := float64(g.Degree(v) + 1)
+			p.total += w
+			p.cum[v] = p.total
+			p.wt[v] = w
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown probe distribution %q", dist)
+}
+
+// Vertex draws one vertex from the marginal.
+func (p *ProbeSampler) Vertex() int {
+	if p.cum == nil {
+		return p.rng.Intn(p.n)
+	}
+	i := sort.SearchFloat64s(p.cum, p.rng.Float64()*p.total)
+	if i >= p.n {
+		i = p.n - 1 // float round-up at the very top of the CDF
+	}
+	if p.verts != nil {
+		return int(p.verts[i])
+	}
+	return i
+}
+
+// Pairs appends k pairs with independently sampled endpoints to dst.
+func (p *ProbeSampler) Pairs(dst [][2]int, k int) [][2]int {
+	for i := 0; i < k; i++ {
+		dst = append(dst, [2]int{p.Vertex(), p.Vertex()})
+	}
+	return dst
+}
+
+// VertexProb returns the marginal probability of drawing vertex v — the
+// weight experiments use to compute traffic-weighted label-size averages.
+func (p *ProbeSampler) VertexProb(v int) float64 {
+	if p.wt == nil {
+		return 1 / float64(p.n)
+	}
+	return p.wt[v] / p.total
+}

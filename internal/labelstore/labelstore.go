@@ -19,15 +19,21 @@
 // Version 2 stores the word-aligned slab of the encode pipeline verbatim —
 // one header, one body blob:
 //
-//	lens    n × uvarint          per-label bit lengths
-//	blob    uvarint byte count,  label v starts at byte offset
-//	        then the slab        8·Σ_{u<v} ceil(lens[u]/64)
+//	lens    n × uvarint          per-label bit lengths (always id-indexed)
+//	perm    n × uvarint          rank→label layout permutation; present iff
+//	                             params carries "layout" (value "degree")
+//	blob    uvarint byte count,  label perm[r] (or label r when no perm)
+//	        then the slab        starts at the r-th word-aligned slot
 //
 // A v2 blob is byte-identical to the in-memory arena of a pipeline-built
 // core.Labeling, so Write(arena-backed file) is a header plus a single
 // contiguous copy, and Read hands the blob to core.NewQueryEngineFromArena
-// with zero relocation. Read understands both versions; Write emits v2 when
-// the file is arena-backed (NewArenaFile) and v1 otherwise.
+// with zero relocation. A degree-ordered arena (core.LayoutDegree) rides the
+// same path with its permutation block: readers reconstruct id-indexed
+// lookup from the permutation, readers too old to know the "layout" param
+// fail loudly on the extra block (a blob-length mismatch) rather than
+// mis-answer. Read understands both versions; Write emits v2 when the file
+// is arena-backed (NewArenaFile, NewPermutedArenaFile) and v1 otherwise.
 package labelstore
 
 import (
@@ -51,6 +57,16 @@ var magic = [4]byte{'P', 'L', 'L', 'B'}
 const (
 	version1 = 1 // tightly packed per-label payloads
 	version2 = 2 // single word-aligned slab blob
+)
+
+// layoutKey is the params entry announcing a physically permuted v2 blob;
+// its presence means a permutation block sits between the lens block and the
+// blob. The only defined value is layoutDegree (descending-degree order).
+// Any other value is rejected — misreading a permuted slab as id-ordered
+// would silently answer queries from the wrong labels.
+const (
+	layoutKey    = "layout"
+	layoutDegree = "degree"
 )
 
 // Hard caps on header-declared sizes, shared by the streaming (Read) and
@@ -78,6 +94,9 @@ type File struct {
 	// by Read on v2 files; selects the v2 single-blob path in Write.
 	arena   []byte
 	bitLens []int
+	// order, when non-nil, is the arena's physical layout permutation: slab
+	// rank r holds label order[r]. Labels stays id-indexed either way.
+	order []int32
 }
 
 // N returns the number of labels.
@@ -105,11 +124,78 @@ func NewArenaFile(scheme string, params map[string]string, slab []byte, bitLens 
 	return &File{Scheme: scheme, Params: params, Labels: labels, arena: slab, bitLens: bitLens}, nil
 }
 
+// NewPermutedArenaFile is NewArenaFile for a physically permuted slab: the
+// label at word-aligned slab rank r is label order[r] with bitLens[order[r]]
+// bits (the arena of a core.LayoutDegree labeling). Write serializes it in
+// format v2 with a "layout" param and the permutation block. order must be a
+// permutation of 0..len(bitLens)-1; nil delegates to NewArenaFile.
+func NewPermutedArenaFile(scheme string, params map[string]string, slab []byte, bitLens []int, order []int32) (*File, error) {
+	if order == nil {
+		return NewArenaFile(scheme, params, slab, bitLens)
+	}
+	n := len(bitLens)
+	if len(order) != n {
+		return nil, fmt.Errorf("labelstore: layout permutation of %d entries over %d labels", len(order), n)
+	}
+	labels := make([]bitstr.String, n)
+	seen := make([]uint64, (n+63)>>6)
+	var off int64
+	for r, v32 := range order {
+		v := int(v32)
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("labelstore: layout permutation entry %d = %d of %d labels", r, v32, n)
+		}
+		if seen[v>>6]&(1<<uint(v&63)) != 0 {
+			return nil, fmt.Errorf("labelstore: layout permutation repeats label %d at rank %d", v, r)
+		}
+		seen[v>>6] |= 1 << uint(v&63)
+		view, err := bitstr.SlabView(slab, off, bitLens[v])
+		if err != nil {
+			return nil, fmt.Errorf("labelstore: arena label %d: %w", v, err)
+		}
+		labels[v] = view
+		off += int64(bitstr.SlabWords(bitLens[v])) * bitstr.SlabWordBits
+	}
+	if int(off>>3) != len(slab) {
+		return nil, fmt.Errorf("labelstore: arena slab has %d bytes, labels occupy %d", len(slab), off>>3)
+	}
+	return &File{Scheme: scheme, Params: params, Labels: labels, arena: slab, bitLens: bitLens, order: order}, nil
+}
+
 // Arena returns the word-aligned slab backing the store plus the per-label
 // bit lengths, or ok=false when the store is not arena-backed (a v1 file).
-// The pair is accepted directly by core.NewQueryEngineFromArena.
+// The pair is accepted directly by core.NewQueryEngineFromArena. For a
+// permuted store Arena reports ok=false — label v is not at the v-th slot,
+// and a caller unaware of the permutation would misread every offset; use
+// ArenaLayout, which hands out the permutation alongside.
 func (f *File) Arena() (slab []byte, bitLens []int, ok bool) {
+	if f.order != nil {
+		return nil, nil, false
+	}
 	return f.arena, f.bitLens, f.arena != nil
+}
+
+// ArenaLayout returns the backing slab, the per-label bit lengths, and the
+// physical layout permutation (nil for the id-ordered layout) — the triple
+// core.NewQueryEngineFromPermutedArena accepts for any v2 store.
+func (f *File) ArenaLayout() (slab []byte, bitLens []int, order []int32, ok bool) {
+	return f.arena, f.bitLens, f.order, f.arena != nil
+}
+
+// LayoutOrder returns the physical layout permutation, or nil when the store
+// is id-ordered (v1, or v2 without a layout param).
+func (f *File) LayoutOrder() []int32 { return f.order }
+
+// PermutationOverheadBytes returns the serialized size of a layout
+// permutation block — the header bytes a permuted store carries beyond its
+// id-ordered equivalent (pllabel reports it in its summary line).
+func PermutationOverheadBytes(order []int32) int {
+	var buf [binary.MaxVarintLen64]byte
+	total := 0
+	for _, v := range order {
+		total += binary.PutUvarint(buf[:], uint64(uint32(v)))
+	}
+	return total
 }
 
 // IntParam returns an integer metadata parameter.
@@ -142,8 +228,18 @@ func Write(w io.Writer, f *File) error {
 	if err := writeString(bw, f.Scheme); err != nil {
 		return err
 	}
-	keys := make([]string, 0, len(f.Params))
-	for k := range f.Params {
+	// A permuted store must announce its layout: readers key the permutation
+	// block off the param, so the two are written (and read) as one unit.
+	params := f.Params
+	if f.order != nil {
+		params = make(map[string]string, len(f.Params)+1)
+		for k, v := range f.Params {
+			params[k] = v
+		}
+		params[layoutKey] = layoutDegree
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys) // deterministic files
@@ -154,7 +250,7 @@ func Write(w io.Writer, f *File) error {
 		if err := writeString(bw, k); err != nil {
 			return err
 		}
-		if err := writeString(bw, f.Params[k]); err != nil {
+		if err := writeString(bw, params[k]); err != nil {
 			return err
 		}
 	}
@@ -164,6 +260,11 @@ func Write(w io.Writer, f *File) error {
 		}
 		for _, bits := range f.bitLens {
 			if err := writeUvarint(bw, uint64(bits)); err != nil {
+				return err
+			}
+		}
+		for _, v := range f.order { // permutation block (empty when id-ordered)
+			if err := writeUvarint(bw, uint64(uint32(v))); err != nil {
 				return err
 			}
 		}
@@ -239,6 +340,11 @@ func Read(r io.Reader) (*File, error) {
 	if ver == version2 {
 		return readSlab(br, scheme, params, int(n))
 	}
+	if lay, ok := params[layoutKey]; ok {
+		// v1 payloads are inherently id-ordered; a layout param can only be
+		// corruption or a format from the future. Refuse rather than guess.
+		return nil, fmt.Errorf("%w: v1 store declares layout %q", ErrFormat, lay)
+	}
 	// Arena decode: all label payloads land in one contiguous slab and the
 	// returned strings are (offset, bitlen) views into it — one allocation
 	// for the whole store instead of one per label, matching the layout
@@ -278,9 +384,10 @@ func Read(r io.Reader) (*File, error) {
 	return &File{Scheme: scheme, Params: params, Labels: labels}, nil
 }
 
-// readSlab parses the v2 payload: n bit lengths followed by the word-aligned
-// slab as one blob. The blob is read with a single contiguous ReadFull and
-// becomes the store's arena; labels are zero-copy views into it.
+// readSlab parses the v2 payload: n bit lengths, the layout permutation when
+// the params announce one, then the word-aligned slab as one blob. The blob
+// is read with a single contiguous ReadFull and becomes the store's arena;
+// labels are zero-copy views into it.
 func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) (*File, error) {
 	bitLens := make([]int, n)
 	var words int64
@@ -294,6 +401,26 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 		}
 		bitLens[i] = int(bits)
 		words += int64(bitstr.SlabWords(int(bits)))
+	}
+	var order []int32
+	if lay, ok := params[layoutKey]; ok {
+		if lay != layoutDegree {
+			return nil, fmt.Errorf("%w: unknown layout %q", ErrFormat, lay)
+		}
+		// Entries are range-checked here and permutation-checked (no label
+		// missing or repeated) by NewPermutedArenaFile below: a truncated or
+		// garbage block errors at load, it can never mis-answer.
+		order = make([]int32, n)
+		for i := range order {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: layout permutation entry %d: %v", ErrFormat, i, err)
+			}
+			if v >= uint64(n) {
+				return nil, fmt.Errorf("%w: layout permutation entry %d = %d of %d labels", ErrFormat, i, v, n)
+			}
+			order[i] = int32(v)
+		}
 	}
 	// Validate the declared geometry before buying the body: the blob-length
 	// field must agree with what the bit lengths occupy (both mismatch
@@ -317,7 +444,7 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 			return nil, fmt.Errorf("%w: blob payload at byte %d of %d: %v", ErrFormat, off, need, err)
 		}
 	}
-	f, err := NewArenaFile(scheme, params, slab, bitLens)
+	f, err := NewPermutedArenaFile(scheme, params, slab, bitLens, order)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}

@@ -87,6 +87,26 @@ func ReadBytes(data []byte) (*File, error) {
 		bitLens[i] = int(bits)
 		words += int64(bitstr.SlabWords(int(bits)))
 	}
+	var order []int32
+	if lay, ok := params[layoutKey]; ok {
+		if lay != layoutDegree {
+			return nil, fmt.Errorf("%w: unknown layout %q", ErrFormat, lay)
+		}
+		// Range-checked here, permutation-checked (no label missing or
+		// repeated) by SlabViewsPermuted below: a truncated or garbage block
+		// errors at load, it can never mis-answer.
+		order = make([]int32, n)
+		for i := range order {
+			v, err := p.uvarint("layout permutation entry")
+			if err != nil {
+				return nil, fmt.Errorf("%w: layout permutation entry %d: %v", ErrFormat, i, err)
+			}
+			if v >= n {
+				return nil, fmt.Errorf("%w: layout permutation entry %d = %d of %d labels", ErrFormat, i, v, n)
+			}
+			order[i] = int32(v)
+		}
+	}
 	// Validate the declared geometry before any view is constructed: the
 	// blob-length field must agree with the bit lengths, and the blob must
 	// actually be present in data — a short or truncated body fails here, at
@@ -104,11 +124,13 @@ func ReadBytes(data []byte) (*File, error) {
 			ErrFormat, len(data)-p.off, need)
 	}
 	arena := data[p.off : p.off+int(need) : p.off+int(need)]
-	labels, err := bitstr.SlabViews(arena, bitLens)
+	// SlabViewsPermuted (identity when order is nil) never masks, keeping
+	// read-only mappings safe; it also revalidates the permutation.
+	labels, err := bitstr.SlabViewsPermuted(arena, bitLens, order)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	return &File{Scheme: scheme, Params: params, Labels: labels, arena: arena, bitLens: bitLens}, nil
+	return &File{Scheme: scheme, Params: params, Labels: labels, arena: arena, bitLens: bitLens, order: order}, nil
 }
 
 // checkBlobLen validates the declared blob byte count against the size the
@@ -221,7 +243,7 @@ func Open(path string) (*MappedFile, error) {
 		_ = munmapFile(data)
 		return nil, err
 	}
-	arena, _, ok := store.Arena()
+	arena, _, _, ok := store.ArenaLayout()
 	if !ok {
 		// v1: every label was copied to the heap, nothing references the
 		// mapping — drop it now rather than at Close.
@@ -245,7 +267,7 @@ func openFallback(f *os.File) (*MappedFile, error) {
 		return nil, err
 	}
 	storeMetrics.OpenCopy.Inc()
-	if arena, _, ok := store.Arena(); ok {
+	if arena, _, _, ok := store.ArenaLayout(); ok {
 		storeMetrics.BlobBytes.Add(int64(len(arena)))
 	}
 	return &MappedFile{File: store}, nil
