@@ -37,6 +37,7 @@ func run(args []string) error {
 		format       = fs.String("format", "table", "output format: table | csv")
 		dist         = fs.String("dist", "", "probe distribution for skew experiments: uniform | zipf | degprop (empty = default sweep)")
 		zipfS        = fs.Float64("zipf-s", 1.1, "Zipf exponent for -dist zipf")
+		remote       = fs.String("remote", "", "external adjserve address (plroute or plserve) for E26's throughput drive")
 		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		mutexprofile = fs.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -84,7 +85,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Dist: *dist, ZipfS: *zipfS}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Dist: *dist, ZipfS: *zipfS, Remote: *remote}
 	runners := experiments.All()
 	if *experiment != "" {
 		r, ok := experiments.ByID(*experiment)

@@ -52,6 +52,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		analyze    = fs.Bool("analyze", false, "report clustering and assortativity (O(m·Δ) time)")
 		workers    = fs.Int("workers", 1, "parallel encode fill shards (0 = GOMAXPROCS)")
 		layoutStr  = fs.String("layout", "id", "physical slab layout: id | degree (degree packs hubs contiguously)")
+		shards     = fs.Int("shards", 0, "split the store into N shard files <o>.shard0..N-1 for plserve+plroute (0 = one whole store)")
+		shardFnStr = fs.String("shard-fn", "range", "shard ownership function: range | hash")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the encode to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -137,7 +139,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		fmt.Fprintln(stdout, "verify: ok")
 	}
-	if *out != "" {
+	if *shards != 0 {
+		if *shards < 2 {
+			return fmt.Errorf("-shards %d: a partition needs at least 2 shards", *shards)
+		}
+		if *out == "" {
+			return fmt.Errorf("-shards requires -o (shard files are named <o>.shardI)")
+		}
+		fn, err := core.ParseShardFn(*shardFnStr)
+		if err != nil {
+			return err
+		}
+		if err := saveShardStores(stdout, *out, g.N(), lab, *shards, fn); err != nil {
+			return fmt.Errorf("write shard stores: %w", err)
+		}
+	} else if *out != "" {
 		if err := saveStore(*out, g.N(), lab); err != nil {
 			return fmt.Errorf("write label store: %w", err)
 		}
@@ -200,6 +216,52 @@ func saveStore(path string, n int, lab *core.Labeling) error {
 		return err
 	}
 	return f.Close()
+}
+
+// saveShardStores splits an arena-backed labeling into count shard store
+// files named path.shard0..count-1: each holds its owned vertices' full
+// labels plus every fat label, foreign thin labels stripped to header stubs
+// (one plserve per file, fronted by plroute).
+func saveShardStores(stdout io.Writer, path string, n int, lab *core.Labeling, count int, fn core.ShardFn) error {
+	slab, order, ok := lab.ArenaLayout()
+	if !ok {
+		return fmt.Errorf("scheme %s is not arena-backed; sharding needs the fat/thin pipeline", lab.Scheme())
+	}
+	bitLens := make([]int, n)
+	for v := 0; v < n; v++ {
+		l, err := lab.Label(v)
+		if err != nil {
+			return err
+		}
+		bitLens[v] = l.Len()
+	}
+	arenas, err := core.ShardLabelArenas(slab, bitLens, order, count, fn)
+	if err != nil {
+		return err
+	}
+	params := map[string]string{"n": strconv.Itoa(n)}
+	for i, a := range arenas {
+		m := core.ShardMap{Count: count, Index: i, Fn: fn}
+		store, err := labelstore.NewShardArenaFile(lab.Scheme(), params, a.Slab, a.BitLens, order, m)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		shardPath := fmt.Sprintf("%s.shard%d", path, i)
+		f, err := os.Create(shardPath)
+		if err != nil {
+			return err
+		}
+		if err := labelstore.Write(f, store); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "shard store written to %s (shard %d/%d fn=%s, %d owned vertices, slab %.1f KiB of %.1f)\n",
+			shardPath, i, count, fn, a.Owned, float64(len(a.Slab))/1024, float64(len(slab))/1024)
+	}
+	return nil
 }
 
 func pick(name string, alpha, c float64, tau int) (core.Scheme, error) {

@@ -106,8 +106,19 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if store.LayoutOrder() != nil {
 		layout = "degree"
 	}
-	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d layout=%s (%s, %v)\n",
-		store.Scheme, store.N(), layout, mode, time.Since(start).Round(time.Microsecond))
+	// A shard store only holds its owned vertices' full labels (plus the
+	// replicated fat set); attaching the shard map makes the engine answer
+	// ErrNotResident for misrouted pairs instead of decoding a stub. plroute
+	// reads the same map back over opShardInfo to route around it.
+	shardNote := ""
+	if m, ok := store.Shard(); ok {
+		if err := eng.SetShard(m); err != nil {
+			return fmt.Errorf("store %s: %w", *labelsPath, err)
+		}
+		shardNote = fmt.Sprintf(" shard=%d/%d fn=%s", m.Index, m.Count, m.Fn)
+	}
+	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d layout=%s%s (%s, %v)\n",
+		store.Scheme, store.N(), layout, shardNote, mode, time.Since(start).Round(time.Microsecond))
 
 	srv := adjserve.NewServer(eng, *maxBatch)
 	srv.SetSortedBatchMin(*sortMin)

@@ -268,6 +268,110 @@ func TestAdminEndpoint(t *testing.T) {
 	}
 }
 
+// TestServeShardStore boots the daemon on one shard of a 2-way split and
+// checks the residency contract over the wire: the loaded line names the
+// shard, owned pairs answer exactly, and a misrouted pair comes back as an
+// error frame instead of a silently-wrong answer decoded from a stub.
+func TestServeShardStore(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(250, 2.5, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, order, ok := lab.ArenaLayout()
+	if !ok {
+		t.Fatal("labeling not arena-backed")
+	}
+	bitLens := make([]int, g.N())
+	for v := range bitLens {
+		l, err := lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitLens[v] = l.Len()
+	}
+	arenas, err := core.ShardLabelArenas(slab, bitLens, order, 2, core.ShardRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := labelstore.NewShardArenaFile(lab.Scheme(),
+		map[string]string{"n": strconv.Itoa(g.N())}, arenas[0].Slab, arenas[0].BitLens, order,
+		core.ShardMap{Count: 2, Index: 0, Fn: core.ShardRange})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "labels.pllb.shard0")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := labelstore.Write(f, store); err != nil {
+		t.Fatal(err)
+	}
+
+	out := newAddrWriter()
+	stop := make(chan struct{})
+	errC := make(chan error, 1)
+	go func() { errC <- run([]string{"-labels", path, "-addr", "127.0.0.1:0"}, out, stop) }()
+	var addr string
+	select {
+	case addr = <-out.addrC:
+	case err := <-errC:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no listening line\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shard=0/2 fn=range") {
+		t.Errorf("loaded line does not name the shard:\n%s", out.String())
+	}
+	c, err := adjserve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Shard 0 of a range split owns 0..n/2: pairs touching an owned vertex
+	// answer; a thin–thin pair of two foreign vertices must be refused.
+	for u := 0; u < 30; u++ {
+		for v := u + 1; v < 30; v += 3 {
+			got, err := c.Adjacent(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := g.HasEdge(u, v); got != want {
+				t.Fatalf("(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+	eng, err := core.NewQueryEngineFromPermutedArena(arenas[0].Slab, arenas[0].BitLens, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetShard(core.ShardMap{Count: 2, Index: 0, Fn: core.ShardRange}); err != nil {
+		t.Fatal(err)
+	}
+	foreign := -1
+	for v := g.N() / 2; v < g.N()-1; v++ {
+		if !eng.Resident(v) && !eng.Resident(v+1) {
+			foreign = v
+			break
+		}
+	}
+	if foreign < 0 {
+		t.Skip("every tail vertex is fat on this fixture")
+	}
+	if _, err := c.Adjacent(foreign, foreign+1); err == nil {
+		t.Fatalf("misrouted pair (%d,%d) answered instead of erroring", foreign, foreign+1)
+	}
+	close(stop)
+	if err := <-errC; err != nil {
+		t.Fatalf("daemon exit: %v\n%s", err, out.String())
+	}
+}
+
 func TestMissingLabelsFlag(t *testing.T) {
 	if err := run(nil, newAddrWriter(), nil); err == nil {
 		t.Fatal("no -labels accepted")

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // benchSetup shares one engine + server across all serving benchmarks.
@@ -85,4 +87,53 @@ func BenchmarkAdjserveParallelConns(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRouterBatch measures routed queries/sec through a 3-shard fleet
+// over one downstream connection; b.N counts queries, not frames. The 4096
+// point is the E26 batch size and must report 0 allocs/op (CI asserts it).
+func BenchmarkRouterBatch(b *testing.B) {
+	_, engines := shardEngines(b, 20000, 3, core.ShardRange, 42)
+	addrs := make([]string, len(engines))
+	for i, e := range engines {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go NewServer(e, 0).Serve(ln)
+		addrs[i] = ln.Addr().String()
+	}
+	r, err := NewRouter(addrs, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go r.Serve(ln)
+	defer r.Close()
+	for _, batch := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			c, err := Dial(ln.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			pairs := randomPairs(r.N(), batch, int64(batch))
+			out := make([]bool, 0, batch)
+			if _, err := c.AdjacentMany(pairs, out[:0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batch {
+				var err error
+				out, err = c.AdjacentMany(pairs, out[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Redial policy defaults. A lost connection is redialed transparently, but
@@ -96,13 +98,41 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// call is one outstanding request: the response either fills dest (query) or
-// infoN (info), and done delivers the per-call verdict exactly once.
+// call is one outstanding request: the response fills dest (query), infoN
+// (info) or shard (shard-info), and done delivers the per-call verdict
+// exactly once.
 type call struct {
 	dest  []bool
 	infoN *int
+	shard *ShardInfo
 	done  chan error
 }
+
+// callPool recycles calls (and their verdict channels) across batches, so the
+// steady-state encode path of AdjacentMany performs zero heap allocations.
+var callPool = sync.Pool{New: func() any { return &call{done: make(chan error, 1)} }}
+
+func getCall() *call { return callPool.Get().(*call) }
+
+// putCall returns a call to the pool. Callers normally hand back a call whose
+// verdict they consumed; the non-blocking drain covers the one exception — a
+// send-side failure where fail() already buffered the verdict nobody reads —
+// so a recycled call can never surface a stale verdict.
+func putCall(ca *call) {
+	select {
+	case <-ca.done:
+	default:
+	}
+	ca.dest = nil
+	ca.infoN = nil
+	ca.shard = nil
+	callPool.Put(ca)
+}
+
+// callsPool recycles the per-batch slice of outstanding calls.
+var callsPool = sync.Pool{New: func() any { return new(callList) }}
+
+type callList struct{ s []*call }
 
 // clientConn is one live connection plus its FIFO of outstanding calls. The
 // reader goroutine owns the receive side; writers enqueue under the queue
@@ -112,9 +142,19 @@ type clientConn struct {
 	nc      net.Conn
 	bw      *bufio.Writer
 	metrics *ClientMetrics // owning client's, for in-flight accounting
+	// hdr is the frame-header encode scratch, shared by all frame writers
+	// under the client's mu. A function-local array would be re-heap-allocated
+	// per frame (bufio may hand large writes straight to the net.Conn
+	// interface, so the slice argument escapes).
+	hdr [frameHeaderLen]byte
 
-	qmu      sync.Mutex
+	qmu sync.Mutex
+	// pending[head:] is the FIFO of outstanding calls. Popping advances head
+	// instead of re-slicing, and the slice resets to its start whenever the
+	// queue drains, so the backing array is reused frame after frame — the
+	// enqueue path allocates only while the pipelining depth is still growing.
 	pending  []*call
+	head     int
 	shutdown bool
 	err      error
 }
@@ -133,11 +173,16 @@ func (cc *clientConn) enqueue(ca *call) error {
 func (cc *clientConn) pop() *call {
 	cc.qmu.Lock()
 	defer cc.qmu.Unlock()
-	if len(cc.pending) == 0 {
+	if cc.head == len(cc.pending) {
 		return nil
 	}
-	ca := cc.pending[0]
-	cc.pending = cc.pending[1:]
+	ca := cc.pending[cc.head]
+	cc.pending[cc.head] = nil
+	cc.head++
+	if cc.head == len(cc.pending) {
+		cc.pending = cc.pending[:0]
+		cc.head = 0
+	}
 	cc.metrics.InFlight.Add(-1)
 	return ca
 }
@@ -151,8 +196,9 @@ func (cc *clientConn) fail(err error) {
 	}
 	cc.shutdown = true
 	cc.err = err
-	pending := cc.pending
+	pending := cc.pending[cc.head:]
 	cc.pending = nil
+	cc.head = 0
 	cc.metrics.InFlight.Add(-int64(len(pending)))
 	cc.qmu.Unlock()
 	cc.nc.Close()
@@ -237,6 +283,7 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
+		cc.metrics.BytesIn.Add(int64(frameHeaderLen + plen))
 		ca := cc.pop()
 		if ca == nil {
 			cc.fail(fmt.Errorf("%w: unsolicited response frame", ErrClosed))
@@ -276,6 +323,13 @@ func deliver(ca *call, payload []byte) error {
 			ca.done <- nil
 			return nil
 		}
+		if ca.shard != nil {
+			if err := parseShardInfo(ca.shard, body); err != nil {
+				return err
+			}
+			ca.done <- nil
+			return nil
+		}
 		count, n := binary.Uvarint(body)
 		if n <= 0 || int(count) != len(ca.dest) {
 			return fmt.Errorf("%w: response for %d pairs, asked %d", ErrClosed, count, len(ca.dest))
@@ -302,8 +356,9 @@ func (c *Client) sendFrame(cc *clientConn, payload []byte, ca *call) error {
 		return err
 	}
 	c.metrics.FramesSent.Inc()
-	fh := frameHeader(len(payload))
-	if _, err := cc.bw.Write(fh[:]); err != nil {
+	c.metrics.BytesOut.Add(int64(frameHeaderLen + len(payload)))
+	cc.hdr = frameHeader(len(payload))
+	if _, err := cc.bw.Write(cc.hdr[:]); err != nil {
 		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 		return err
 	}
@@ -342,14 +397,18 @@ func (c *Client) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
 		c.mu.Unlock()
 		return out[:start], err
 	}
-	calls := make([]*call, 0, (len(pairs)+maxBatch-1)/maxBatch)
+	cl := callsPool.Get().(*callList)
+	calls := cl.s[:0]
 	for off := 0; off < len(pairs); off += maxBatch {
 		chunk := pairs[off:min(off+maxBatch, len(pairs))]
 		c.req = appendQueryReq(c.req[:0], chunk)
-		ca := &call{dest: dest[off : off+len(chunk)], done: make(chan error, 1)}
+		ca := getCall()
+		ca.dest = dest[off : off+len(chunk)]
 		if err := c.sendFrame(cc, c.req, ca); err != nil {
 			c.mu.Unlock()
+			putCall(ca)
 			waitCalls(calls)
+			putCalls(cl, calls)
 			return out[:start], err
 		}
 		calls = append(calls, ca)
@@ -364,6 +423,7 @@ func (c *Client) AdjacentMany(pairs [][2]int, out []bool) ([]bool, error) {
 			err = cerr
 		}
 	}
+	putCalls(cl, calls)
 	if err != nil {
 		return out[:start], err
 	}
@@ -376,6 +436,15 @@ func waitCalls(calls []*call) {
 	for _, ca := range calls {
 		<-ca.done
 	}
+}
+
+// putCalls recycles a batch's calls (verdicts already consumed) and its list.
+func putCalls(cl *callList, calls []*call) {
+	for _, ca := range calls {
+		putCall(ca)
+	}
+	cl.s = calls[:0]
+	callsPool.Put(cl)
 }
 
 // Adjacent answers a single query remotely. For throughput, prefer
@@ -392,23 +461,113 @@ func (c *Client) Adjacent(u, v int) (bool, error) {
 // Info returns the number of vertices the server's engine answers for.
 func (c *Client) Info() (int, error) {
 	var n int
-	ca := &call{infoN: &n, done: make(chan error, 1)}
-	c.mu.Lock()
-	cc, err := c.ensureConn()
-	if err != nil {
-		c.mu.Unlock()
+	ca := getCall()
+	ca.infoN = &n
+	if err := c.sendSmall(opInfo, ca); err != nil {
+		putCall(ca)
 		return 0, err
 	}
-	if err := c.sendFrame(cc, []byte{opInfo}, ca); err != nil {
-		c.mu.Unlock()
+	err := <-ca.done
+	putCall(ca)
+	if err != nil {
 		return 0, err
+	}
+	return n, nil
+}
+
+// ShardInfo describes the slice of the labeling a server holds, as reported
+// by the shard-info handshake: the vertex count, the shard map (the trivial
+// 1-shard map for an unsharded server), and the fat-vertex bitmap (bit v
+// MSB-first within byte v/8) — everything a router needs to place queries.
+type ShardInfo struct {
+	N       int
+	Map     core.ShardMap
+	FatBits []byte
+}
+
+// Fat reports whether vertex v is fat on the serving engine.
+func (si *ShardInfo) Fat(v int) bool {
+	return si.FatBits[v>>3]&(1<<(7-uint(v)&7)) != 0
+}
+
+// ShardInfo performs the shard-info handshake.
+func (c *Client) ShardInfo() (*ShardInfo, error) {
+	si := new(ShardInfo)
+	ca := getCall()
+	ca.shard = si
+	if err := c.sendSmall(opShardInfo, ca); err != nil {
+		putCall(ca)
+		return nil, err
+	}
+	err := <-ca.done
+	putCall(ca)
+	if err != nil {
+		return nil, err
+	}
+	return si, nil
+}
+
+// sendSmall writes a one-byte request frame for ca and flushes.
+func (c *Client) sendSmall(op byte, ca *call) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		return err
+	}
+	if err := c.sendFrame(cc, []byte{op}, ca); err != nil {
+		return err
 	}
 	if err := cc.bw.Flush(); err != nil {
 		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 	}
-	c.mu.Unlock()
-	if err := <-ca.done; err != nil {
-		return 0, err
+	return nil
+}
+
+// parseShardInfo decodes a shard-info response body into si. Errors are
+// protocol corruption (they kill the connection); semantic validation of the
+// map against sibling shards is the router's job.
+func parseShardInfo(si *ShardInfo, body []byte) error {
+	n, k := binary.Uvarint(body)
+	if k <= 0 {
+		return fmt.Errorf("%w: truncated shard-info n", ErrClosed)
 	}
-	return n, nil
+	body = body[k:]
+	count, k := binary.Uvarint(body)
+	if k <= 0 {
+		return fmt.Errorf("%w: truncated shard-info count", ErrClosed)
+	}
+	body = body[k:]
+	index, k := binary.Uvarint(body)
+	if k <= 0 || len(body) <= k {
+		return fmt.Errorf("%w: truncated shard-info index", ErrClosed)
+	}
+	fnByte := body[k]
+	body = body[k+1:]
+	fn := core.ShardFn(fnByte)
+	if count < 1 || index >= count || !fn.Valid() {
+		return fmt.Errorf("%w: shard-info map %d/%d fn %d", ErrClosed, index, count, fnByte)
+	}
+	if uint64(len(body)) != (n+7)/8 {
+		return fmt.Errorf("%w: %d fat-bitmap bytes for %d vertices", ErrClosed, len(body), n)
+	}
+	si.N = int(n)
+	si.Map = core.ShardMap{Count: int(count), Index: int(index), Fn: fn}
+	si.FatBits = append(si.FatBits[:0], body...)
+	return nil
+}
+
+// Pending returns the number of request frames written but not yet answered
+// on the live connection — the pipelining depth, for orchestrators (the
+// router's per-upstream in-flight gauge) and tests.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	cc := c.cc
+	c.mu.Unlock()
+	if cc == nil {
+		return 0
+	}
+	cc.qmu.Lock()
+	defer cc.qmu.Unlock()
+	return len(cc.pending) - cc.head
 }

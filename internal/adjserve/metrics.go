@@ -70,15 +70,25 @@ type ClientMetrics struct {
 	DialFailures obs.Counter // dials that returned an error
 	Redials      obs.Counter // successful reconnects after a lost connection
 	FramesSent   obs.Counter // request frames written
+	BytesOut     obs.Counter // request wire bytes written, frame headers included
+	BytesIn      obs.Counter // response wire bytes read, frame headers included
 	InFlight     obs.Gauge   // frames written but not yet answered
 }
 
 // Register exposes the metrics on reg under the adjserve_client_* family
 // names. Call once per registry.
-func (m *ClientMetrics) Register(reg *obs.Registry) {
-	reg.Counter("adjserve_client_dial_attempts_total", "Connection dials attempted, retries included.", &m.DialAttempts)
-	reg.Counter("adjserve_client_dial_failures_total", "Connection dials that failed.", &m.DialFailures)
-	reg.Counter("adjserve_client_redials_total", "Successful reconnects after a lost connection.", &m.Redials)
-	reg.Counter("adjserve_client_frames_total", "Request frames written.", &m.FramesSent)
-	reg.Gauge("adjserve_client_inflight_frames", "Frames written but not yet answered.", &m.InFlight)
+func (m *ClientMetrics) Register(reg *obs.Registry) { m.RegisterWith(reg) }
+
+// RegisterWith is Register with label pairs attached to every series, so
+// multiple clients (the router's per-upstream connections) can share one
+// registry: each client registers under a distinguishing label such as
+// "shard", "2".
+func (m *ClientMetrics) RegisterWith(reg *obs.Registry, labels ...string) {
+	reg.Counter("adjserve_client_dial_attempts_total", "Connection dials attempted, retries included.", &m.DialAttempts, labels...)
+	reg.Counter("adjserve_client_dial_failures_total", "Connection dials that failed.", &m.DialFailures, labels...)
+	reg.Counter("adjserve_client_redials_total", "Successful reconnects after a lost connection.", &m.Redials, labels...)
+	reg.Counter("adjserve_client_frames_total", "Request frames written.", &m.FramesSent, labels...)
+	reg.Counter("adjserve_client_bytes_out_total", "Request bytes written, frame headers included.", &m.BytesOut, labels...)
+	reg.Counter("adjserve_client_bytes_in_total", "Response bytes read, frame headers included.", &m.BytesIn, labels...)
+	reg.Gauge("adjserve_client_inflight_frames", "Frames written but not yet answered.", &m.InFlight, labels...)
 }

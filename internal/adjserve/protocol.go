@@ -15,11 +15,17 @@
 //	request  op u8
 //	         op=1 (query): uvarint pair count, then per pair uvarint u, uvarint v
 //	         op=2 (info):  empty
+//	         op=3 (shard-info): empty
 //
 //	response status u8
 //	         status=0 (ok), query: uvarint pair count, then ceil(count/8)
 //	                        bytes of answers, bit i MSB-first within its byte
 //	         status=0 (ok), info:  uvarint n (vertex count served)
+//	         status=0 (ok), shard-info: uvarint n, uvarint shard count,
+//	                        uvarint shard index, ownership function u8, then
+//	                        ceil(n/8) bytes of fat-vertex bits, bit v MSB-first
+//	                        within its byte (count=1/index=0 for an unsharded
+//	                        server, so a router can front plain servers too)
 //	         status=1 (error): uvarint message length, message bytes
 //
 // Requests on one connection are answered in order, so a client may write
@@ -37,8 +43,9 @@ import (
 // Protocol constants. A frame payload is capped independently of the batch
 // size so a malicious length prefix cannot make either side buy gigabytes.
 const (
-	opQuery = 1
-	opInfo  = 2
+	opQuery     = 1
+	opInfo      = 2
+	opShardInfo = 3
 
 	statusOK  = 0
 	statusErr = 1

@@ -1,0 +1,558 @@
+package adjserve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Router is the scatter-gather front of a sharded serving tier. Downstream it
+// speaks the ordinary adjserve wire protocol — clients cannot tell a router
+// from a single server holding the whole labeling — and upstream it holds one
+// pipelined Client per shard server. Each query frame is split by the
+// ownership rule, the per-shard sub-batches are fanned out concurrently, and
+// the per-shard bit-vector answers are scattered back into request order.
+//
+// Routing rule (the invariant TestRouterRoutingInvariant pins down): a query
+// (u,v) can only be answered by a shard holding a full thin body of u or v,
+// or — when both are fat — by any shard, since fat–fat bitmaps are
+// replicated everywhere. So a thin endpoint forces its owner, and every
+// remaining case (u==v, thin–thin, fat–fat) goes to min(owner(u), owner(v)).
+// Min rather than either owner keeps the choice deterministic; the sharded
+// engine's residency guard (core.ErrNotResident) turns any violation of this
+// rule into a loud error frame instead of a silent wrong answer. The rule
+// needs the fat set, which is why the shard-info handshake carries the fat
+// bitmap: naive min-owner alone would misroute a fat–thin pair whose fat
+// endpoint has the smaller owner.
+//
+// Per-request failure semantics mirror the single server's: a shard error
+// (or a dead shard) poisons only the query frames routed to it — each gets an
+// error frame, the downstream connection stays up, and frames touching only
+// live shards keep answering.
+type Router struct {
+	clients []*Client // by shard index
+	fatBits []byte    // replicated fat set, bit v MSB-first within byte v/8
+	n       int
+	fn      core.ShardFn
+	maxBatch int
+
+	metrics RouterMetrics
+	bufPool sync.Pool // *routerBufs; per-router because sizes scale with shard count
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewRouter dials one shard server per address and performs the shard-info
+// handshake, validating that the fleet is exactly one coherent partition:
+// every shard reports the same vertex count and ownership function, a shard
+// count equal to the fleet size, a distinct index (two servers claiming the
+// same shard — overlapping ownership — is a deployment error caught here),
+// and a byte-identical fat bitmap. clients are held in shard-index order, so
+// addrs may be listed in any order. maxBatch caps pairs per downstream frame
+// (<= 0 selects DefaultMaxBatch); upstream sub-batches are never larger, so
+// shard servers need an equal or larger limit.
+func NewRouter(addrs []string, maxBatch int) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("adjserve: router needs at least one shard address")
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	r := &Router{
+		clients:  make([]*Client, len(addrs)),
+		maxBatch: maxBatch,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	seen := make([]string, len(addrs)) // claimed address by shard index
+	for _, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			r.closeClients()
+			return nil, fmt.Errorf("adjserve: router: shard %s: %w", addr, err)
+		}
+		c.MaxBatch = maxBatch
+		si, err := c.ShardInfo()
+		if err != nil {
+			c.Close()
+			r.closeClients()
+			return nil, fmt.Errorf("adjserve: router: shard %s handshake: %w", addr, err)
+		}
+		if err := r.admit(addr, si, seen); err != nil {
+			c.Close()
+			r.closeClients()
+			return nil, err
+		}
+		r.clients[si.Map.Index] = c
+		seen[si.Map.Index] = addr
+	}
+	r.metrics.init(len(addrs))
+	return r, nil
+}
+
+// admit validates one handshake against the fleet shape established by the
+// shards admitted before it.
+func (r *Router) admit(addr string, si *ShardInfo, seen []string) error {
+	if si.Map.Count != len(r.clients) {
+		return fmt.Errorf("adjserve: router: shard %s is %d of %d shards, fleet has %d servers",
+			addr, si.Map.Index, si.Map.Count, len(r.clients))
+	}
+	if prev := seen[si.Map.Index]; prev != "" {
+		return fmt.Errorf("adjserve: router: shards %s and %s both claim index %d (overlapping ownership)",
+			prev, addr, si.Map.Index)
+	}
+	if r.fatBits == nil {
+		r.n, r.fn, r.fatBits = si.N, si.Map.Fn, si.FatBits
+		return nil
+	}
+	if si.N != r.n {
+		return fmt.Errorf("adjserve: router: shard %s serves %d vertices, fleet serves %d", addr, si.N, r.n)
+	}
+	if si.Map.Fn != r.fn {
+		return fmt.Errorf("adjserve: router: shard %s uses ownership function %s, fleet uses %s", addr, si.Map.Fn, r.fn)
+	}
+	if !bytes.Equal(si.FatBits, r.fatBits) {
+		return fmt.Errorf("adjserve: router: shard %s reports a different fat set than the fleet (mixed labelings?)", addr)
+	}
+	return nil
+}
+
+func (r *Router) closeClients() {
+	for _, c := range r.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// N returns the vertex count of the fronted labeling.
+func (r *Router) N() int { return r.n }
+
+// Shards returns the number of upstream shard servers.
+func (r *Router) Shards() int { return len(r.clients) }
+
+// Metrics returns the router's instrumentation; RegisterMetrics exposes it
+// (and every upstream client's) on a registry.
+func (r *Router) Metrics() *RouterMetrics { return &r.metrics }
+
+// RegisterMetrics exposes the router metrics plus each upstream client's
+// metrics (labeled by shard index) on reg, including a per-upstream in-flight
+// gauge backed by Client.Pending. Call once per registry.
+func (r *Router) RegisterMetrics(reg *obs.Registry) {
+	r.metrics.Register(reg)
+	for i, c := range r.clients {
+		shard := strconv.Itoa(i)
+		c.Metrics().RegisterWith(reg, "shard", shard)
+		cl := c
+		reg.GaugeFunc("adjserve_router_upstream_pending_frames",
+			"Upstream frames written but not yet answered, by shard.",
+			func() int64 { return int64(cl.Pending()) }, "shard", shard)
+	}
+}
+
+// fat reports whether vertex v is fat on the fronted labeling.
+func (r *Router) fat(v int) bool {
+	return r.fatBits[v>>3]&(1<<(7-uint(v)&7)) != 0
+}
+
+// route picks the shard that answers (u, v); both must be in range.
+func (r *Router) route(u, v int) int {
+	count := len(r.clients)
+	ou := core.ShardOwner(r.fn, u, r.n, count)
+	ov := core.ShardOwner(r.fn, v, r.n, count)
+	uFat, vFat := r.fat(u), r.fat(v)
+	switch {
+	case u == v || uFat == vFat:
+		return min(ou, ov)
+	case !uFat:
+		return ou
+	default:
+		return ov
+	}
+}
+
+// Serve accepts downstream connections on ln until Close, mirroring
+// Server.Serve: each connection's frames are answered in order on its own
+// goroutine (the fan-out inside a frame is concurrent, the frames are not
+// reordered).
+func (r *Router) Serve(ln net.Listener) error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	r.ln = ln
+	r.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			r.mu.Lock()
+			draining := r.draining
+			r.mu.Unlock()
+			if draining {
+				return ErrClosed
+			}
+			return err
+		}
+		r.mu.Lock()
+		if r.draining {
+			r.mu.Unlock()
+			c.Close()
+			continue
+		}
+		r.conns[c] = struct{}{}
+		r.wg.Add(1)
+		r.mu.Unlock()
+		go r.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (r *Router) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return r.Serve(ln)
+}
+
+// Close drains the router exactly as Server.Close drains a server — stop
+// accepting, let every connection finish its in-flight frame, wait — and
+// then closes the upstream clients. Idempotent.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return nil
+	}
+	r.draining = true
+	ln := r.ln
+	for c := range r.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	r.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	r.wg.Wait()
+	r.closeClients()
+	return err
+}
+
+func (r *Router) isDraining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// shardJob is one shard's slice of a query frame, handed to that shard's
+// worker goroutine and joined on wg. pairs/idx/out grow to the connection's
+// working set and are reused for every subsequent frame.
+type shardJob struct {
+	pairs [][2]int
+	idx   []int32 // request positions of pairs, for the scatter
+	out   []bool
+	err   error
+	wg    *sync.WaitGroup
+}
+
+// routerBufs is the pooled per-connection scratch: request/response payloads
+// plus one shardJob (sub-batch, scatter indexes, answers) per shard and the
+// join WaitGroup — everything a frame needs, so the steady-state fan-out
+// performs zero heap allocations.
+type routerBufs struct {
+	req, resp []byte
+	jobs      []shardJob
+	wg        sync.WaitGroup
+}
+
+func (r *Router) getBufs() *routerBufs {
+	if b, ok := r.bufPool.Get().(*routerBufs); ok {
+		return b
+	}
+	b := &routerBufs{jobs: make([]shardJob, len(r.clients))}
+	for s := range b.jobs {
+		b.jobs[s].wg = &b.wg
+	}
+	return b
+}
+
+// handle runs one downstream connection's frame loop. Each connection gets
+// one persistent worker goroutine per shard, fed over a buffered channel, so
+// the per-frame fan-out is channel sends and a WaitGroup join — no goroutine
+// spawning on the query path.
+func (r *Router) handle(c net.Conn) {
+	r.metrics.ConnsTotal.Inc()
+	r.metrics.ConnsActive.Add(1)
+	defer func() {
+		r.metrics.ConnsActive.Add(-1)
+		r.mu.Lock()
+		delete(r.conns, c)
+		r.mu.Unlock()
+		c.Close()
+		r.wg.Done()
+	}()
+	bufs := r.getBufs()
+	defer r.bufPool.Put(bufs)
+	chans := make([]chan *shardJob, len(r.clients))
+	for s := range chans {
+		chans[s] = make(chan *shardJob, 1)
+		go r.worker(s, chans[s])
+	}
+	defer func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+	br := bufio.NewReaderSize(c, 64<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+	var hdr, fhdr [frameHeaderLen]byte
+	for {
+		if r.isDraining() {
+			bw.Flush()
+			return
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			bw.Flush()
+			return
+		}
+		plen := int(binary.LittleEndian.Uint32(hdr[:]))
+		var resp []byte
+		queries := 0
+		var frameStart time.Time
+		if plen > maxFramePayload {
+			if _, err := io.CopyN(io.Discard, br, int64(plen)); err != nil {
+				return
+			}
+			resp = appendErr(bufs.resp[:0], "frame of %d bytes exceeds limit %d", plen, maxFramePayload)
+		} else {
+			if cap(bufs.req) < plen {
+				bufs.req = make([]byte, plen)
+			}
+			req := bufs.req[:plen]
+			if _, err := io.ReadFull(br, req); err != nil {
+				return
+			}
+			frameStart = time.Now()
+			resp, queries = r.process(req, bufs, chans)
+		}
+		r.metrics.Frames.Inc()
+		r.metrics.BytesIn.Add(int64(frameHeaderLen + plen))
+		r.metrics.BytesOut.Add(int64(frameHeaderLen + len(resp)))
+		switch {
+		case len(resp) > 0 && resp[0] == statusErr:
+			r.metrics.ErrorFrames.Inc()
+		case queries > 0:
+			r.metrics.Queries.Add(int64(queries))
+			r.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
+		}
+		bufs.resp = resp[:0]
+		fhdr = frameHeader(len(resp))
+		if _, err := bw.Write(fhdr[:]); err != nil {
+			return
+		}
+		if _, err := bw.Write(resp); err != nil {
+			return
+		}
+		if br.Buffered() < frameHeaderLen {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// worker answers one shard's sub-batches for one downstream connection.
+func (r *Router) worker(s int, jobs <-chan *shardJob) {
+	c := r.clients[s]
+	m := &r.metrics.Upstreams[s]
+	for job := range jobs {
+		start := time.Now()
+		out, err := c.AdjacentMany(job.pairs, job.out[:0])
+		m.Batches.Inc()
+		m.Pairs.Add(int64(len(job.pairs)))
+		m.LatencyNs.ObserveDuration(time.Since(start))
+		if err != nil {
+			m.Errors.Inc()
+		}
+		job.out, job.err = out, err
+		job.wg.Done()
+	}
+}
+
+// process answers one downstream request payload, appending the response to
+// bufs.resp (reused from its start). Info ops are answered locally — the
+// router already knows the fleet's n and fat set from the handshake, and
+// presents itself as a single unsharded server so routers compose with every
+// existing client (plquery -remote, plbench, even another router).
+func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
+	resp := bufs.resp[:0]
+	if len(req) == 0 {
+		return appendErr(resp, "empty request"), 0
+	}
+	op, body := req[0], req[1:]
+	switch op {
+	case opInfo:
+		resp = append(resp, statusOK)
+		return binary.AppendUvarint(resp, uint64(r.n)), 0
+	case opShardInfo:
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, uint64(r.n))
+		resp = binary.AppendUvarint(resp, 1)
+		resp = binary.AppendUvarint(resp, 0)
+		resp = append(resp, byte(core.ShardRange))
+		return append(resp, r.fatBits...), 0
+	case opQuery:
+		count, k := binary.Uvarint(body)
+		if k <= 0 {
+			return appendErr(resp, "bad pair count"), 0
+		}
+		if count > uint64(r.maxBatch) {
+			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, r.maxBatch), 0
+		}
+		return r.processQuery(body[k:], resp, int(count), bufs, chans)
+	default:
+		return appendErr(resp, "unknown op %d", op), 0
+	}
+}
+
+// processQuery decodes, routes, fans out and scatters one query batch.
+func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
+	jobs := bufs.jobs
+	for s := range jobs {
+		jobs[s].pairs = jobs[s].pairs[:0]
+		jobs[s].idx = jobs[s].idx[:0]
+		jobs[s].out = jobs[s].out[:0]
+		jobs[s].err = nil
+	}
+	for i := 0; i < count; i++ {
+		u, nu := binary.Uvarint(body)
+		if nu <= 0 {
+			return appendErr(resp, "pair %d: bad u", i), 0
+		}
+		body = body[nu:]
+		v, nv := binary.Uvarint(body)
+		if nv <= 0 {
+			return appendErr(resp, "pair %d: bad v", i), 0
+		}
+		body = body[nv:]
+		if u >= uint64(r.n) || v >= uint64(r.n) {
+			return appendErr(resp, "pair %d (%d,%d): vertex out of range [0,%d)", i, u, v, r.n), 0
+		}
+		s := r.route(int(u), int(v))
+		jobs[s].pairs = append(jobs[s].pairs, [2]int{int(u), int(v)})
+		jobs[s].idx = append(jobs[s].idx, int32(i))
+	}
+	if len(body) != 0 {
+		return appendErr(resp, "%d trailing bytes after %d pairs", len(body), count), 0
+	}
+	// Scatter phase: one channel send per active shard, answered concurrently
+	// by the connection's workers, joined on the shared WaitGroup.
+	active := 0
+	for s := range jobs {
+		if len(jobs[s].pairs) > 0 {
+			active++
+		}
+	}
+	bufs.wg.Add(active)
+	for s := range jobs {
+		if len(jobs[s].pairs) > 0 {
+			chans[s] <- &jobs[s]
+		}
+	}
+	bufs.wg.Wait()
+	for s := range jobs {
+		if err := jobs[s].err; err != nil {
+			return appendErr(resp, "shard %d (%d pairs): %v", s, len(jobs[s].pairs), err), 0
+		}
+	}
+	// Gather phase: fold each shard's bit answers back into request order.
+	resp = append(resp, statusOK)
+	resp = binary.AppendUvarint(resp, uint64(count))
+	bitsOff := len(resp)
+	for i := 0; i < (count+7)/8; i++ {
+		resp = append(resp, 0)
+	}
+	for s := range jobs {
+		idx := jobs[s].idx
+		for j, adj := range jobs[s].out {
+			if adj {
+				i := idx[j]
+				resp[bitsOff+int(i)/8] |= 1 << (7 - uint(i)%8)
+			}
+		}
+	}
+	return resp, count
+}
+
+// RouterMetrics is the router's always-on instrumentation: the downstream
+// side mirrors ServerMetrics under the adjserve_router_* names, and Upstreams
+// carries the per-shard fan-out counters (one entry per shard, exposed with a
+// "shard" label). The upstream clients' own metrics (frames, bytes, redials,
+// in-flight) are registered alongside by Router.RegisterMetrics.
+type RouterMetrics struct {
+	ConnsActive obs.Gauge   // open downstream connections
+	ConnsTotal  obs.Counter // downstream connections accepted
+	Frames      obs.Counter // downstream request frames answered
+	ErrorFrames obs.Counter // downstream frames answered with an error status
+	Queries     obs.Counter // adjacency pairs answered
+	BytesIn     obs.Counter // downstream request bytes, frame headers included
+	BytesOut    obs.Counter // downstream response bytes, frame headers included
+	// FrameLatencyNs[batchClass] is the downstream frame handling time
+	// (request fully read → response buffered) of successful query frames —
+	// routing, fan-out, and scatter included.
+	FrameLatencyNs [len(batchClassLabels)]obs.Histogram
+
+	Upstreams []UpstreamMetrics // by shard index
+}
+
+// UpstreamMetrics counts one shard's slice of the fan-out.
+type UpstreamMetrics struct {
+	Batches   obs.Counter   // sub-batches fanned out to this shard
+	Pairs     obs.Counter   // pairs routed to this shard
+	Errors    obs.Counter   // sub-batches that failed (error frame or dead shard)
+	LatencyNs obs.Histogram // upstream round-trip per sub-batch
+}
+
+func (m *RouterMetrics) init(shards int) { m.Upstreams = make([]UpstreamMetrics, shards) }
+
+// Register exposes the metrics on reg under the adjserve_router_* family
+// names. Call once per registry (Router.RegisterMetrics also covers the
+// upstream clients).
+func (m *RouterMetrics) Register(reg *obs.Registry) {
+	reg.Gauge("adjserve_router_connections_active", "Open downstream connections.", &m.ConnsActive)
+	reg.Counter("adjserve_router_connections_total", "Downstream connections accepted.", &m.ConnsTotal)
+	reg.Counter("adjserve_router_frames_total", "Downstream request frames answered (all ops).", &m.Frames)
+	reg.Counter("adjserve_router_error_frames_total", "Downstream frames answered with an error status.", &m.ErrorFrames)
+	reg.Counter("adjserve_router_queries_total", "Adjacency pairs answered.", &m.Queries)
+	reg.Counter("adjserve_router_bytes_in_total", "Downstream request bytes read, frame headers included.", &m.BytesIn)
+	reg.Counter("adjserve_router_bytes_out_total", "Downstream response bytes written, frame headers included.", &m.BytesOut)
+	for i := range m.FrameLatencyNs {
+		reg.Histogram("adjserve_router_frame_latency_ns",
+			"Downstream query-frame handling time in nanoseconds by batch-size class.",
+			&m.FrameLatencyNs[i], "batch", batchClassLabels[i])
+	}
+	for s := range m.Upstreams {
+		um := &m.Upstreams[s]
+		shard := strconv.Itoa(s)
+		reg.Counter("adjserve_router_upstream_batches_total", "Sub-batches fanned out, by shard.", &um.Batches, "shard", shard)
+		reg.Counter("adjserve_router_upstream_pairs_total", "Pairs routed upstream, by shard.", &um.Pairs, "shard", shard)
+		reg.Counter("adjserve_router_upstream_errors_total", "Failed upstream sub-batches, by shard.", &um.Errors, "shard", shard)
+		reg.Histogram("adjserve_router_upstream_latency_ns", "Upstream sub-batch round-trip in nanoseconds, by shard.", &um.LatencyNs, "shard", shard)
+	}
+}

@@ -170,7 +170,10 @@ func (s *Server) handle(c net.Conn) {
 	defer bufPool.Put(bufs)
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
-	var hdr [frameHeaderLen]byte
+	// Both header arrays escape (their slices reach the net.Conn interface
+	// through bufio's large-write bypass), so they live here — one allocation
+	// per connection, not one per frame.
+	var hdr, fhdr [frameHeaderLen]byte
 	for {
 		if s.isDraining() {
 			bw.Flush()
@@ -219,8 +222,8 @@ func (s *Server) handle(c net.Conn) {
 			s.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
 		}
 		bufs.resp = resp[:0]
-		fh := frameHeader(len(resp))
-		if _, err := bw.Write(fh[:]); err != nil {
+		fhdr = frameHeader(len(resp))
+		if _, err := bw.Write(fhdr[:]); err != nil {
 			return
 		}
 		if _, err := bw.Write(resp); err != nil {
@@ -257,6 +260,19 @@ func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int
 	case opInfo:
 		resp = append(resp, statusOK)
 		return binary.AppendUvarint(resp, uint64(s.engine.N())), 0
+	case opShardInfo:
+		// An unsharded engine reports the trivial 1-shard map, so a router can
+		// front plain servers with the same handshake.
+		m, ok := s.engine.Shard()
+		if !ok {
+			m = core.ShardMap{Count: 1, Index: 0, Fn: core.ShardRange}
+		}
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, uint64(s.engine.N()))
+		resp = binary.AppendUvarint(resp, uint64(m.Count))
+		resp = binary.AppendUvarint(resp, uint64(m.Index))
+		resp = append(resp, byte(m.Fn))
+		return s.engine.AppendFatBits(resp), 0
 	case opQuery:
 		count, n := binary.Uvarint(body)
 		if n <= 0 {

@@ -51,6 +51,14 @@ type QueryEngine struct {
 	// attached before the engine is shared; afterwards it is written only
 	// through single-word atomics and is safe under concurrent batches.
 	cache *pairCache
+	// resident, when non-nil, marks the engine as serving one shard of a
+	// partitioned store (SetShard): bit v says vertex v's full label body is
+	// present in the slab (owned, or fat — fat labels are replicated to every
+	// shard). Queries resolvable only from a non-resident body return
+	// ErrNotResident instead of probing a stripped stub. Like metrics and the
+	// cache it is set before the engine is shared and read-only afterwards.
+	resident []uint64
+	shard    ShardMap
 }
 
 // AttachMetrics wires instrumentation into the engine's query paths. Must be
@@ -296,6 +304,11 @@ func (e *QueryEngine) AdjacentTallied(u, v int, t *QueryTally) (bool, error) {
 
 // probe resolves one in-range query against the slab.
 func (e *QueryEngine) probe(u, v int, t *QueryTally) (bool, error) {
+	if e.resident != nil {
+		// Sharded engine: pick a resident body (see probeSharded). The nil
+		// check is the only cost an unsharded engine pays.
+		return e.probeSharded(u, v, t)
+	}
 	mu, mv := e.meta[u], e.meta[v]
 	if mu.id() == mv.id() {
 		// Same vertex: never self-adjacent in a simple graph.

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitstr"
+)
+
+// Sharded label stores: the horizontal-scale path of the serving tier.
+//
+// The fat/thin split (Theorems 3/4) makes vertex partitioning unusually
+// clean. Every query (u,v) is resolved from a single label body: a thin
+// endpoint's sorted neighbor list (which names *all* its neighbors, fat ones
+// included), or — when both endpoints are fat — the k-bit fat adjacency
+// bitmap of either. So a shard that holds
+//
+//   - the full labels of the thin vertices it owns, and
+//   - the full labels of every fat vertex (O(√(n/ln n) · n/ln n) bits in
+//     total — the replicated fat–fat data is tiny relative to the store),
+//
+// can answer any pair with at least one endpoint it owns, plus every
+// fat–fat pair. Foreign thin labels are kept as header-only stubs
+// ([fat=0][id], exactly 1+w bits): the stub preserves the vertex's scheme
+// identifier and fat flag, so a shard engine still classifies both endpoints
+// of every query and routes misdirected pairs to ErrNotResident instead of
+// silently answering from an empty body.
+
+// ShardFn selects the vertex→shard ownership function. It is serialized in
+// the label-store shard block, so values are stable wire constants.
+type ShardFn uint8
+
+const (
+	// ShardRange assigns contiguous vertex ranges: owner(v) = ⌊v·S/n⌋.
+	// Ranges follow vertex numbering, so workloads with id locality keep it.
+	ShardRange ShardFn = 0
+	// ShardHash assigns vertices by a splitmix64 hash of the vertex number:
+	// owner(v) = h(v) mod S. Robust to any id-correlated skew.
+	ShardHash ShardFn = 1
+)
+
+func (f ShardFn) String() string {
+	switch f {
+	case ShardRange:
+		return "range"
+	case ShardHash:
+		return "hash"
+	default:
+		return fmt.Sprintf("shardfn(%d)", uint8(f))
+	}
+}
+
+// Valid reports whether f is a defined ownership function.
+func (f ShardFn) Valid() bool { return f == ShardRange || f == ShardHash }
+
+// ParseShardFn parses the flag spelling of an ownership function.
+func ParseShardFn(s string) (ShardFn, error) {
+	switch s {
+	case "range":
+		return ShardRange, nil
+	case "hash":
+		return ShardHash, nil
+	default:
+		return 0, fmt.Errorf("core: unknown shard ownership function %q (want range or hash)", s)
+	}
+}
+
+// shardHash is the splitmix64 finalizer over the vertex number (the same
+// mixer the pair cache uses): owner assignment must be uncorrelated with the
+// id ordering, or hash sharding would degenerate into range sharding.
+func shardHash(v int) uint64 {
+	h := uint64(v) + 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// ShardOwner returns the shard owning vertex v among count shards of an
+// n-vertex labeling. Callers guarantee 0 <= v < n and count >= 1.
+func ShardOwner(fn ShardFn, v, n, count int) int {
+	if fn == ShardHash {
+		return int(shardHash(v) % uint64(count))
+	}
+	return int(int64(v) * int64(count) / int64(n))
+}
+
+// ShardMap identifies one shard of a partitioned label store: the shard
+// count, this shard's index, and the ownership function all shards agree on.
+type ShardMap struct {
+	Count int
+	Index int
+	Fn    ShardFn
+}
+
+// Validate checks the map against a vertex count.
+func (m ShardMap) Validate(n int) error {
+	switch {
+	case m.Count < 1:
+		return fmt.Errorf("core: shard map with %d shards", m.Count)
+	case m.Count > n:
+		return fmt.Errorf("core: %d shards over %d vertices", m.Count, n)
+	case m.Index < 0 || m.Index >= m.Count:
+		return fmt.Errorf("core: shard index %d of %d shards", m.Index, m.Count)
+	case !m.Fn.Valid():
+		return fmt.Errorf("core: unknown shard ownership function %d", uint8(m.Fn))
+	}
+	return nil
+}
+
+// Owner returns the shard owning vertex v of an n-vertex labeling.
+func (m ShardMap) Owner(v, n int) int { return ShardOwner(m.Fn, v, n, m.Count) }
+
+// Owns reports whether this shard owns vertex v.
+func (m ShardMap) Owns(v, n int) bool { return m.Owner(v, n) == m.Index }
+
+// OwnedCount returns the number of vertices this shard owns — the figure the
+// label-store shard block records so a corrupted index or function is caught
+// structurally at load.
+func (m ShardMap) OwnedCount(n int) int {
+	if m.Fn == ShardRange {
+		// Contiguous: [⌈index·n/count⌉, ⌈(index+1)·n/count⌉) … computed by
+		// inverting Owner's floor division, i.e. counting v with
+		// ⌊v·count/n⌋ == index.
+		lo := (int64(m.Index)*int64(n) + int64(m.Count) - 1) / int64(m.Count)
+		hi := (int64(m.Index+1)*int64(n) + int64(m.Count) - 1) / int64(m.Count)
+		return int(hi - lo)
+	}
+	owned := 0
+	for v := 0; v < n; v++ {
+		if m.Owns(v, n) {
+			owned++
+		}
+	}
+	return owned
+}
+
+// ShardArena is one shard's label slab: resident labels (owned vertices plus
+// every fat vertex) copied verbatim, foreign thin labels reduced to their
+// 1+w-bit header stub. BitLens is id-indexed like the source; the physical
+// rank order (and hence any layout permutation) is preserved, so a
+// degree-ordered source yields degree-ordered shards carrying the same
+// permutation.
+type ShardArena struct {
+	Slab    []byte
+	BitLens []int
+	// Owned is the number of vertices the shard owns (fat vertices it does
+	// not own are resident but not counted).
+	Owned int
+}
+
+// ShardLabelArenas splits a fat/thin label slab into count per-shard arenas
+// under the given ownership function. slab/bitLens/order describe the source
+// exactly as NewQueryEngineFromPermutedArena accepts them (order nil = id
+// layout); the source is validated the same way and is not modified. The
+// fat–fat data is replicated to every shard; thin labels are kept in full
+// only on their owner and stripped to the [fat-bit][id] header elsewhere.
+func ShardLabelArenas(slab []byte, bitLens []int, order []int32, count int, fn ShardFn) ([]ShardArena, error) {
+	n := len(bitLens)
+	if count < 2 || count > n {
+		return nil, fmt.Errorf("core: splitting %d labels into %d shards (want 2..n)", n, count)
+	}
+	if !fn.Valid() {
+		return nil, fmt.Errorf("core: unknown shard ownership function %d", uint8(fn))
+	}
+	// The source engine validates the slab geometry and pre-parses every
+	// header — fat flags and offsets — in one pass.
+	src, err := NewQueryEngineFromPermutedArena(slab, bitLens, order)
+	if err != nil {
+		return nil, err
+	}
+	w := src.w
+	header := 1 + w
+	stub := int64(bitstr.SlabWordBits) // a 1+w <= 33-bit stub occupies one word
+
+	// Pass 1: per-shard sizes. Resident labels keep their word footprint,
+	// foreign thin labels shrink to one word.
+	shards := make([]ShardArena, count)
+	words := make([]int64, count)
+	for s := range shards {
+		shards[s].BitLens = make([]int, n)
+	}
+	for v := 0; v < n; v++ {
+		owner := ShardOwner(fn, v, n, count)
+		fat := src.meta[v].fat()
+		shards[owner].Owned++
+		for s := 0; s < count; s++ {
+			if fat || s == owner {
+				shards[s].BitLens[v] = bitLens[v]
+				words[s] += int64(bitstr.SlabWords(bitLens[v]))
+			} else {
+				shards[s].BitLens[v] = header
+				words[s]++
+			}
+		}
+	}
+	for s := range shards {
+		shards[s].Slab = make([]byte, bitstr.SlabBytes(int(words[s])))
+	}
+
+	// Pass 2: copy in rank order, so each shard slab keeps the source's
+	// physical layout. meta[v].off points at the body; the label (header
+	// included) starts header bits earlier, on a word boundary.
+	offs := make([]int64, count)
+	for r := 0; r < n; r++ {
+		v := r
+		if order != nil {
+			v = int(order[r])
+		}
+		start := src.meta[v].off - int64(header)
+		fat := src.meta[v].fat()
+		owner := ShardOwner(fn, v, n, count)
+		full := int64(bitstr.SlabWords(bitLens[v])) * bitstr.SlabWordBits
+		for s := 0; s < count; s++ {
+			if fat || s == owner {
+				copy(shards[s].Slab[offs[s]>>3:], slab[start>>3:(start+full)>>3])
+				offs[s] += full
+			} else {
+				// Header stub: the label's first 1+w bits, left-aligned in one
+				// zeroed word.
+				hw := bitstr.SlabReadBits(slab, start, header) << (64 - uint(header))
+				putWord(shards[s].Slab[offs[s]>>3:], hw)
+				offs[s] += stub
+			}
+		}
+	}
+	return shards, nil
+}
+
+// ErrNotResident is returned by a sharded engine for queries neither of
+// whose endpoints' full labels live on this shard — a misrouted pair. The
+// router's job is to make this unreachable; surfacing it as an error (rather
+// than answering false from a stripped stub) is what makes misrouting loud.
+var ErrNotResident = errors.New("core: query not resident on this shard")
+
+// SetShard marks the engine as serving one shard of a partitioned store: it
+// builds the residency bitset (owned vertices plus every fat vertex) and
+// cross-checks the shard map against the loaded labels — every non-resident
+// thin label must be a header-only stub, so a store loaded under the wrong
+// shard map fails here, at attach time, not at query time. Like
+// AttachMetrics it must be called before the engine is shared across
+// goroutines.
+func (e *QueryEngine) SetShard(m ShardMap) error {
+	if err := m.Validate(e.n); err != nil {
+		return err
+	}
+	resident := make([]uint64, (e.n+63)>>6)
+	for v := 0; v < e.n; v++ {
+		if e.meta[v].fat() || m.Owns(v, e.n) {
+			resident[v>>6] |= 1 << uint(v&63)
+		} else if e.meta[v].cnt() != 0 {
+			return fmt.Errorf("%w: vertex %d is foreign to shard %d/%d yet its thin label carries a %d-id body (wrong shard map?)",
+				ErrBadLabel, v, m.Index, m.Count, e.meta[v].cnt())
+		}
+	}
+	e.resident = resident
+	e.shard = m
+	return nil
+}
+
+// Shard returns the shard map attached by SetShard; ok=false for an
+// unsharded engine.
+func (e *QueryEngine) Shard() (ShardMap, bool) { return e.shard, e.resident != nil }
+
+// Resident reports whether vertex v's full label body is present (always
+// true on an unsharded engine).
+func (e *QueryEngine) Resident(v int) bool {
+	if e.resident == nil {
+		return true
+	}
+	return e.resident[v>>6]&(1<<uint(v&63)) != 0
+}
+
+// Fat reports whether vertex v is fat (its label carries the k-bit fat
+// adjacency bitmap). Valid on sharded engines for every vertex: stubs keep
+// the fat bit.
+func (e *QueryEngine) Fat(v int) bool { return e.meta[v].fat() }
+
+// AppendFatBits appends the fat bitmap — ceil(n/8) bytes, bit v MSB-first
+// within its byte set iff vertex v is fat — and returns the extended slice.
+// This is the routing table a scatter-gather router needs: with the fat set
+// and the ownership function, it can compute which shards can answer any
+// pair. (Stubs preserve fat bits, so every shard serves the same bitmap.)
+func (e *QueryEngine) AppendFatBits(dst []byte) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, (e.n+7)/8)...)
+	for v := 0; v < e.n; v++ {
+		if e.meta[v].fat() {
+			dst[base+v/8] |= 1 << (7 - uint(v)%8)
+		}
+	}
+	return dst
+}
+
+// probeSharded resolves one in-range query on a sharded engine. The
+// orientation differs from the unsharded probe only in *which* body it
+// reads: a thin body answers for either endpoint (thin lists are complete),
+// so the probe picks a resident one; fat–fat pairs read the replicated
+// bitmap. Answers are bit-for-bit identical to an unsharded engine over the
+// full labeling whenever a resident body exists; otherwise the pair was
+// misrouted and the probe refuses.
+func (e *QueryEngine) probeSharded(u, v int, t *QueryTally) (bool, error) {
+	mu, mv := e.meta[u], e.meta[v]
+	if mu.id() == mv.id() {
+		t.self++
+		return false, nil
+	}
+	switch {
+	case !mu.fat() && e.Resident(u):
+		t.thin++
+		return e.thinProbe(mu, mv.id()), nil
+	case !mv.fat() && e.Resident(v):
+		t.thin++
+		return e.thinProbe(mv, mu.id()), nil
+	case mu.fat() && mv.fat():
+		t.fat++
+		if mv.id() >= uint64(mu.cnt()) {
+			return false, fmt.Errorf("%w: fat id %d outside vector of %d bits", ErrBadLabel, mv.id(), mu.cnt())
+		}
+		return bitstr.SlabReadBits(e.slab, mu.off+int64(mv.id()), 1) == 1, nil
+	default:
+		return false, fmt.Errorf("%w: (%d,%d) on shard %d/%d", ErrNotResident, u, v, e.shard.Index, e.shard.Count)
+	}
+}
+
+// putWord stores one big-endian 64-bit word at the start of dst.
+func putWord(dst []byte, w uint64) {
+	_ = dst[7]
+	dst[0] = byte(w >> 56)
+	dst[1] = byte(w >> 48)
+	dst[2] = byte(w >> 40)
+	dst[3] = byte(w >> 32)
+	dst[4] = byte(w >> 24)
+	dst[5] = byte(w >> 16)
+	dst[6] = byte(w >> 8)
+	dst[7] = byte(w)
+}

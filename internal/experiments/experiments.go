@@ -29,6 +29,10 @@ type Config struct {
 	// ZipfS is the Zipf exponent used when Dist selects zipf (0 picks the
 	// experiment default).
 	ZipfS float64
+	// Remote, when non-empty, points E26's throughput drive at an external
+	// adjserve-protocol address (a plroute front or a plserve) instead of
+	// booting an in-process fleet.
+	Remote string
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -176,6 +180,7 @@ func All() []Runner {
 		{ID: "E23", Description: "adjacency serving: loopback TCP throughput/latency + mmap startup", Run: E23ServingThroughput},
 		{ID: "E24", Description: "observability: obs primitive cost + engine instrumentation overhead", Run: E24ObservabilityOverhead},
 		{ID: "E25", Description: "skew-aware layout: id- vs degree-ordered arena under Zipf/degree-proportional query skew", Run: E25SkewLayout},
+		{ID: "E26", Description: "sharded serving: routed-fleet equivalence + aggregate q/s scaling with shard count", Run: E26ShardedServing},
 	}
 }
 

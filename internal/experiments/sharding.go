@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/adjserve"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// E26ShardedServing measures the sharded scatter-gather serving tier. Table 1
+// is the correctness matrix: for each scheme × layout × ownership function,
+// every pair routed through a 3-shard fleet must answer exactly what the
+// unsharded engine answers — sharding is a pure serving-plane transform, the
+// labeling math is untouched. Table 2 is the scaling claim: one pipelined
+// driver connection at batch 4096, against a direct single server and routed
+// fleets of 2/4/8 shards. Each frame fans out to all shards concurrently, so
+// per-frame latency drops toward 1/S of the direct server's and aggregate q/s
+// grows near-linearly until the router or the driver saturates a core.
+//
+// With cfg.Remote set, table 2 instead drives that external adjserve-protocol
+// address (a plroute front or a plserve) and reports absolute q/s only — the
+// in-process fleet and the speedup baseline are skipped.
+func E26ShardedServing(cfg Config) ([]*Table, error) {
+	eqTb, err := shardEquivalenceTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	thTb, err := shardThroughputTable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{eqTb, thTb}, nil
+}
+
+// shardEquivalenceTable routes pairs through a real 3-shard TCP fleet and
+// diffs every answer against the unsharded engine.
+func shardEquivalenceTable(cfg Config) (*Table, error) {
+	n := 1 << 12
+	probes := 1 << 13
+	if cfg.Quick {
+		n = 1 << 10
+		probes = 1 << 11
+	}
+	g, err := gen.ChungLuPowerLaw(n, 2.5, 3, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID:    "E26",
+		Title: fmt.Sprintf("sharded serving equivalence: routed fleet vs unsharded engine (Chung–Lu n=%d, 3 shards)", n),
+		Cols:  []string{"scheme", "layout", "fn", "pairs", "mismatches", "status"},
+	}
+	schemes := []struct {
+		name string
+		mk   func() *core.FatThinScheme
+	}{
+		{"powerlaw", func() *core.FatThinScheme { return core.NewPowerLawScheme(2.5) }},
+		{"sparse", func() *core.FatThinScheme { return core.NewSparseSchemeAuto() }},
+	}
+	// Pairs cover every routing case: random (mostly thin–thin), self pairs,
+	// and a stride that crosses every ownership-range boundary.
+	pairs := randomQueryPairs(n, probes, cfg.Seed+3)
+	for v := 0; v < n; v += 97 {
+		pairs = append(pairs, [2]int{v, v}, [2]int{v, n - 1 - v})
+	}
+	for _, sc := range schemes {
+		for _, lay := range []core.Layout{core.LayoutID, core.LayoutDegree} {
+			for _, fn := range []core.ShardFn{core.ShardRange, core.ShardHash} {
+				scheme := sc.mk()
+				scheme.SetLayout(lay)
+				lab, err := scheme.Encode(g)
+				if err != nil {
+					return nil, err
+				}
+				full, err := core.NewQueryEngine(lab)
+				if err != nil {
+					return nil, err
+				}
+				addrs, closeFleet, err := bootShardFleet(lab, n, 3, fn)
+				if err != nil {
+					return nil, err
+				}
+				mismatches, err := diffRouted(addrs, full, pairs)
+				closeFleet()
+				if err != nil {
+					return nil, err
+				}
+				status := "ok"
+				if mismatches != 0 {
+					status = "FAIL"
+				}
+				tb.AddRow(sc.name, lay.String(), fn.String(),
+					strconv.Itoa(len(pairs)), strconv.Itoa(mismatches), status)
+			}
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"answers travel the full path: client → router TCP → per-shard scatter → shard servers → gather; zero mismatches required",
+		"pairs include self pairs and ownership-boundary strides, so thin-forced, fat–fat, and min-owner routing branches all execute",
+		"hash ownership scatters each range shard's vertices across the fleet — equivalence must hold under both functions")
+	return tb, nil
+}
+
+// bootShardFleet splits lab into count shard engines under fn and serves each
+// on a loopback listener; closeFleet tears all servers down.
+func bootShardFleet(lab *core.Labeling, n, count int, fn core.ShardFn) (addrs []string, closeFleet func(), err error) {
+	slab, order, ok := lab.ArenaLayout()
+	if !ok {
+		return nil, nil, fmt.Errorf("labeling is not arena-backed")
+	}
+	bitLens := make([]int, n)
+	for v := range bitLens {
+		l, err := lab.Label(v)
+		if err != nil {
+			return nil, nil, err
+		}
+		bitLens[v] = l.Len()
+	}
+	arenas, err := core.ShardLabelArenas(slab, bitLens, order, count, fn)
+	if err != nil {
+		return nil, nil, err
+	}
+	srvs := make([]*adjserve.Server, 0, count)
+	closeFleet = func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+	addrs = make([]string, count)
+	for i, a := range arenas {
+		eng, err := core.NewQueryEngineFromPermutedArena(a.Slab, a.BitLens, order)
+		if err != nil {
+			closeFleet()
+			return nil, nil, err
+		}
+		if err := eng.SetShard(core.ShardMap{Count: count, Index: i, Fn: fn}); err != nil {
+			closeFleet()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeFleet()
+			return nil, nil, err
+		}
+		srv := adjserve.NewServer(eng, 0)
+		go srv.Serve(ln)
+		srvs = append(srvs, srv)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, closeFleet, nil
+}
+
+// diffRouted drives pairs through a router over the fleet and counts answers
+// that differ from the unsharded engine's.
+func diffRouted(addrs []string, full *core.QueryEngine, pairs [][2]int) (int, error) {
+	r, err := adjserve.NewRouter(addrs, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	go r.Serve(ln)
+	c, err := adjserve.Dial(ln.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	got, err := c.AdjacentMany(pairs, make([]bool, 0, len(pairs)))
+	if err != nil {
+		return 0, err
+	}
+	want, err := full.AdjacentMany(pairs, make([]bool, 0, len(pairs)))
+	if err != nil {
+		return 0, err
+	}
+	mismatches := 0
+	for i := range pairs {
+		if got[i] != want[i] {
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}
+
+// shardThroughputTable drives batch-4096 frames over one pipelined connection
+// against a direct server and routed fleets of growing shard counts, under
+// uniform and Zipf-skewed probes.
+func shardThroughputTable(cfg Config) (*Table, error) {
+	const batch = 4096
+	alpha := 2.5
+	n := 1 << 15
+	targetQ := 1 << 19
+	shardCounts := []int{2, 4, 8}
+	if cfg.Quick {
+		n = 1 << 12
+		targetQ = 1 << 15
+		shardCounts = []int{2, 4}
+	}
+	zipfS := cfg.ZipfS
+	if zipfS == 0 {
+		zipfS = 1.1
+	}
+	dists := []skewDist{
+		{"uniform", DistUniform, 0},
+		{fmt.Sprintf("zipf(s=%.1f)", zipfS), DistZipf, zipfS},
+	}
+	if cfg.Dist != "" {
+		d, err := ParseProbeDist(cfg.Dist)
+		if err != nil {
+			return nil, err
+		}
+		dists = []skewDist{{cfg.Dist, d, zipfS}}
+	}
+
+	if cfg.Remote != "" {
+		return remoteThroughputTable(cfg, dists, batch, targetQ)
+	}
+
+	g, err := gen.ChungLuPowerLaw(n, alpha, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	scheme := core.NewPowerLawScheme(alpha)
+	scheme.SetLayout(core.LayoutDegree)
+	lab, err := scheme.EncodeParallel(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID:    "E26",
+		Title: fmt.Sprintf("sharded serving throughput: 1 driver connection, batch %d (Chung–Lu n=%d, α=%.1f, GOMAXPROCS=%d)", batch, n, alpha, runtime.GOMAXPROCS(0)),
+		Cols:  []string{"dist", "target", "shards", "queries", "q/s", "p50.µs", "p99.µs", "speedup"},
+	}
+
+	// Direct baseline: one unsharded server, no router in the path.
+	full, err := core.NewQueryEngine(lab)
+	if err != nil {
+		return nil, err
+	}
+	directLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	directSrv := adjserve.NewServer(full, 0)
+	go directSrv.Serve(directLn)
+	defer directSrv.Close()
+
+	for _, d := range dists {
+		ps, err := NewProbeSampler(g, d.dist, d.s, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pairs := ps.Pairs(nil, 1<<14)
+		queries, elapsed, lats, err := driveAddr(directLn.Addr().String(), pairs, batch, targetQ)
+		if err != nil {
+			return nil, err
+		}
+		baseQPS := float64(queries) / elapsed.Seconds()
+		tb.AddRow(d.name, "direct", "1", strconv.Itoa(queries),
+			fmtQPS(queries, elapsed), fmtMicros(quantile(lats, 0.50)), fmtMicros(quantile(lats, 0.99)), "1.00")
+
+		for _, s := range shardCounts {
+			addrs, closeFleet, err := bootShardFleet(lab, n, s, core.ShardRange)
+			if err != nil {
+				return nil, err
+			}
+			r, err := adjserve.NewRouter(addrs, 0)
+			if err != nil {
+				closeFleet()
+				return nil, err
+			}
+			rln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				r.Close()
+				closeFleet()
+				return nil, err
+			}
+			go r.Serve(rln)
+			queries, elapsed, lats, err := driveAddr(rln.Addr().String(), pairs, batch, targetQ)
+			r.Close()
+			closeFleet()
+			if err != nil {
+				return nil, err
+			}
+			qps := float64(queries) / elapsed.Seconds()
+			tb.AddRow(d.name, "router", strconv.Itoa(s), strconv.Itoa(queries),
+				fmtQPS(queries, elapsed), fmtMicros(quantile(lats, 0.50)), fmtMicros(quantile(lats, 0.99)),
+				fmt.Sprintf("%.2f", qps/float64max(baseQPS, 1)))
+		}
+	}
+	tb.Notes = append(tb.Notes,
+		"one pipelined driver connection: each frame's pairs scatter to all shards, which probe concurrently — per-frame latency shrinks toward 1/S",
+		"acceptance bar: speedup >= 1.6x at 2 shards and >= 3x at 4 — requires a multi-core runner (>= shards+2 cores); the whole fleet is in-process, so shard parallelism is real only when GOMAXPROCS > shards",
+		"on a single-core runner the concurrent probes serialize and the table shows pure router overhead instead (speedup < 1 is expected there)",
+		"Zipf probes concentrate on hub vertices; the fat set is replicated on every shard, so skew does not unbalance the fan-out",
+		"speedups saturate when the single driver connection or the router core becomes the bottleneck, not the shard servers")
+	return tb, nil
+}
+
+// remoteThroughputTable drives an externally-provided adjserve-protocol
+// address (plroute or plserve) instead of an in-process fleet. The probe
+// distributions are built over the remote keyspace via its Info answer; no
+// speedup column — there is no in-process baseline to compare against.
+func remoteThroughputTable(cfg Config, dists []skewDist, batch, targetQ int) (*Table, error) {
+	c, err := adjserve.Dial(cfg.Remote)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.Info()
+	c.Close()
+	if err != nil {
+		return nil, err
+	}
+	// Degree-proportional sampling needs the graph; a remote store only
+	// exposes n, so the skew sweep runs over vertex ids (uniform and Zipf
+	// by id rank — on a degree-ordered store, low rank = high degree).
+	g := graph.NewBuilder(n).Build()
+	tb := &Table{
+		ID:    "E26",
+		Title: fmt.Sprintf("sharded serving throughput: remote %s, 1 driver connection, batch %d (n=%d)", cfg.Remote, batch, n),
+		Cols:  []string{"dist", "target", "shards", "queries", "q/s", "p50.µs", "p99.µs", "speedup"},
+	}
+	for _, d := range dists {
+		if d.dist == DistDegProp {
+			return nil, fmt.Errorf("-dist degprop needs the graph; remote mode supports uniform and zipf")
+		}
+		ps, err := NewProbeSampler(g, d.dist, d.s, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pairs := ps.Pairs(nil, 1<<14)
+		queries, elapsed, lats, err := driveAddr(cfg.Remote, pairs, batch, targetQ)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(d.name, "remote", "-", strconv.Itoa(queries),
+			fmtQPS(queries, elapsed), fmtMicros(quantile(lats, 0.50)), fmtMicros(quantile(lats, 0.99)), "-")
+	}
+	tb.Notes = append(tb.Notes,
+		"remote drive: point -remote at a plroute front (or a single plserve) started out of process; scrape its /metrics for the per-shard split",
+		"Zipf skew is by vertex id rank here — on a degree-ordered store that coincides with degree rank")
+	return tb, nil
+}
+
+// driveAddr pipelines AdjacentMany frames of the given batch size over one
+// connection until targetQ queries are answered, returning total queries,
+// wall time, and per-frame latencies. The first frame warms pools and is
+// untimed.
+func driveAddr(addr string, pairs [][2]int, batch, targetQ int) (int, time.Duration, []time.Duration, error) {
+	frames := targetQ / batch
+	if frames < 8 {
+		frames = 8
+	}
+	c, err := adjserve.Dial(addr)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer c.Close()
+	c.MaxBatch = batch
+	chunkAt := func(f int) [][2]int {
+		lo := (f * batch) % len(pairs)
+		chunk := pairs[lo:min(lo+batch, len(pairs))]
+		for len(chunk) < batch {
+			chunk = append(chunk[:len(chunk):len(chunk)], pairs[:min(batch-len(chunk), len(pairs))]...)
+		}
+		return chunk
+	}
+	out := make([]bool, 0, batch)
+	if out, err = c.AdjacentMany(chunkAt(0), out[:0]); err != nil {
+		return 0, 0, nil, err
+	}
+	lats := make([]time.Duration, 0, frames)
+	start := time.Now()
+	for f := 0; f < frames; f++ {
+		fs := time.Now()
+		if out, err = c.AdjacentMany(chunkAt(f), out[:0]); err != nil {
+			return 0, 0, nil, err
+		}
+		lats = append(lats, time.Since(fs))
+	}
+	return frames * batch, time.Since(start), lats, nil
+}

@@ -22,6 +22,8 @@
 //	lens    n × uvarint          per-label bit lengths (always id-indexed)
 //	perm    n × uvarint          rank→label layout permutation; present iff
 //	                             params carries "layout" (value "degree")
+//	shard   uvarint index,       shard map of a partitioned store; present
+//	        u8 fn, uvarint owned iff params carries "shards" (see shard.go)
 //	blob    uvarint byte count,  label perm[r] (or label r when no perm)
 //	        then the slab        starts at the r-th word-aligned slot
 //
@@ -97,6 +99,10 @@ type File struct {
 	// order, when non-nil, is the arena's physical layout permutation: slab
 	// rank r holds label order[r]. Labels stays id-indexed either way.
 	order []int32
+	// shard, when non-nil, marks one shard of a partitioned store: owned
+	// vertices (plus replicated fat labels) in full, foreign thin labels as
+	// header stubs. See shard.go.
+	shard *shardBlock
 }
 
 // N returns the number of labels.
@@ -228,15 +234,21 @@ func Write(w io.Writer, f *File) error {
 	if err := writeString(bw, f.Scheme); err != nil {
 		return err
 	}
-	// A permuted store must announce its layout: readers key the permutation
-	// block off the param, so the two are written (and read) as one unit.
+	// A permuted store must announce its layout and a sharded store its shard
+	// count: readers key the permutation and shard blocks off these params,
+	// so param and block are written (and read) as one unit.
 	params := f.Params
-	if f.order != nil {
-		params = make(map[string]string, len(f.Params)+1)
+	if f.order != nil || f.shard != nil {
+		params = make(map[string]string, len(f.Params)+2)
 		for k, v := range f.Params {
 			params[k] = v
 		}
-		params[layoutKey] = layoutDegree
+		if f.order != nil {
+			params[layoutKey] = layoutDegree
+		}
+		if f.shard != nil {
+			params[shardsKey] = strconv.Itoa(f.shard.m.Count)
+		}
 	}
 	keys := make([]string, 0, len(params))
 	for k := range params {
@@ -265,6 +277,17 @@ func Write(w io.Writer, f *File) error {
 		}
 		for _, v := range f.order { // permutation block (empty when id-ordered)
 			if err := writeUvarint(bw, uint64(uint32(v))); err != nil {
+				return err
+			}
+		}
+		if f.shard != nil { // shard block (absent for whole-labeling stores)
+			if err := writeUvarint(bw, uint64(f.shard.m.Index)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(f.shard.m.Fn)); err != nil {
+				return err
+			}
+			if err := writeUvarint(bw, uint64(f.shard.owned)); err != nil {
 				return err
 			}
 		}
@@ -345,6 +368,11 @@ func Read(r io.Reader) (*File, error) {
 		// corruption or a format from the future. Refuse rather than guess.
 		return nil, fmt.Errorf("%w: v1 store declares layout %q", ErrFormat, lay)
 	}
+	if sh, ok := params[shardsKey]; ok {
+		// Likewise: sharding postdates v1, and loading a shard as a whole
+		// labeling would answer foreign queries from stripped stubs.
+		return nil, fmt.Errorf("%w: v1 store declares %s shards", ErrFormat, sh)
+	}
 	// Arena decode: all label payloads land in one contiguous slab and the
 	// returned strings are (offset, bitlen) views into it — one allocation
 	// for the whole store instead of one per label, matching the layout
@@ -422,6 +450,28 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 			order[i] = int32(v)
 		}
 	}
+	var sb *shardBlock
+	if val, ok := params[shardsKey]; ok {
+		count, err := parseShardCount(val)
+		if err != nil {
+			return nil, err
+		}
+		index, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard index: %v", ErrFormat, err)
+		}
+		fnByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard ownership function: %v", ErrFormat, err)
+		}
+		owned, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard owned count: %v", ErrFormat, err)
+		}
+		if sb, err = newShardBlock(count, index, fnByte, owned, n); err != nil {
+			return nil, err
+		}
+	}
 	// Validate the declared geometry before buying the body: the blob-length
 	// field must agree with what the bit lengths occupy (both mismatch
 	// directions are corruption), and the body is then read in bounded
@@ -447,6 +497,12 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 	f, err := NewPermutedArenaFile(scheme, params, slab, bitLens, order)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if sb != nil {
+		if err := validateShardFile(f, sb); err != nil {
+			return nil, err
+		}
+		f.shard = sb
 	}
 	return f, nil
 }

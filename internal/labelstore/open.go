@@ -107,6 +107,29 @@ func ReadBytes(data []byte) (*File, error) {
 			order[i] = int32(v)
 		}
 	}
+	var sb *shardBlock
+	if val, ok := params[shardsKey]; ok {
+		count, err := parseShardCount(val)
+		if err != nil {
+			return nil, err
+		}
+		index, err := p.uvarint("shard index")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.need(1); err != nil {
+			return nil, fmt.Errorf("%w: shard ownership function: %v", ErrFormat, err)
+		}
+		fnByte := p.data[p.off]
+		p.off++
+		owned, err := p.uvarint("shard owned count")
+		if err != nil {
+			return nil, err
+		}
+		if sb, err = newShardBlock(count, index, fnByte, owned, int(n)); err != nil {
+			return nil, err
+		}
+	}
 	// Validate the declared geometry before any view is constructed: the
 	// blob-length field must agree with the bit lengths, and the blob must
 	// actually be present in data — a short or truncated body fails here, at
@@ -130,7 +153,14 @@ func ReadBytes(data []byte) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	return &File{Scheme: scheme, Params: params, Labels: labels, arena: arena, bitLens: bitLens, order: order}, nil
+	f := &File{Scheme: scheme, Params: params, Labels: labels, arena: arena, bitLens: bitLens, order: order}
+	if sb != nil {
+		if err := validateShardFile(f, sb); err != nil {
+			return nil, err
+		}
+		f.shard = sb
+	}
+	return f, nil
 }
 
 // checkBlobLen validates the declared blob byte count against the size the

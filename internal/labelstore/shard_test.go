@@ -1,0 +1,321 @@
+package labelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// shardStores splits a degree-ordered labeling of g into count shard store
+// files, returning them alongside the source labeling.
+func shardStores(t *testing.T, g *graph.Graph, count int, fn core.ShardFn) ([]*File, *core.Labeling) {
+	t.Helper()
+	s := core.NewPowerLawScheme(2.5)
+	s.SetLayout(core.LayoutDegree)
+	lab, err := s.Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slab, order, ok := lab.ArenaLayout()
+	if !ok {
+		t.Fatal("pipeline labeling is not arena-backed")
+	}
+	bitLens := make([]int, g.N())
+	for v := range bitLens {
+		l, err := lab.Label(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitLens[v] = l.Len()
+	}
+	arenas, err := core.ShardLabelArenas(slab, bitLens, order, count, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*File, count)
+	params := map[string]string{"n": strconv.Itoa(g.N())}
+	for i, a := range arenas {
+		m := core.ShardMap{Count: count, Index: i, Fn: fn}
+		f, err := NewShardArenaFile(lab.Scheme(), params, a.Slab, a.BitLens, order, m)
+		if err != nil {
+			t.Fatalf("shard %d store: %v", i, err)
+		}
+		files[i] = f
+	}
+	return files, lab
+}
+
+// routeShardIdx mirrors the router's rule (see core.ShardOwner docs): a thin
+// endpoint forces its owner, otherwise the min owner answers.
+func routeShardIdx(e *core.QueryEngine, fn core.ShardFn, count, u, v int) int {
+	n := e.N()
+	ou, ov := core.ShardOwner(fn, u, n, count), core.ShardOwner(fn, v, n, count)
+	uFat, vFat := e.Fat(u), e.Fat(v)
+	switch {
+	case u == v || uFat == vFat:
+		return min(ou, ov)
+	case !uFat:
+		return ou
+	default:
+		return ov
+	}
+}
+
+// TestShardStoreRoundTrip: every shard file survives both readers with its
+// shard map, permutation, and labels intact, and the reconstructed per-shard
+// engines — routed by the ownership rule — answer exactly the graph's edges.
+func TestShardStoreRoundTrip(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(200, 2.5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []core.ShardFn{core.ShardRange, core.ShardHash} {
+		files, _ := shardStores(t, g, 3, fn)
+		engines := make([]*core.QueryEngine, len(files))
+		for i, f := range files {
+			var buf bytes.Buffer
+			if err := Write(&buf, f); err != nil {
+				t.Fatal(err)
+			}
+			data := buf.Bytes()
+			for _, r := range []struct {
+				name string
+				load func() (*File, error)
+			}{
+				{"Read", func() (*File, error) { return Read(bytes.NewReader(data)) }},
+				{"ReadBytes", func() (*File, error) { return ReadBytes(data) }},
+			} {
+				got, err := r.load()
+				if err != nil {
+					t.Fatalf("%s shard %d: %v", r.name, i, err)
+				}
+				m, ok := got.Shard()
+				if !ok {
+					t.Fatalf("%s shard %d: loaded store lost its shard map", r.name, i)
+				}
+				if want := (core.ShardMap{Count: 3, Index: i, Fn: fn}); m != want {
+					t.Fatalf("%s shard %d: shard map %+v, want %+v", r.name, i, m, want)
+				}
+				for v := range got.Labels {
+					if !got.Labels[v].Equal(f.Labels[v]) {
+						t.Fatalf("%s shard %d: label %d differs after round trip", r.name, i, v)
+					}
+				}
+				slab, bitLens, order, ok := got.ArenaLayout()
+				if !ok {
+					t.Fatalf("%s shard %d: store is not arena-backed", r.name, i)
+				}
+				eng, err := core.NewQueryEngineFromPermutedArena(slab, bitLens, order)
+				if err != nil {
+					t.Fatalf("%s shard %d engine: %v", r.name, i, err)
+				}
+				if err := eng.SetShard(m); err != nil {
+					t.Fatalf("%s shard %d SetShard: %v", r.name, i, err)
+				}
+				engines[i] = eng
+			}
+		}
+		for u := 0; u < g.N(); u++ {
+			for _, v32 := range g.Neighbors(u) {
+				v := int(v32)
+				s := routeShardIdx(engines[0], fn, 3, u, v)
+				adj, err := engines[s].Adjacent(u, v)
+				if err != nil {
+					t.Fatalf("fn=%v: edge (%d,%d) on shard %d: %v", fn, u, v, s, err)
+				}
+				if !adj {
+					t.Fatalf("fn=%v: edge (%d,%d) answered false on shard %d", fn, u, v, s)
+				}
+			}
+		}
+	}
+}
+
+// shardBlockRange locates the [start, end) byte range of the shard block in a
+// serialized format-v2 store image by walking every header field in front of
+// it (including the permutation block when the store is degree-ordered).
+func shardBlockRange(t *testing.T, data []byte, n int, permuted bool) (int, int) {
+	t.Helper()
+	off := 5 // magic + version
+	uv := func(what string) uint64 {
+		v, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			t.Fatalf("parsing %s at offset %d", what, off)
+		}
+		off += k
+		return v
+	}
+	skipString := func(what string) { off += int(uv(what)) }
+	skipString("scheme")
+	nParams := uv("param count")
+	for i := uint64(0); i < nParams; i++ {
+		skipString("param key")
+		skipString("param value")
+	}
+	if got := uv("label count"); int(got) != n {
+		t.Fatalf("label count %d, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		uv("label length")
+	}
+	if permuted {
+		for i := 0; i < n; i++ {
+			uv("perm entry")
+		}
+	}
+	start := off
+	uv("shard index")
+	off++ // ownership function byte
+	uv("shard owned count")
+	return start, off
+}
+
+// TestShardCorruptionErrors is the load-time safety property of the shard
+// block, mirroring the permutation block's: any truncation inside it, and any
+// single corrupted byte of it, must make both readers fail. (A corrupted
+// field either breaks the uvarint framing — shifting the blob length out of
+// agreement — or decodes to a map the validators reject: index out of range,
+// unknown function, owned count disagreeing with the function, or full thin
+// bodies where the claimed map demands stubs.)
+func TestShardCorruptionErrors(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(60, 2.5, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := shardStores(t, g, 3, core.ShardRange)
+	// Shard 1: a nonzero index exercises both uvarint fields.
+	var buf bytes.Buffer
+	if err := Write(&buf, files[1]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	start, end := shardBlockRange(t, data, g.N(), true)
+	if start >= end {
+		t.Fatalf("degenerate shard block [%d,%d)", start, end)
+	}
+	// Sanity: the intact image still parses.
+	if _, err := ReadBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	for cut := start; cut < end; cut++ {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("Read accepted a store truncated at byte %d (shard block [%d,%d))", cut, start, end)
+		}
+		if _, err := ReadBytes(data[:cut]); err == nil {
+			t.Fatalf("ReadBytes accepted a store truncated at byte %d", cut)
+		}
+	}
+	for i := start; i < end; i++ {
+		bad := bytes.Clone(data)
+		bad[i] ^= 0xFF
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("Read accepted a store with shard byte %d corrupted", i)
+		}
+		if _, err := ReadBytes(bad); err == nil {
+			t.Fatalf("ReadBytes accepted a store with shard byte %d corrupted", i)
+		}
+	}
+}
+
+// TestShardWrongIndexRejected: patching the serialized index to a different
+// but structurally valid shard (same count, near-equal owned counts) must
+// still fail on open — the stub pattern of the blob belongs to the true
+// index, so labels the forged map calls foreign carry full thin bodies.
+func TestShardWrongIndexRejected(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(60, 2.5, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, _ := shardStores(t, g, 3, core.ShardRange)
+	var buf bytes.Buffer
+	if err := Write(&buf, files[1]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	start, _ := shardBlockRange(t, data, g.N(), true)
+	if data[start] != 1 {
+		t.Fatalf("shard index byte at %d is %d, want 1", start, data[start])
+	}
+	for _, forged := range []byte{0, 2} {
+		bad := bytes.Clone(data)
+		bad[start] = forged
+		if _, err := Read(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("Read accepted shard 1's blob under forged index %d", forged)
+		}
+		if _, err := ReadBytes(bad); err == nil {
+			t.Fatalf("ReadBytes accepted shard 1's blob under forged index %d", forged)
+		}
+	}
+}
+
+// TestNewShardArenaFileValidates rejects maps that disagree with the arena at
+// construction: an overlapping/wrong-index map (labels it calls foreign have
+// full bodies), an out-of-range index, a degenerate count, an unknown
+// ownership function.
+func TestNewShardArenaFileValidates(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(60, 2.5, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, lab := shardStores(t, g, 3, core.ShardRange)
+	slab, bitLens, order, _ := files[0].ArenaLayout()
+	params := map[string]string{"n": strconv.Itoa(g.N())}
+	for name, m := range map[string]core.ShardMap{
+		"wrong index":      {Count: 3, Index: 1, Fn: core.ShardRange},
+		"wrong function":   {Count: 3, Index: 0, Fn: core.ShardHash},
+		"index range":      {Count: 3, Index: 3, Fn: core.ShardRange},
+		"one shard":        {Count: 1, Index: 0, Fn: core.ShardRange},
+		"unknown function": {Count: 3, Index: 0, Fn: core.ShardFn(9)},
+	} {
+		if _, err := NewShardArenaFile(lab.Scheme(), params, slab, bitLens, order, m); err == nil {
+			t.Errorf("%s: shard map %+v accepted over shard 0's arena", name, m)
+		}
+	}
+}
+
+// TestV1ShardsParamRejected: the v1 format predates sharding, so a v1 store
+// that claims shards is corrupt by definition and must not load (its stripped
+// foreign labels would silently answer false).
+func TestV1ShardsParamRejected(t *testing.T) {
+	f := sampleFile(t)
+	f.Params["shards"] = "3"
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("v1 store declaring shards was accepted")
+	}
+}
+
+// TestUnshardedStoreNoShard: ordinary v2 stores (permuted or not) report no
+// shard map and keep loading exactly as before the shard extension.
+func TestUnshardedStoreNoShard(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(80, 2.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := permutedStore(t, g)
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, load := range []func() (*File, error){
+		func() (*File, error) { return Read(bytes.NewReader(data)) },
+		func() (*File, error) { return ReadBytes(data) },
+	} {
+		got, err := load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, ok := got.Shard(); ok {
+			t.Fatalf("unsharded store grew shard map %+v", m)
+		}
+	}
+}

@@ -10,11 +10,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 work="${1:-$(mktemp -d)}"
-trap 'kill "${serve_pid:-}" 2>/dev/null || true; wait "${serve_pid:-}" 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
+trap 'kill "${serve_pid:-}" "${route_pid:-}" ${shard_pids:-} 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
 
 echo "== build"
 mkdir -p "$work/bin"
-go build -o "$work/bin" ./cmd/plgen ./cmd/pllabel ./cmd/plserve ./cmd/plquery
+go build -o "$work/bin" ./cmd/plgen ./cmd/pllabel ./cmd/plserve ./cmd/plquery ./cmd/plroute
 
 echo "== generate + label"
 "$work/bin/plgen" -model chunglu -n 5000 -alpha 2.5 -wmin 2 -seed 7 -o "$work/graph.el"
@@ -112,5 +112,74 @@ echo "   cache counters OK: hits=$hits misses=$misses"
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "plserve (degree) exited non-zero"; cat "$work/serve-deg.log"; exit 1; }
 serve_pid=""
+
+echo "== sharded phase: 3 shard stores, 3 servers, one router"
+"$work/bin/pllabel" -scheme powerlaw -layout degree -in "$work/graph.el" \
+    -o "$work/labels-sh.pllb" -shards 3 >"$work/label-sh.log"
+grep -c "shard store written" "$work/label-sh.log" | grep -qx 3 \
+    || { echo "expected 3 shard stores"; cat "$work/label-sh.log"; exit 1; }
+shard_addrs=""
+shard_pids=""
+for i in 0 1 2; do
+    "$work/bin/plserve" -labels "$work/labels-sh.pllb.shard$i" -addr 127.0.0.1:0 \
+        >"$work/serve-sh$i.log" 2>&1 &
+    shard_pids="$shard_pids $!"
+done
+for i in 0 1 2; do
+    saddr=""
+    for _ in $(seq 1 100); do
+        saddr=$(sed -n 's/^plserve: listening on //p' "$work/serve-sh$i.log")
+        [ -n "$saddr" ] && break
+        sleep 0.1
+    done
+    [ -n "$saddr" ] || { cat "$work/serve-sh$i.log"; echo "shard $i never became ready"; exit 1; }
+    grep -q "shard=$i/3 fn=range" "$work/serve-sh$i.log" \
+        || { echo "shard $i did not report its shard map"; cat "$work/serve-sh$i.log"; exit 1; }
+    shard_addrs="$shard_addrs,$saddr"
+done
+shard_addrs="${shard_addrs#,}"
+"$work/bin/plroute" -shards "$shard_addrs" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 \
+    >"$work/route.log" 2>&1 &
+route_pid=$!
+raddr=""
+for _ in $(seq 1 100); do
+    raddr=$(sed -n 's/^plroute: listening on //p' "$work/route.log")
+    [ -n "$raddr" ] && break
+    kill -0 "$route_pid" 2>/dev/null || { cat "$work/route.log"; echo "plroute died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$raddr" ] || { cat "$work/route.log"; echo "plroute never became ready"; exit 1; }
+radmin=$(sed -n 's/^plroute: admin on //p' "$work/route.log")
+echo "   fleet $shard_addrs behind plroute at $raddr"
+
+echo "== query: routed fleet vs single-store local must be byte-identical"
+curl -fsS "http://$radmin/readyz" | grep -qx "ok" || { echo "router /readyz not ok"; exit 1; }
+"$work/bin/plquery" -remote "$raddr" -batch <"$work/pairs.txt" >"$work/routed.out"
+diff "$work/local.out" "$work/routed.out"
+echo "   $(wc -l <"$work/routed.out") routed answers identical to the single-store local run"
+
+echo "== admin: per-shard router metrics nonzero"
+curl -fsS "http://$radmin/metrics" >"$work/metrics-route.txt"
+metric_rt() { awk -v m="$1" '$1 == m { print $2; found=1 } END { if (!found) exit 1 }' "$work/metrics-route.txt"; }
+rq=$(metric_rt adjserve_router_queries_total) || { echo "no adjserve_router_queries_total"; exit 1; }
+[ "$rq" = 2000 ] || { echo "adjserve_router_queries_total=$rq, want 2000"; exit 1; }
+for i in 0 1 2; do
+    up=$(metric_rt "adjserve_router_upstream_pairs_total{shard=\"$i\"}") \
+        || { echo "no upstream pairs series for shard $i"; exit 1; }
+    [ "$up" -gt 0 ] || { echo "shard $i routed 0 pairs"; exit 1; }
+    fr=$(metric_rt "adjserve_client_frames_total{shard=\"$i\"}") \
+        || { echo "no per-shard client frames series for shard $i"; exit 1; }
+    [ "$fr" -gt 0 ] || { echo "shard $i client sent 0 frames"; exit 1; }
+done
+echo "   per-shard scrape OK: router_queries=$rq, all 3 upstreams nonzero"
+
+echo "== graceful shutdown: router then fleet"
+kill -TERM "$route_pid"
+wait "$route_pid" || { echo "plroute exited non-zero after SIGTERM"; cat "$work/route.log"; exit 1; }
+grep -q "routed" "$work/route.log" || { echo "no route summary in log"; cat "$work/route.log"; exit 1; }
+route_pid=""
+for p in $shard_pids; do kill -TERM "$p"; done
+for p in $shard_pids; do wait "$p" || { echo "shard server $p exited non-zero"; exit 1; }; done
+shard_pids=""
 
 echo "== serving smoke OK"
