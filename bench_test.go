@@ -93,6 +93,10 @@ func BenchmarkE25SkewLayout(b *testing.B) {
 	benchExperiment(b, experiments.E25SkewLayout)
 }
 
+func BenchmarkE27DistanceServing(b *testing.B) {
+	benchExperiment(b, experiments.E27DistanceServing)
+}
+
 // ---------------------------------------------------------------------------
 // Micro-benchmarks: encoder throughput and per-query decode latency for each
 // scheme on a shared power-law workload.

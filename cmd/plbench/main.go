@@ -35,8 +35,9 @@ func run(args []string) error {
 		seed         = fs.Int64("seed", 20160711, "generator seed")
 		list         = fs.Bool("list", false, "list experiments and exit")
 		format       = fs.String("format", "table", "output format: table | csv")
-		dist         = fs.String("dist", "", "probe distribution for skew experiments: uniform | zipf | degprop (empty = default sweep)")
-		zipfS        = fs.Float64("zipf-s", 1.1, "Zipf exponent for -dist zipf")
+		probeDist    = fs.String("probe-dist", "", "probe distribution for skew experiments: uniform | zipf | degprop (empty = default sweep)")
+		distOld      = fs.String("dist", "", "deprecated alias for -probe-dist (the name now belongs to the distance query plane)")
+		zipfS        = fs.Float64("zipf-s", 1.1, "Zipf exponent for -probe-dist zipf")
 		remote       = fs.String("remote", "", "external adjserve address (plroute or plserve) for E26's throughput drive")
 		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile   = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -80,12 +81,18 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	if *dist != "" {
-		if _, err := experiments.ParseProbeDist(*dist); err != nil {
+	if *distOld != "" {
+		fmt.Fprintln(os.Stderr, "plbench: -dist is deprecated, use -probe-dist")
+		if *probeDist == "" {
+			*probeDist = *distOld
+		}
+	}
+	if *probeDist != "" {
+		if _, err := experiments.ParseProbeDist(*probeDist); err != nil {
 			return err
 		}
 	}
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Dist: *dist, ZipfS: *zipfS, Remote: *remote}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Dist: *probeDist, ZipfS: *zipfS, Remote: *remote}
 	runners := experiments.All()
 	if *experiment != "" {
 		r, ok := experiments.ByID(*experiment)

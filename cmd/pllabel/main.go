@@ -10,6 +10,12 @@
 //	pllabel -scheme forest   -in graph.el     (Proposition 5)
 //	pllabel -scheme onequery -in graph.el     (Section 6, 1-query)
 //	pllabel -scheme nbrlist | adjmatrix       (baselines)
+//
+// Distance labelings (the second query plane; serve with plserve, query
+// with plquery -dist):
+//
+//	pllabel -scheme dist-pll     -in graph.el -o d.pllb   (pruned landmarks)
+//	pllabel -scheme dist-bounded -f 3 -in graph.el        (Lemma 7, bound f)
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"time"
 
@@ -27,6 +34,7 @@ import (
 	"repro/internal/labelstore"
 	"repro/internal/powerlaw"
 	"repro/internal/schemes/baseline"
+	"repro/internal/schemes/distance"
 	"repro/internal/schemes/forest"
 	"repro/internal/schemes/onequery"
 )
@@ -41,10 +49,11 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pllabel", flag.ContinueOnError)
 	var (
-		schemeName = fs.String("scheme", "auto", "powerlaw | sparse | auto | fixed | compressed | forest | onequery | nbrlist | adjmatrix")
-		alpha      = fs.Float64("alpha", 2.5, "power-law exponent (powerlaw scheme)")
+		schemeName = fs.String("scheme", "auto", "powerlaw | sparse | auto | fixed | compressed | forest | onequery | nbrlist | adjmatrix | dist-pll | dist-bounded")
+		alpha      = fs.Float64("alpha", 2.5, "power-law exponent (powerlaw and dist-bounded schemes)")
 		c          = fs.Float64("c", 0, "sparsity constant (sparse scheme; 0 = derive m/n)")
 		tau        = fs.Int("tau", 0, "fixed threshold (fixed scheme)")
+		bound      = fs.Int("f", 2, "distance bound f(n) (dist-bounded scheme)")
 		in         = fs.String("in", "", "input edge list (default stdin)")
 		out        = fs.String("o", "", "write the labeling to a label store file (for plquery)")
 		verify     = fs.Bool("verify", true, "verify decode correctness")
@@ -92,15 +101,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 
-	scheme, err := pick(*schemeName, *alpha, *c, *tau)
-	if err != nil {
-		return err
-	}
-	if ls, ok := scheme.(interface{ SetLayout(core.Layout) }); ok {
-		ls.SetLayout(lay)
-	} else if lay != core.LayoutID {
-		return fmt.Errorf("scheme %q does not support -layout %s", *schemeName, lay)
-	}
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -111,6 +111,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *schemeName == "dist-pll" || *schemeName == "dist-bounded" {
+		// The distance plane: its own encode pipeline (DistArena, not
+		// Labeling) and a scheme-stamped v2 store. Distance stores are
+		// replicated whole for serving, never sharded.
+		if *shards != 0 {
+			return fmt.Errorf("distance stores are served by replica fleets, not shard partitions; drop -shards")
+		}
+		return runDistance(stdout, g, *schemeName, *alpha, *bound, *workers, lay, *out, *verify)
+	}
+	scheme, err := pick(*schemeName, *alpha, *c, *tau)
+	if err != nil {
+		return err
+	}
+	if ls, ok := scheme.(interface{ SetLayout(core.Layout) }); ok {
+		ls.SetLayout(lay)
+	} else if lay != core.LayoutID {
+		return fmt.Errorf("scheme %q does not support -layout %s", *schemeName, lay)
 	}
 	start := time.Now()
 	lab, err := encode(scheme, g, *workers)
@@ -158,6 +176,128 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return fmt.Errorf("write label store: %w", err)
 		}
 		fmt.Fprintf(stdout, "label store written to %s\n", *out)
+	}
+	return nil
+}
+
+// runDistance is the encode pipeline for the distance plane: a parallel
+// arena encode (plan → prefix-sum → fill, same shape as the adjacency
+// pipeline), size statistics over the packed labels, BFS spot-verification
+// through the serving engine, and a scheme-stamped format-v2 store that
+// plserve and plquery -dist load zero-copy.
+func runDistance(stdout io.Writer, g *graph.Graph, name string, alpha float64, f, workers int, lay core.Layout, out string, verify bool) error {
+	var (
+		arena       *core.DistArena
+		schemeLabel string
+		err         error
+	)
+	start := time.Now()
+	switch name {
+	case "dist-pll":
+		s := distance.PLLScheme{}
+		schemeLabel = s.Name()
+		arena, err = s.EncodeArena(g, workers, lay)
+	case "dist-bounded":
+		if f < 1 {
+			return fmt.Errorf("dist-bounded needs -f >= 1")
+		}
+		s := distance.Scheme{Alpha: alpha, F: f}
+		schemeLabel = s.Name()
+		arena, err = s.EncodeArena(g, workers, lay)
+	}
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(stdout, "encode: %.3fs (%.0f vertices/s, workers=%d)\n",
+		elapsed.Seconds(), float64(g.N())/max(elapsed.Seconds(), 1e-9), workers)
+	fmt.Fprintf(stdout, "scheme: %s\n", schemeLabel)
+	if arena.Order != nil {
+		fmt.Fprintf(stdout, "layout: degree-ordered (permutation overhead %d bytes)\n",
+			labelstore.PermutationOverheadBytes(arena.Order))
+	} else {
+		fmt.Fprintln(stdout, "layout: id-ordered (permutation overhead 0 bytes)")
+	}
+	printBitLenStats(stdout, arena.BitLens)
+	if verify {
+		eng, err := core.NewDistEngine(arena)
+		if err != nil {
+			return fmt.Errorf("verification FAILED: engine rejects the arena: %w", err)
+		}
+		if err := verifyDistance(g, eng); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Fprintln(stdout, "verify: ok")
+	}
+	if out != "" {
+		store, err := labelstore.NewDistArenaFile(schemeLabel, map[string]string{"n": strconv.Itoa(g.N())}, arena)
+		if err != nil {
+			return err
+		}
+		fl, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer fl.Close()
+		if err := labelstore.Write(fl, store); err != nil {
+			return err
+		}
+		if err := fl.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "label store written to %s\n", out)
+	}
+	return nil
+}
+
+// printBitLenStats reports the label-size line from packed bit lengths, in
+// the same shape as core.Labeling.Stats.
+func printBitLenStats(stdout io.Writer, bitLens []int) {
+	sorted := append([]int(nil), bitLens...)
+	sort.Ints(sorted)
+	total, maxBits := int64(0), 0
+	for _, l := range bitLens {
+		total += int64(l)
+		if l > maxBits {
+			maxBits = l
+		}
+	}
+	q := func(p float64) int {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	mean := 0.0
+	if len(bitLens) > 0 {
+		mean = float64(total) / float64(len(bitLens))
+	}
+	fmt.Fprintf(stdout, "labels: max=%d bits, mean=%.1f, p50=%d, p90=%d, p99=%d, total=%d bits (%.1f KiB)\n",
+		maxBits, mean, q(0.50), q(0.90), q(0.99), total, float64(total)/8/1024)
+}
+
+// verifyDistance spot-checks the engine against BFS ground truth from a
+// spread of source vertices (full n² verification is the test suite's job;
+// this is the operator-facing smoke check).
+func verifyDistance(g *graph.Graph, eng *core.DistEngine) error {
+	n := g.N()
+	srcStep, dstStep := max(1, n/16), max(1, n/512)
+	for src := 0; src < n; src += srcStep {
+		d := g.BFS(src)
+		for v := 0; v < n; v += dstStep {
+			want := d[v]
+			if want < 0 || (eng.Kind() == core.DistBounded && want > eng.F()) {
+				want = graph.Unreachable
+			}
+			got, err := eng.Dist(src, v)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("dist(%d,%d) = %d, BFS says %d", src, v, got, want)
+			}
+		}
 	}
 	return nil
 }

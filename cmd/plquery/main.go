@@ -9,6 +9,8 @@
 //	echo "3 17" | plquery -labels labels.pllb
 //	plquery -labels labels.pllb -batch -workers 8 < pairs.txt
 //	plquery -remote 127.0.0.1:7421 -batch < pairs.txt
+//	plquery -dist -labels dists.pllb       # "u v d" lines; d=-1 unreachable
+//	plquery -dist -remote 127.0.0.1:7421   # against a distance-serving plserve
 //
 // For fat/thin label stores, queries are served by the pre-parsed
 // zero-allocation core.QueryEngine; -batch reads all pairs up front and
@@ -48,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		stats      = fs.Bool("stats", false, "print store statistics and exit")
 		batch      = fs.Bool("batch", false, "read all pairs, answer as one batch")
 		workers    = fs.Int("workers", 1, "batch shards (0 = GOMAXPROCS); needs -batch, local only")
+		dist       = fs.Bool("dist", false, "answer hop distances (-1 = unreachable/beyond bound); needs a distance store or server")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,12 +64,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("-stats needs the label store; use -labels")
 	}
 
-	// answer/answerMany resolve queries; vertex bounds are pre-checked
-	// against n, so both only see in-range pairs.
+	// answer/answerMany resolve adjacency queries, distTo/distToMany hop
+	// distances (-dist selects which set is wired); vertex bounds are
+	// pre-checked against n, so all of them only see in-range pairs.
 	var (
 		n          int
 		answer     func(u, v int) (bool, error)
 		answerMany func(pairs [][2]int, out []bool) ([]bool, error)
+		distTo     func(u, v int) (int, error)
+		distToMany func(pairs [][2]int, out []int) ([]int, error)
 	)
 	if *remote != "" {
 		client, err := adjserve.Dial(*remote)
@@ -77,8 +83,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if n, err = client.Info(); err != nil {
 			return err
 		}
-		answer = client.Adjacent
-		answerMany = client.AdjacentMany
+		if *dist {
+			distTo = client.Dist
+			distToMany = client.DistMany
+		} else {
+			answer = client.Adjacent
+			answerMany = client.AdjacentMany
+		}
 	} else {
 		f, err := os.Open(*labelsPath)
 		if err != nil {
@@ -92,11 +103,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if n, err = store.IntParam("n"); err != nil {
 			return err
 		}
-		dec, err := decoderFor(store.Scheme, n)
-		if err != nil {
-			return err
-		}
-
 		if *stats {
 			max, total := 0, int64(0)
 			for _, l := range store.Labels {
@@ -108,6 +114,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "scheme=%s n=%d max=%d bits mean=%.1f bits\n",
 				store.Scheme, store.N(), max, float64(total)/float64(max1(store.N())))
 			return nil
+		}
+		if *dist || store.SchemeKind() != labelstore.SchemeAdjacency {
+			// The distance plane: the store's scheme record kind and -dist
+			// must agree — misreading one plane's labels as the other's
+			// would answer garbage, so both directions fail loudly.
+			da, ok := store.DistArena()
+			switch {
+			case !*dist:
+				return fmt.Errorf("store %s holds %s distance labels; pass -dist", *labelsPath, store.SchemeKind())
+			case !ok:
+				return fmt.Errorf("-dist needs a distance store; %s holds adjacency labels", *labelsPath)
+			}
+			eng, err := core.NewDistEngine(da)
+			if err != nil {
+				return err
+			}
+			distTo = eng.Dist
+			distToMany = func(pairs [][2]int, out []int) ([]int, error) {
+				return eng.DistManyParallel(pairs, out, *workers)
+			}
+			return serve(stdin, stdout, n, *batch, answer, answerMany, distTo, distToMany)
+		}
+		dec, err := decoderFor(store.Scheme, n)
+		if err != nil {
+			return err
 		}
 
 		// Fat/thin stores are served through the pre-parsed zero-allocation
@@ -160,7 +191,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return out, nil
 		}
 	}
+	return serve(stdin, stdout, n, *batch, answer, answerMany, distTo, distToMany)
+}
 
+// serve runs the query loop over stdin. Exactly one plane's answer pair is
+// non-nil: adjacency prints "u v true|false", distance prints "u v d" with
+// d = -1 for unreachable-or-beyond-bound pairs.
+func serve(stdin io.Reader, stdout io.Writer, n int, batch bool,
+	answer func(u, v int) (bool, error),
+	answerMany func(pairs [][2]int, out []bool) ([]bool, error),
+	distTo func(u, v int) (int, error),
+	distToMany func(pairs [][2]int, out []int) ([]int, error),
+) error {
 	// Each input line becomes one output line, in order: either a
 	// preformatted parse error or the index of a pending query.
 	type entry struct {
@@ -188,7 +230,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 				pairs = append(pairs, [2]int{u, v})
 			}
 		}
-		if !*batch {
+		if !batch {
 			// Streaming mode: answer and flush line by line.
 			e := entries[0]
 			entries = entries[:0]
@@ -198,6 +240,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			}
 			p := pairs[0]
 			pairs = pairs[:0]
+			if distTo != nil {
+				d, err := distTo(p[0], p[1])
+				if err != nil {
+					fmt.Fprintf(stdout, "error: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(stdout, "%d %d %d\n", p[0], p[1], d)
+				continue
+			}
 			adj, err := answer(p[0], p[1])
 			if err != nil {
 				fmt.Fprintf(stdout, "error: %v\n", err)
@@ -209,12 +260,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	if !*batch {
+	if !batch {
 		return nil
 	}
-	results, err := answerMany(pairs, make([]bool, 0, len(pairs)))
-	if err != nil {
-		return err
+	var emit func(i int) string
+	if distTo != nil {
+		results, err := distToMany(pairs, make([]int, 0, len(pairs)))
+		if err != nil {
+			return err
+		}
+		emit = func(i int) string { return strconv.Itoa(results[i]) }
+	} else {
+		results, err := answerMany(pairs, make([]bool, 0, len(pairs)))
+		if err != nil {
+			return err
+		}
+		emit = func(i int) string { return strconv.FormatBool(results[i]) }
 	}
 	for _, e := range entries {
 		if e.text != "" {
@@ -222,7 +283,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			continue
 		}
 		p := pairs[e.pairIdx]
-		fmt.Fprintf(stdout, "%d %d %v\n", p[0], p[1], results[e.pairIdx])
+		fmt.Fprintf(stdout, "%d %d %s\n", p[0], p[1], emit(e.pairIdx))
 	}
 	return nil
 }

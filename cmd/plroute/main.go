@@ -19,6 +19,12 @@
 // all shards answered with a consistent fleet (same n, same ownership
 // function, distinct shard indexes covering 0..count-1, identical fat sets);
 // /readyz stays false until then. SIGINT/SIGTERM drain gracefully.
+//
+// A fleet of identical whole-store servers (every upstream reports a trivial
+// one-shard map — e.g. R copies of plserve on the same distance store) is
+// admitted as a replica fleet instead: requests are spread by owner-of-u for
+// load, and distance frames (plquery -dist) are routed too, which a shard
+// partition refuses.
 package main
 
 import (
@@ -102,8 +108,12 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if reg != nil {
 		r.RegisterMetrics(reg)
 	}
-	fmt.Fprintf(stdout, "plroute: %d shards handshaked, n=%d (%v)\n",
-		r.Shards(), r.N(), time.Since(start).Round(time.Microsecond))
+	fleet := "shards"
+	if r.Replicas() {
+		fleet = "replicas"
+	}
+	fmt.Fprintf(stdout, "plroute: %d %s handshaked, n=%d (%v)\n",
+		r.Shards(), fleet, r.N(), time.Since(start).Round(time.Microsecond))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

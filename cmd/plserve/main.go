@@ -11,6 +11,12 @@
 //	plserve -labels labels.pllb -addr 127.0.0.1:7421
 //	plquery -remote 127.0.0.1:7421        # interactive "u v" lines
 //
+// A distance store (pllabel -scheme dist-pll or dist-bounded) is served the
+// same way: the daemon reads the store's scheme record kind, builds a
+// core.DistEngine over the mapped slab instead, and answers distance frames
+// (plquery -dist -remote ...). The tuning flags -pair-cache-bits and
+// -sort-min apply to either plane.
+//
 // SIGINT/SIGTERM drain gracefully: in-flight frames are answered and
 // flushed, then the process exits 0.
 package main
@@ -87,16 +93,55 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 	defer closer()
 
-	eng, err := engineFor(store)
-	if err != nil {
-		return fmt.Errorf("store %s is not servable: %w", *labelsPath, err)
-	}
-	// The result cache is attached before the engine is shared with any
-	// connection goroutine (EnableResultCache's publication contract).
-	if *cacheBits > 0 {
-		if err := eng.EnableResultCache(*cacheBits); err != nil {
-			return err
+	// A store serves exactly one query plane: adjacency (the default) or
+	// distance (a scheme-stamped pll/bdist store → core.DistEngine behind the
+	// same listener, answering opDist frames). The engine-tuning flags
+	// (-pair-cache-bits, -sort-min) apply to whichever engine the store
+	// selects; attachMetrics abstracts over the two engine types for the
+	// admin plane below.
+	var (
+		srv           *adjserve.Server
+		attachMetrics func(*core.EngineMetrics)
+		planeNote     string
+	)
+	if da, ok := store.DistArena(); ok {
+		deng, err := core.NewDistEngine(da)
+		if err != nil {
+			return fmt.Errorf("store %s is not servable: %w", *labelsPath, err)
 		}
+		// The result cache is attached before the engine is shared with any
+		// connection goroutine (EnableResultCache's publication contract).
+		if *cacheBits > 0 {
+			if err := deng.EnableResultCache(*cacheBits); err != nil {
+				return err
+			}
+		}
+		srv = adjserve.NewServer(nil, *maxBatch)
+		srv.SetDistEngine(deng)
+		attachMetrics = deng.AttachMetrics
+		planeNote = " plane=distance/" + store.SchemeKind()
+	} else {
+		eng, err := engineFor(store)
+		if err != nil {
+			return fmt.Errorf("store %s is not servable: %w", *labelsPath, err)
+		}
+		if *cacheBits > 0 {
+			if err := eng.EnableResultCache(*cacheBits); err != nil {
+				return err
+			}
+		}
+		// A shard store only holds its owned vertices' full labels (plus the
+		// replicated fat set); attaching the shard map makes the engine answer
+		// ErrNotResident for misrouted pairs instead of decoding a stub. plroute
+		// reads the same map back over opShardInfo to route around it.
+		if m, ok := store.Shard(); ok {
+			if err := eng.SetShard(m); err != nil {
+				return fmt.Errorf("store %s: %w", *labelsPath, err)
+			}
+			planeNote = fmt.Sprintf(" shard=%d/%d fn=%s", m.Index, m.Count, m.Fn)
+		}
+		srv = adjserve.NewServer(eng, *maxBatch)
+		attachMetrics = eng.AttachMetrics
 	}
 	mode := "copied"
 	if mapped {
@@ -106,21 +151,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if store.LayoutOrder() != nil {
 		layout = "degree"
 	}
-	// A shard store only holds its owned vertices' full labels (plus the
-	// replicated fat set); attaching the shard map makes the engine answer
-	// ErrNotResident for misrouted pairs instead of decoding a stub. plroute
-	// reads the same map back over opShardInfo to route around it.
-	shardNote := ""
-	if m, ok := store.Shard(); ok {
-		if err := eng.SetShard(m); err != nil {
-			return fmt.Errorf("store %s: %w", *labelsPath, err)
-		}
-		shardNote = fmt.Sprintf(" shard=%d/%d fn=%s", m.Index, m.Count, m.Fn)
-	}
 	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d layout=%s%s (%s, %v)\n",
-		store.Scheme, store.N(), layout, shardNote, mode, time.Since(start).Round(time.Microsecond))
+		store.Scheme, store.N(), layout, planeNote, mode, time.Since(start).Round(time.Microsecond))
 
-	srv := adjserve.NewServer(eng, *maxBatch)
 	srv.SetSortedBatchMin(*sortMin)
 
 	// The admin plane is optional and read-only: one registry spanning the
@@ -135,7 +168,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		srv.Metrics().Register(reg)
 		engMetrics := new(core.EngineMetrics)
 		engMetrics.Register(reg)
-		eng.AttachMetrics(engMetrics)
+		attachMetrics(engMetrics)
 		labelstore.RegisterMetrics(reg)
 		srv.Traffic.Register(reg, "adjserve_traffic")
 		admin = obs.NewAdminServer(reg)

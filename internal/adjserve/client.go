@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 )
 
 // Redial policy defaults. A lost connection is redialed transparently, but
@@ -98,11 +99,12 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// call is one outstanding request: the response fills dest (query), infoN
-// (info) or shard (shard-info), and done delivers the per-call verdict
-// exactly once.
+// call is one outstanding request: the response fills dest (query), dists
+// (dist), infoN (info) or shard (shard-info), and done delivers the per-call
+// verdict exactly once.
 type call struct {
 	dest  []bool
+	dists []int
 	infoN *int
 	shard *ShardInfo
 	done  chan error
@@ -124,6 +126,7 @@ func putCall(ca *call) {
 	default:
 	}
 	ca.dest = nil
+	ca.dists = nil
 	ca.infoN = nil
 	ca.shard = nil
 	callPool.Put(ca)
@@ -330,6 +333,33 @@ func deliver(ca *call, payload []byte) error {
 			ca.done <- nil
 			return nil
 		}
+		if ca.dists != nil {
+			count, n := binary.Uvarint(body)
+			if n <= 0 || int(count) != len(ca.dists) {
+				return fmt.Errorf("%w: response for %d pairs, asked %d", ErrClosed, count, len(ca.dists))
+			}
+			body = body[n:]
+			for i := range ca.dists {
+				d, k := binary.Uvarint(body)
+				if k <= 0 {
+					return fmt.Errorf("%w: truncated distance %d of %d", ErrClosed, i, count)
+				}
+				body = body[k:]
+				if d > distBeyondWire {
+					return fmt.Errorf("%w: distance %d out of wire range", ErrClosed, d)
+				}
+				if d == distBeyondWire {
+					ca.dists[i] = graph.Unreachable
+				} else {
+					ca.dists[i] = int(d)
+				}
+			}
+			if len(body) != 0 {
+				return fmt.Errorf("%w: %d trailing bytes after %d distances", ErrClosed, len(body), count)
+			}
+			ca.done <- nil
+			return nil
+		}
 		count, n := binary.Uvarint(body)
 		if n <= 0 || int(count) != len(ca.dest) {
 			return fmt.Errorf("%w: response for %d pairs, asked %d", ErrClosed, count, len(ca.dest))
@@ -454,6 +484,78 @@ func (c *Client) Adjacent(u, v int) (bool, error) {
 	var res [1]bool
 	if _, err := c.AdjacentMany([][2]int{{u, v}}, res[:0]); err != nil {
 		return false, err
+	}
+	return res[0], nil
+}
+
+// DistMany answers a batch of distance queries remotely, appending one hop
+// distance per pair to out (same contract as core.DistEngine.DistMany:
+// graph.Unreachable for unreachable or beyond-bound pairs). Batches split,
+// pipeline and recover exactly as AdjacentMany's do. Distances of 255 or more
+// are indistinguishable from unreachable on the wire; see the package doc.
+func (c *Client) DistMany(pairs [][2]int, out []int) ([]int, error) {
+	start := len(out)
+	if need := start + len(pairs); cap(out) >= need {
+		out = out[:need]
+	} else {
+		grown := make([]int, need)
+		copy(grown, out)
+		out = grown
+	}
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	dest := out[start:]
+	maxBatch := c.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+
+	c.mu.Lock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		c.mu.Unlock()
+		return out[:start], err
+	}
+	cl := callsPool.Get().(*callList)
+	calls := cl.s[:0]
+	for off := 0; off < len(pairs); off += maxBatch {
+		chunk := pairs[off:min(off+maxBatch, len(pairs))]
+		c.req = appendPairsReq(c.req[:0], opDist, chunk)
+		ca := getCall()
+		ca.dists = dest[off : off+len(chunk)]
+		if err := c.sendFrame(cc, c.req, ca); err != nil {
+			c.mu.Unlock()
+			putCall(ca)
+			waitCalls(calls)
+			putCalls(cl, calls)
+			return out[:start], err
+		}
+		calls = append(calls, ca)
+	}
+	if err := cc.bw.Flush(); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+	}
+	c.mu.Unlock()
+
+	for _, ca := range calls {
+		if cerr := <-ca.done; cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	putCalls(cl, calls)
+	if err != nil {
+		return out[:start], err
+	}
+	return out, nil
+}
+
+// Dist answers a single distance query remotely (graph.Unreachable for
+// unreachable or beyond-bound pairs). For throughput, prefer DistMany.
+func (c *Client) Dist(u, v int) (int, error) {
+	var res [1]int
+	if _, err := c.DistMany([][2]int{{u, v}}, res[:0]); err != nil {
+		return 0, err
 	}
 	return res[0], nil
 }

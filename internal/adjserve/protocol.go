@@ -16,6 +16,7 @@
 //	         op=1 (query): uvarint pair count, then per pair uvarint u, uvarint v
 //	         op=2 (info):  empty
 //	         op=3 (shard-info): empty
+//	         op=4 (dist):  uvarint pair count, then per pair uvarint u, uvarint v
 //
 //	response status u8
 //	         status=0 (ok), query: uvarint pair count, then ceil(count/8)
@@ -26,6 +27,12 @@
 //	                        ceil(n/8) bytes of fat-vertex bits, bit v MSB-first
 //	                        within its byte (count=1/index=0 for an unsharded
 //	                        server, so a router can front plain servers too)
+//	         status=0 (ok), dist: uvarint pair count, then one uvarint hop
+//	                        distance per pair; 255 means unreachable or beyond
+//	                        the serving scheme's bound (distances >= 255 are
+//	                        clamped to the sentinel — power-law graphs have
+//	                        Θ(log n) diameter, so real distances never get
+//	                        close)
 //	         status=1 (error): uvarint message length, message bytes
 //
 // Requests on one connection are answered in order, so a client may write
@@ -46,9 +53,16 @@ const (
 	opQuery     = 1
 	opInfo      = 2
 	opShardInfo = 3
+	opDist      = 4
 
 	statusOK  = 0
 	statusErr = 1
+
+	// distBeyondWire is the on-wire distance sentinel: unreachable pairs,
+	// distances beyond a bounded scheme's f, and (degenerately) any true
+	// distance >= 255 all map to it. Clients surface it as -1
+	// (graph.Unreachable / distance.Beyond).
+	distBeyondWire = 255
 
 	frameHeaderLen  = 4
 	maxFramePayload = 16 << 20
@@ -79,13 +93,29 @@ func appendErr(resp []byte, format string, args ...any) []byte {
 
 // appendQueryReq builds a query-request payload for a batch of pairs.
 func appendQueryReq(buf []byte, pairs [][2]int) []byte {
-	buf = append(buf, opQuery)
+	return appendPairsReq(buf, opQuery, pairs)
+}
+
+// appendPairsReq builds a pair-batch request payload under op (query or dist
+// — the two share request framing and differ only in the response shape).
+func appendPairsReq(buf []byte, op byte, pairs [][2]int) []byte {
+	buf = append(buf, op)
 	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
 	for _, p := range pairs {
 		buf = binary.AppendUvarint(buf, uint64(p[0]))
 		buf = binary.AppendUvarint(buf, uint64(p[1]))
 	}
 	return buf
+}
+
+// wireDist clamps an engine distance to its on-wire byte: -1 (unreachable /
+// beyond bound) and anything that cannot fit under the sentinel both become
+// distBeyondWire.
+func wireDist(d int) uint64 {
+	if d < 0 || d >= distBeyondWire {
+		return distBeyondWire
+	}
+	return uint64(d)
 }
 
 // frameHeader encodes a payload length.

@@ -39,11 +39,17 @@ import (
 // error frame, the downstream connection stays up, and frames touching only
 // live shards keep answering.
 type Router struct {
-	clients []*Client // by shard index
+	clients []*Client // by shard index (partition) or address order (replicas)
 	fatBits []byte    // replicated fat set, bit v MSB-first within byte v/8
 	n       int
 	fn      core.ShardFn
 	maxBatch int
+	// replicas marks a replica fleet: every upstream reported the trivial
+	// 1-shard map, so each holds a whole store (the distance-serving
+	// deployment; a single plain server is the degenerate 1-replica fleet).
+	// Queries route by owner-of-u (floor(u*R/n)) purely for load spreading —
+	// any replica could answer any pair.
+	replicas bool
 
 	metrics RouterMetrics
 	bufPool sync.Pool // *routerBufs; per-router because sizes scale with shard count
@@ -55,15 +61,23 @@ type Router struct {
 	wg       sync.WaitGroup
 }
 
-// NewRouter dials one shard server per address and performs the shard-info
-// handshake, validating that the fleet is exactly one coherent partition:
-// every shard reports the same vertex count and ownership function, a shard
-// count equal to the fleet size, a distinct index (two servers claiming the
-// same shard — overlapping ownership — is a deployment error caught here),
-// and a byte-identical fat bitmap. clients are held in shard-index order, so
-// addrs may be listed in any order. maxBatch caps pairs per downstream frame
-// (<= 0 selects DefaultMaxBatch); upstream sub-batches are never larger, so
-// shard servers need an equal or larger limit.
+// NewRouter dials one server per address, performs the shard-info handshake
+// with each, and admits the fleet as one of two coherent shapes:
+//
+//   - A partition: every shard reports the same vertex count and ownership
+//     function, a shard count equal to the fleet size, a distinct index (two
+//     servers claiming the same shard — overlapping ownership — is a
+//     deployment error caught here), and a byte-identical fat bitmap.
+//     clients are held in shard-index order, so addrs may be listed in any
+//     order.
+//   - A replica fleet: every upstream reports the trivial 1-shard map with
+//     the same vertex count and fat bitmap — R whole copies of one store,
+//     the distance-serving deployment (op=dist on a partition is refused;
+//     distance stores are never sharded). clients stay in addr order.
+//
+// maxBatch caps pairs per downstream frame (<= 0 selects DefaultMaxBatch);
+// upstream sub-batches are never larger, so upstream servers need an equal
+// or larger limit.
 func NewRouter(addrs []string, maxBatch int) (*Router, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("adjserve: router needs at least one shard address")
@@ -76,34 +90,61 @@ func NewRouter(addrs []string, maxBatch int) (*Router, error) {
 		maxBatch: maxBatch,
 		conns:    make(map[net.Conn]struct{}),
 	}
-	seen := make([]string, len(addrs)) // claimed address by shard index
-	for _, addr := range addrs {
+	infos := make([]*ShardInfo, len(addrs))
+	for i, addr := range addrs {
 		c, err := Dial(addr)
 		if err != nil {
 			r.closeClients()
 			return nil, fmt.Errorf("adjserve: router: shard %s: %w", addr, err)
 		}
 		c.MaxBatch = maxBatch
+		r.clients[i] = c
 		si, err := c.ShardInfo()
 		if err != nil {
-			c.Close()
 			r.closeClients()
 			return nil, fmt.Errorf("adjserve: router: shard %s handshake: %w", addr, err)
 		}
-		if err := r.admit(addr, si, seen); err != nil {
-			c.Close()
-			r.closeClients()
-			return nil, err
+		infos[i] = si
+	}
+	r.replicas = true
+	for _, si := range infos {
+		if si.Map.Count != 1 || si.Map.Index != 0 {
+			r.replicas = false
+			break
 		}
-		r.clients[si.Map.Index] = c
-		seen[si.Map.Index] = addr
+	}
+	if r.replicas {
+		r.n, r.fn, r.fatBits = infos[0].N, infos[0].Map.Fn, infos[0].FatBits
+		for i, si := range infos {
+			if si.N != r.n {
+				r.closeClients()
+				return nil, fmt.Errorf("adjserve: router: replica %s serves %d vertices, fleet serves %d",
+					addrs[i], si.N, r.n)
+			}
+			if !bytes.Equal(si.FatBits, r.fatBits) {
+				r.closeClients()
+				return nil, fmt.Errorf("adjserve: router: replica %s reports a different fat set than the fleet (mixed labelings?)", addrs[i])
+			}
+		}
+	} else {
+		ordered := make([]*Client, len(addrs))
+		seen := make([]string, len(addrs)) // claimed address by shard index
+		for i, si := range infos {
+			if err := r.admit(addrs[i], si, seen); err != nil {
+				r.closeClients()
+				return nil, err
+			}
+			ordered[si.Map.Index] = r.clients[i]
+			seen[si.Map.Index] = addrs[i]
+		}
+		r.clients = ordered
 	}
 	r.metrics.init(len(addrs))
 	return r, nil
 }
 
-// admit validates one handshake against the fleet shape established by the
-// shards admitted before it.
+// admit validates one partition handshake against the fleet shape established
+// by the shards admitted before it.
 func (r *Router) admit(addr string, si *ShardInfo, seen []string) error {
 	if si.Map.Count != len(r.clients) {
 		return fmt.Errorf("adjserve: router: shard %s is %d of %d shards, fleet has %d servers",
@@ -140,8 +181,14 @@ func (r *Router) closeClients() {
 // N returns the vertex count of the fronted labeling.
 func (r *Router) N() int { return r.n }
 
-// Shards returns the number of upstream shard servers.
+// Shards returns the number of upstream servers (partition shards, or
+// replicas when Replicas reports true).
 func (r *Router) Shards() int { return len(r.clients) }
+
+// Replicas reports whether the fleet handshook as identical whole-store
+// replicas (owner-of-u routing, distance frames allowed) rather than a
+// shard partition.
+func (r *Router) Replicas() bool { return r.replicas }
 
 // Metrics returns the router's instrumentation; RegisterMetrics exposes it
 // (and every upstream client's) on a registry.
@@ -169,6 +216,9 @@ func (r *Router) fat(v int) bool {
 
 // route picks the shard that answers (u, v); both must be in range.
 func (r *Router) route(u, v int) int {
+	if r.replicas {
+		return r.ownerOf(u)
+	}
 	count := len(r.clients)
 	ou := core.ShardOwner(r.fn, u, r.n, count)
 	ov := core.ShardOwner(r.fn, v, r.n, count)
@@ -181,6 +231,15 @@ func (r *Router) route(u, v int) int {
 	default:
 		return ov
 	}
+}
+
+// ownerOf is the replica-fleet placement rule: replica floor(u*R/n) answers
+// every query whose first endpoint is u. Any replica could — each holds the
+// whole store — but keying on u alone spreads load and keeps each vertex's
+// queries on one upstream, warming that replica's result cache for exactly
+// its slice of the id space.
+func (r *Router) ownerOf(u int) int {
+	return int(int64(u) * int64(len(r.clients)) / int64(r.n))
 }
 
 // Serve accepts downstream connections on ln until Close, mirroring
@@ -260,24 +319,28 @@ func (r *Router) isDraining() bool {
 	return r.draining
 }
 
-// shardJob is one shard's slice of a query frame, handed to that shard's
-// worker goroutine and joined on wg. pairs/idx/out grow to the connection's
-// working set and are reused for every subsequent frame.
+// shardJob is one shard's slice of a query or dist frame, handed to that
+// shard's worker goroutine and joined on wg. op selects the upstream call
+// (opQuery fills out, opDist fills dists). pairs/idx/out/dists grow to the
+// connection's working set and are reused for every subsequent frame.
 type shardJob struct {
+	op    byte
 	pairs [][2]int
 	idx   []int32 // request positions of pairs, for the scatter
 	out   []bool
+	dists []int
 	err   error
 	wg    *sync.WaitGroup
 }
 
 // routerBufs is the pooled per-connection scratch: request/response payloads
-// plus one shardJob (sub-batch, scatter indexes, answers) per shard and the
-// join WaitGroup — everything a frame needs, so the steady-state fan-out
-// performs zero heap allocations.
+// plus one shardJob (sub-batch, scatter indexes, answers) per shard, the
+// gathered distance slice, and the join WaitGroup — everything a frame
+// needs, so the steady-state fan-out performs zero heap allocations.
 type routerBufs struct {
 	req, resp []byte
 	jobs      []shardJob
+	dists     []int // request-ordered distance gather
 	wg        sync.WaitGroup
 }
 
@@ -383,14 +446,23 @@ func (r *Router) worker(s int, jobs <-chan *shardJob) {
 	m := &r.metrics.Upstreams[s]
 	for job := range jobs {
 		start := time.Now()
-		out, err := c.AdjacentMany(job.pairs, job.out[:0])
+		var err error
+		if job.op == opDist {
+			var dists []int
+			dists, err = c.DistMany(job.pairs, job.dists[:0])
+			job.dists = dists
+		} else {
+			var out []bool
+			out, err = c.AdjacentMany(job.pairs, job.out[:0])
+			job.out = out
+		}
 		m.Batches.Inc()
 		m.Pairs.Add(int64(len(job.pairs)))
 		m.LatencyNs.ObserveDuration(time.Since(start))
 		if err != nil {
 			m.Errors.Inc()
 		}
-		job.out, job.err = out, err
+		job.err = err
 		job.wg.Done()
 	}
 }
@@ -426,6 +498,18 @@ func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (
 			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, r.maxBatch), 0
 		}
 		return r.processQuery(body[k:], resp, int(count), bufs, chans)
+	case opDist:
+		if !r.replicas {
+			return appendErr(resp, "distance queries require a replica fleet (this router fronts a %d-shard partition)", len(r.clients)), 0
+		}
+		count, k := binary.Uvarint(body)
+		if k <= 0 {
+			return appendErr(resp, "bad pair count"), 0
+		}
+		if count > uint64(r.maxBatch) {
+			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, r.maxBatch), 0
+		}
+		return r.processDist(body[k:], resp, int(count), bufs, chans)
 	default:
 		return appendErr(resp, "unknown op %d", op), 0
 	}
@@ -435,6 +519,7 @@ func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (
 func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
 	jobs := bufs.jobs
 	for s := range jobs {
+		jobs[s].op = opQuery
 		jobs[s].pairs = jobs[s].pairs[:0]
 		jobs[s].idx = jobs[s].idx[:0]
 		jobs[s].out = jobs[s].out[:0]
@@ -496,6 +581,78 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 				resp[bitsOff+int(i)/8] |= 1 << (7 - uint(i)%8)
 			}
 		}
+	}
+	return resp, count
+}
+
+// processDist decodes, routes, fans out and gathers one distance batch on a
+// replica fleet. The shape mirrors processQuery; only the routing rule
+// (owner-of-u) and the response encoding (uvarint distances, scattered
+// through a request-ordered int slice because uvarints have no fixed offsets)
+// differ.
+func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
+	jobs := bufs.jobs
+	for s := range jobs {
+		jobs[s].op = opDist
+		jobs[s].pairs = jobs[s].pairs[:0]
+		jobs[s].idx = jobs[s].idx[:0]
+		jobs[s].dists = jobs[s].dists[:0]
+		jobs[s].err = nil
+	}
+	for i := 0; i < count; i++ {
+		u, nu := binary.Uvarint(body)
+		if nu <= 0 {
+			return appendErr(resp, "pair %d: bad u", i), 0
+		}
+		body = body[nu:]
+		v, nv := binary.Uvarint(body)
+		if nv <= 0 {
+			return appendErr(resp, "pair %d: bad v", i), 0
+		}
+		body = body[nv:]
+		if u >= uint64(r.n) || v >= uint64(r.n) {
+			return appendErr(resp, "pair %d (%d,%d): vertex out of range [0,%d)", i, u, v, r.n), 0
+		}
+		s := r.ownerOf(int(u))
+		jobs[s].pairs = append(jobs[s].pairs, [2]int{int(u), int(v)})
+		jobs[s].idx = append(jobs[s].idx, int32(i))
+	}
+	if len(body) != 0 {
+		return appendErr(resp, "%d trailing bytes after %d pairs", len(body), count), 0
+	}
+	active := 0
+	for s := range jobs {
+		if len(jobs[s].pairs) > 0 {
+			active++
+		}
+	}
+	bufs.wg.Add(active)
+	for s := range jobs {
+		if len(jobs[s].pairs) > 0 {
+			chans[s] <- &jobs[s]
+		}
+	}
+	bufs.wg.Wait()
+	for s := range jobs {
+		if err := jobs[s].err; err != nil {
+			return appendErr(resp, "replica %d (%d pairs): %v", s, len(jobs[s].pairs), err), 0
+		}
+	}
+	all := bufs.dists[:0]
+	for i := 0; i < count; i++ {
+		all = append(all, 0)
+	}
+	for s := range jobs {
+		idx := jobs[s].idx
+		for j, d := range jobs[s].dists {
+			all[idx[j]] = d
+		}
+	}
+	bufs.dists = all
+	resp = append(resp, statusOK)
+	resp = binary.AppendUvarint(resp, uint64(count))
+	for _, d := range all {
+		resp = binary.AppendUvarint(resp, wireDist(d))
 	}
 	return resp, count
 }

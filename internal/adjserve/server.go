@@ -20,6 +20,7 @@ import (
 // steady-state frame loop performs zero heap allocations.
 type Server struct {
 	engine   *core.QueryEngine
+	dist     *core.DistEngine
 	maxBatch int
 
 	// sortedMin, when > 0, routes frames of at least that many pairs through
@@ -47,12 +48,21 @@ type Server struct {
 
 // NewServer builds a server over an engine. maxBatch caps pairs per frame
 // (<= 0 selects DefaultMaxBatch); larger batches are rejected with an error
-// frame, not a dropped connection.
+// frame, not a dropped connection. engine may be nil for a distance-only
+// server (SetDistEngine must then install the distance engine before Serve);
+// query frames on a plane the server does not hold get an error frame.
 func NewServer(engine *core.QueryEngine, maxBatch int) *Server {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
 	return &Server{engine: engine, maxBatch: maxBatch, conns: make(map[net.Conn]struct{})}
+}
+
+// SetDistEngine installs the distance engine answering op=dist frames. A
+// server may hold either plane or both; the engines must agree on n when both
+// are present. Must be called before Serve; never mutated under traffic.
+func (s *Server) SetDistEngine(e *core.DistEngine) {
+	s.dist = e
 }
 
 // Metrics returns the server's instrumentation, for registering on an
@@ -149,6 +159,7 @@ type connBuffers struct {
 	req, resp []byte
 	pairs     [][2]int
 	res       []bool
+	dists     []int
 	sc        core.BatchScratch
 }
 
@@ -259,8 +270,22 @@ func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int
 	switch op {
 	case opInfo:
 		resp = append(resp, statusOK)
-		return binary.AppendUvarint(resp, uint64(s.engine.N())), 0
+		return binary.AppendUvarint(resp, uint64(s.servedN())), 0
 	case opShardInfo:
+		if s.engine == nil {
+			// Distance-only server: the trivial 1-shard map with an empty fat
+			// set, so a router can admit it into a replica fleet.
+			n := s.servedN()
+			resp = append(resp, statusOK)
+			resp = binary.AppendUvarint(resp, uint64(n))
+			resp = binary.AppendUvarint(resp, 1)
+			resp = binary.AppendUvarint(resp, 0)
+			resp = append(resp, byte(core.ShardRange))
+			for i := 0; i < (n+7)/8; i++ {
+				resp = append(resp, 0)
+			}
+			return resp, 0
+		}
 		// An unsharded engine reports the trivial 1-shard map, so a router can
 		// front plain servers with the same handshake.
 		m, ok := s.engine.Shard()
@@ -273,7 +298,52 @@ func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int
 		resp = binary.AppendUvarint(resp, uint64(m.Index))
 		resp = append(resp, byte(m.Fn))
 		return s.engine.AppendFatBits(resp), 0
+	case opDist:
+		if s.dist == nil {
+			return appendErr(resp, "server holds no distance engine"), 0
+		}
+		count, n := binary.Uvarint(body)
+		if n <= 0 {
+			return appendErr(resp, "bad pair count"), 0
+		}
+		if count > uint64(s.maxBatch) {
+			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, s.maxBatch), 0
+		}
+		body = body[n:]
+		resp = append(resp, statusOK)
+		resp = binary.AppendUvarint(resp, count)
+		if s.sortedMin > 0 && int(count) >= s.sortedMin {
+			return s.processDistSorted(body, resp, int(count), bufs)
+		}
+		var t core.QueryTally
+		for i := 0; i < int(count); i++ {
+			u, nu := binary.Uvarint(body)
+			if nu <= 0 {
+				return appendErr(resp[:0], "pair %d: bad u", i), 0
+			}
+			body = body[nu:]
+			v, nv := binary.Uvarint(body)
+			if nv <= 0 {
+				return appendErr(resp[:0], "pair %d: bad v", i), 0
+			}
+			body = body[nv:]
+			d, err := s.dist.DistTallied(int(u), int(v), &t)
+			if err != nil {
+				s.dist.FlushTally(&t, 0)
+				return appendErr(resp[:0], "pair %d (%d,%d): %v", i, u, v, err), 0
+			}
+			resp = binary.AppendUvarint(resp, wireDist(d))
+		}
+		if len(body) != 0 {
+			s.dist.FlushTally(&t, 0)
+			return appendErr(resp[:0], "%d trailing bytes after %d pairs", len(body), count), 0
+		}
+		s.dist.FlushTally(&t, int(count))
+		return resp, int(count)
 	case opQuery:
+		if s.engine == nil {
+			return appendErr(resp, "server holds no adjacency engine"), 0
+		}
 		count, n := binary.Uvarint(body)
 		if n <= 0 {
 			return appendErr(resp, "bad pair count"), 0
@@ -364,6 +434,53 @@ func (s *Server) processSorted(body, resp []byte, bitsOff, count int, bufs *conn
 		if adj {
 			resp[bitsOff+i/8] |= 1 << (7 - uint(i)%8)
 		}
+	}
+	return resp, count
+}
+
+// servedN is the vertex count of whichever plane the server holds (equal when
+// it holds both).
+func (s *Server) servedN() int {
+	if s.engine != nil {
+		return s.engine.N()
+	}
+	return s.dist.N()
+}
+
+// processDistSorted is processSorted for distance frames: the whole pair list
+// is decoded into the connection scratch and answered with one DistManySorted
+// call (probes in arena-offset order, answers in request order), then encoded
+// as uvarint distances. resp already carries the status byte and count.
+func (s *Server) processDistSorted(body, resp []byte, count int, bufs *connBuffers) (out []byte, queries int) {
+	pairs := bufs.pairs[:0]
+	for i := 0; i < count; i++ {
+		u, nu := binary.Uvarint(body)
+		if nu <= 0 {
+			bufs.pairs = pairs
+			return appendErr(resp[:0], "pair %d: bad u", i), 0
+		}
+		body = body[nu:]
+		v, nv := binary.Uvarint(body)
+		if nv <= 0 {
+			bufs.pairs = pairs
+			return appendErr(resp[:0], "pair %d: bad v", i), 0
+		}
+		body = body[nv:]
+		pairs = append(pairs, [2]int{int(u), int(v)})
+	}
+	bufs.pairs = pairs
+	if len(body) != 0 {
+		return appendErr(resp[:0], "%d trailing bytes after %d pairs", len(body), count), 0
+	}
+	dists, err := s.dist.DistManySorted(pairs, bufs.dists[:0], &bufs.sc)
+	if cap(dists) > cap(bufs.dists) {
+		bufs.dists = dists
+	}
+	if err != nil {
+		return appendErr(resp[:0], "%v", err), 0
+	}
+	for _, d := range dists {
+		resp = binary.AppendUvarint(resp, wireDist(d))
 	}
 	return resp, count
 }

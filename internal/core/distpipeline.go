@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/bitstr"
+)
+
+// Distance slab encode pipeline
+//
+// The distance schemes (PLL's 2-hop cover and Lemma 7's bounded-distance
+// labels) get the same two-phase treatment as the adjacency encoders in
+// pipeline.go: an exact per-label size plan, a word-aligned prefix sum into
+// one shared slab, and a parallel in-place fill over word-balanced rank
+// ranges. The graph work (pruned BFS sweeps, bounded BFS tables) stays in
+// internal/schemes/distance, which hands the pipeline flat per-vertex entry
+// lists; the pipeline owns only widths, offsets and bit stores, so core
+// never imports a scheme package.
+//
+// Two slab label layouts, selected by DistKind:
+//
+//	pll    [own id: w][entry count: wCnt]
+//	       then per entry, sorted by hub rank:
+//	       [delta0(rank gap)][dist: dw]
+//	       w = max(ceil(log2 n), 1), wCnt = max(ceil(log2 (n+1)), 1); the
+//	       rank gaps use the δ-gap convention of the compressed adjacency
+//	       scheme (gap 0 is the first rank itself, later gaps are strictly
+//	       positive differences), dw is fixed-width.
+//
+//	bdist  [fat bit][own id: w][dist to fat hub i: dw] × nFat
+//	       then, thin vertices only, entries sorted by vertex id:
+//	       [thin id: w][dist: dw]
+//	       w = ceil(log2 n), dw = ceil(log2 (f+2)) — bit-for-bit the legacy
+//	       Lemma 7 label layout of distance.Scheme, so a slab label and the
+//	       Builder-built label are identical strings.
+//
+// Answers from a DistEngine over either slab are pinned byte-identical to
+// the legacy PLLDecoder/Decoder by TestDistEngineMatchesLegacy*.
+
+// DistEntry is one (id, dist) pair of a distance label body: a PLL
+// (landmark rank, distance) entry, or a Lemma 7 thin-list (vertex id,
+// distance) entry. Lists handed to the pipeline are sorted by ID ascending.
+type DistEntry struct {
+	ID int32
+	D  int32
+}
+
+// DistKind selects a distance slab layout.
+type DistKind uint8
+
+const (
+	// DistPLL is the pruned-landmark 2-hop-cover layout (exact distances).
+	DistPLL DistKind = 1
+	// DistBounded is the Lemma 7 f(n)-bounded layout.
+	DistBounded DistKind = 2
+)
+
+// String names the kind as the labelstore scheme= record value.
+func (k DistKind) String() string {
+	switch k {
+	case DistPLL:
+		return "pll"
+	case DistBounded:
+		return "bdist"
+	}
+	return fmt.Sprintf("DistKind(%d)", uint8(k))
+}
+
+// DistParams carries the family parameters a DistEngine needs beyond the
+// slab itself; they travel in the labelstore header next to the scheme=
+// record kind.
+type DistParams struct {
+	Kind DistKind
+	// DW is the fixed distance field width in bits (PLL: sized to the
+	// largest stored distance; bdist: ceil(log2 (F+2)), derived).
+	DW int
+	// F is the bdist distance bound: queries up to F hops are exact, beyond
+	// is reported as distance.Beyond.
+	F int
+	// NFat is the bdist fat-table width (number of fat hubs).
+	NFat int
+}
+
+// DistArena is a pipeline-encoded distance labeling: one word-aligned slab,
+// per-vertex bit lengths, an optional physical layout permutation (rank r
+// holds vertex Order[r]'s label; nil is the identity), and the family
+// parameters. It is what NewDistEngineFromArena adopts zero-copy and what
+// labelstore stores as a format-v2 blob.
+type DistArena struct {
+	Slab    []byte
+	BitLens []int
+	Order   []int32
+	Params  DistParams
+}
+
+// N returns the number of labeled vertices.
+func (a *DistArena) N() int { return len(a.BitLens) }
+
+// pllWidths returns the PLL label field widths for an n-vertex graph with
+// maximum stored distance maxDist — identical to the legacy encoder's.
+func pllWidths(n int, maxDist int32) (w, wCnt, dw int) {
+	w = bitstr.WidthFor(uint64(n))
+	if w == 0 {
+		w = 1
+	}
+	wCnt = bitstr.WidthFor(uint64(n) + 1)
+	if wCnt == 0 {
+		wCnt = 1
+	}
+	dw = bitstr.WidthFor(uint64(maxDist) + 2)
+	if dw == 0 {
+		dw = 1
+	}
+	return w, wCnt, dw
+}
+
+// distPlanRanges chunks 0..n-1 for the parallel size-plan phase.
+func distPlanRanges(n, workers int) [][2]int {
+	ranges := make([][2]int, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
+}
+
+// distLayout prefix-sums word-aligned offsets over the physical order and
+// scatters them back to id-indexed offs, exactly as slabPlan.layout does.
+// Returns (id-indexed offs, rank-indexed monotonic physOffs).
+func distLayout(bitLens []int, order []int32) ([]int64, []int64, error) {
+	n := len(bitLens)
+	if order != nil && len(order) != n {
+		return nil, nil, fmt.Errorf("core: layout permutation of %d entries over %d labels", len(order), n)
+	}
+	physOffs := make([]int64, n+1)
+	words := 0
+	for r := 0; r < n; r++ {
+		v := r
+		if order != nil {
+			v = int(order[r])
+			if v < 0 || v >= n {
+				return nil, nil, fmt.Errorf("core: layout permutation entry %d = %d of %d labels", r, order[r], n)
+			}
+		}
+		physOffs[r] = int64(words) * bitstr.SlabWordBits
+		words += bitstr.SlabWords(bitLens[v])
+	}
+	physOffs[n] = int64(words) * bitstr.SlabWordBits
+	if order == nil {
+		return physOffs[:n], physOffs, nil
+	}
+	offs := make([]int64, n)
+	for r, v := range order {
+		offs[v] = physOffs[r]
+	}
+	return offs, physOffs, nil
+}
+
+// EncodePLLArena writes per-vertex PLL entry lists (sorted by hub rank,
+// exactly as the pruned BFS emits them) into one word-aligned slab. maxDist
+// is the largest entry distance (it sizes the fixed-width distance field the
+// same way the legacy encoder does). order, when non-nil, is the physical
+// layout permutation (rank→vertex); workers <= 0 selects GOMAXPROCS.
+func EncodePLLArena(entries [][]DistEntry, maxDist int32, order []int32, workers int) (*DistArena, error) {
+	n := len(entries)
+	if n == 0 {
+		return nil, fmt.Errorf("core: pll encode of zero vertices")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	w, wCnt, dw := pllWidths(n, maxDist)
+
+	// Phase 1 (parallel): exact per-label bit lengths — header plus the
+	// δ-coded rank gaps and fixed-width distances of each entry.
+	planStart := time.Now()
+	bitLens := make([]int, n)
+	var planErr error
+	runRanges(distPlanRanges(n, workers), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			bits := w + wCnt
+			prev := uint64(0)
+			for i, e := range entries[v] {
+				if e.ID < 0 || int(e.ID) >= n || (i > 0 && uint64(e.ID) <= prev) ||
+					e.D < 0 || e.D > maxDist {
+					planErr = fmt.Errorf("core: pll label %d entry %d: rank %d dist %d (n=%d maxDist=%d)",
+						v, i, e.ID, e.D, n, maxDist)
+					return
+				}
+				gap := uint64(e.ID) - prev
+				if i == 0 {
+					gap = uint64(e.ID)
+				}
+				bits += bitstr.DeltaLen(gap+1) + dw
+				prev = uint64(e.ID)
+			}
+			bitLens[v] = bits
+		}
+	})
+	if planErr != nil {
+		return nil, planErr
+	}
+	offs, physOffs, err := distLayout(bitLens, order)
+	if err != nil {
+		return nil, err
+	}
+	pipelineMetrics.PlanNs.ObserveDuration(time.Since(planStart))
+
+	// Phase 2 (parallel): direct-to-arena fill over word-balanced rank
+	// ranges.
+	fillStart := time.Now()
+	slab := make([]byte, int(physOffs[n]>>3))
+	runRanges(splitByWords(physOffs, workers), func(lo, hi int) {
+		sw := bitstr.NewSlabWriter(slab)
+		for r := lo; r < hi; r++ {
+			v := r
+			if order != nil {
+				v = int(order[r])
+			}
+			sw.SeekBit(offs[v])
+			sw.WriteUint(uint64(v), w)
+			sw.WriteUint(uint64(len(entries[v])), wCnt)
+			prev := uint64(0)
+			for i, e := range entries[v] {
+				gap := uint64(e.ID) - prev
+				if i == 0 {
+					gap = uint64(e.ID)
+				}
+				sw.WriteDelta0(gap)
+				sw.WriteUint(uint64(e.D), dw)
+				prev = uint64(e.ID)
+			}
+			sw.Flush()
+		}
+	})
+	pipelineMetrics.FillNs.ObserveDuration(time.Since(fillStart))
+	pipelineMetrics.Runs.Inc()
+	pipelineMetrics.Labels.Add(int64(n))
+	return &DistArena{Slab: slab, BitLens: bitLens, Order: order,
+		Params: DistParams{Kind: DistPLL, DW: dw}}, nil
+}
+
+// EncodeBoundedArena writes Lemma 7 bounded-distance labels into one
+// word-aligned slab, bit-for-bit identical to the legacy Builder encoder's
+// labels. fat flags each vertex's class; fatDist[v] is v's full fat table
+// (one dw-wide entry per hub, sentinel f+1 for "beyond"); thin[v] is thin
+// vertex v's (id, dist) list sorted by id ascending (ignored for fat
+// vertices). order and workers as in EncodePLLArena.
+func EncodeBoundedArena(fat []bool, fatDist [][]int32, thin [][]DistEntry, f int, order []int32, workers int) (*DistArena, error) {
+	n := len(fat)
+	if n == 0 {
+		return nil, fmt.Errorf("core: bounded-distance encode of zero vertices")
+	}
+	if f < 1 {
+		return nil, fmt.Errorf("core: distance bound must be >= 1, got %d", f)
+	}
+	if len(fatDist) != n || len(thin) != n {
+		return nil, fmt.Errorf("core: bounded-distance inputs of %d/%d/%d vertices", n, len(fatDist), len(thin))
+	}
+	nFat := len(fatDist[0])
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	w := bitstr.WidthFor(uint64(n))
+	dw := bitstr.WidthFor(uint64(f) + 2)
+	header := 1 + w + nFat*dw
+
+	// Phase 1: sizes are pure arithmetic on the input shapes.
+	planStart := time.Now()
+	bitLens := make([]int, n)
+	var planErr error
+	runRanges(distPlanRanges(n, workers), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if len(fatDist[v]) != nFat {
+				planErr = fmt.Errorf("core: bdist label %d: fat table of %d entries, want %d", v, len(fatDist[v]), nFat)
+				return
+			}
+			bits := header
+			if !fat[v] {
+				prev := int32(-1)
+				for i, e := range thin[v] {
+					if e.ID < 0 || int(e.ID) >= n || e.ID <= prev || e.D < 0 || int(e.D) > f+1 {
+						planErr = fmt.Errorf("core: bdist label %d thin entry %d: id %d dist %d (n=%d f=%d)",
+							v, i, e.ID, e.D, n, f)
+						return
+					}
+					prev = e.ID
+				}
+				bits += len(thin[v]) * (w + dw)
+			}
+			bitLens[v] = bits
+		}
+	})
+	if planErr != nil {
+		return nil, planErr
+	}
+	offs, physOffs, err := distLayout(bitLens, order)
+	if err != nil {
+		return nil, err
+	}
+	pipelineMetrics.PlanNs.ObserveDuration(time.Since(planStart))
+
+	// Phase 2: parallel fill.
+	fillStart := time.Now()
+	slab := make([]byte, int(physOffs[n]>>3))
+	runRanges(splitByWords(physOffs, workers), func(lo, hi int) {
+		sw := bitstr.NewSlabWriter(slab)
+		for r := lo; r < hi; r++ {
+			v := r
+			if order != nil {
+				v = int(order[r])
+			}
+			sw.SeekBit(offs[v])
+			// Fat bit and w-bit identifier in one store, as in the adjacency
+			// fill.
+			hdr := uint64(v)
+			if fat[v] {
+				hdr |= 1 << uint(w)
+			}
+			sw.WriteUint(hdr, 1+w)
+			sw.WriteUints32(fatDist[v], dw)
+			if !fat[v] {
+				for _, e := range thin[v] {
+					sw.WriteUint(uint64(e.ID), w)
+					sw.WriteUint(uint64(e.D), dw)
+				}
+			}
+			sw.Flush()
+		}
+	})
+	pipelineMetrics.FillNs.ObserveDuration(time.Since(fillStart))
+	pipelineMetrics.Runs.Inc()
+	pipelineMetrics.Labels.Add(int64(n))
+	return &DistArena{Slab: slab, BitLens: bitLens, Order: order,
+		Params: DistParams{Kind: DistBounded, DW: dw, F: f, NFat: nFat}}, nil
+}

@@ -181,6 +181,7 @@ func All() []Runner {
 		{ID: "E24", Description: "observability: obs primitive cost + engine instrumentation overhead", Run: E24ObservabilityOverhead},
 		{ID: "E25", Description: "skew-aware layout: id- vs degree-ordered arena under Zipf/degree-proportional query skew", Run: E25SkewLayout},
 		{ID: "E26", Description: "sharded serving: routed-fleet equivalence + aggregate q/s scaling with shard count", Run: E26ShardedServing},
+		{ID: "E27", Description: "distance serving: DistEngine vs QueryEngine q/s local + loopback TCP; slab encode vs legacy PLL", Run: E27DistanceServing},
 	}
 }
 

@@ -34,8 +34,11 @@
 // same path with its permutation block: readers reconstruct id-indexed
 // lookup from the permutation, readers too old to know the "layout" param
 // fail loudly on the extra block (a blob-length mismatch) rather than
-// mis-answer. Read understands both versions; Write emits v2 when the file
-// is arena-backed (NewArenaFile, NewPermutedArenaFile) and v1 otherwise.
+// mis-answer. A distance store (params carry "scheme" = pll | bdist, see
+// scheme.go) rides the same v2 body with no extra block — its engine
+// parameters live entirely in the params. Read understands both versions;
+// Write emits v2 when the file is arena-backed (NewArenaFile,
+// NewPermutedArenaFile) and v1 otherwise.
 package labelstore
 
 import (
@@ -49,6 +52,7 @@ import (
 	"strconv"
 
 	"repro/internal/bitstr"
+	"repro/internal/core"
 )
 
 // ErrFormat is returned when the input is not a valid label store.
@@ -103,6 +107,9 @@ type File struct {
 	// vertices (plus replicated fat labels) in full, foreign thin labels as
 	// header stubs. See shard.go.
 	shard *shardBlock
+	// dist, when non-nil, marks a distance store (scheme kind pll or bdist)
+	// and carries the engine parameters. See scheme.go.
+	dist *core.DistParams
 }
 
 // N returns the number of labels.
@@ -220,6 +227,17 @@ func (f *File) IntParam(key string) (int, error) {
 // Write serializes the store: format v2 (single slab blob) for arena-backed
 // files, v1 (tightly packed per-label payloads) otherwise.
 func Write(w io.Writer, f *File) error {
+	if f.dist != nil {
+		// Distance stores are v2-only (the engine adopts the slab as-is) and
+		// never sharded; refusing here keeps the two readers' rejections
+		// unreachable for files this package itself wrote.
+		if f.arena == nil {
+			return fmt.Errorf("labelstore: distance scheme %q requires an arena-backed store", f.dist.Kind)
+		}
+		if f.shard != nil {
+			return fmt.Errorf("labelstore: sharded store cannot declare distance scheme %q", f.dist.Kind)
+		}
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -238,8 +256,8 @@ func Write(w io.Writer, f *File) error {
 	// count: readers key the permutation and shard blocks off these params,
 	// so param and block are written (and read) as one unit.
 	params := f.Params
-	if f.order != nil || f.shard != nil {
-		params = make(map[string]string, len(f.Params)+2)
+	if f.order != nil || f.shard != nil || f.dist != nil {
+		params = make(map[string]string, len(f.Params)+5)
 		for k, v := range f.Params {
 			params[k] = v
 		}
@@ -248,6 +266,14 @@ func Write(w io.Writer, f *File) error {
 		}
 		if f.shard != nil {
 			params[shardsKey] = strconv.Itoa(f.shard.m.Count)
+		}
+		if f.dist != nil { // scheme kind + its companion engine params
+			params[schemeKey] = f.dist.Kind.String()
+			params[distWidthKey] = strconv.Itoa(f.dist.DW)
+			if f.dist.Kind == core.DistBounded {
+				params[distBoundKey] = strconv.Itoa(f.dist.F)
+				params[distNFatKey] = strconv.Itoa(f.dist.NFat)
+			}
 		}
 	}
 	keys := make([]string, 0, len(params))
@@ -373,6 +399,11 @@ func Read(r io.Reader) (*File, error) {
 		// labeling would answer foreign queries from stripped stubs.
 		return nil, fmt.Errorf("%w: v1 store declares %s shards", ErrFormat, sh)
 	}
+	if sch, ok := params[schemeKey]; ok && sch != SchemeAdjacency {
+		// Distance stores are v2-only; a v1 file declaring one is corrupt or
+		// from a writer this reader cannot serve.
+		return nil, fmt.Errorf("%w: v1 store declares scheme %q", ErrFormat, sch)
+	}
 	// Arena decode: all label payloads land in one contiguous slab and the
 	// returned strings are (offset, bitlen) views into it — one allocation
 	// for the whole store instead of one per label, matching the layout
@@ -472,6 +503,13 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 			return nil, err
 		}
 	}
+	dist, err := parseSchemeParams(params, n)
+	if err != nil {
+		return nil, err
+	}
+	if dist != nil && sb != nil {
+		return nil, fmt.Errorf("%w: sharded store declares distance scheme %q", ErrFormat, dist.Kind)
+	}
 	// Validate the declared geometry before buying the body: the blob-length
 	// field must agree with what the bit lengths occupy (both mismatch
 	// directions are corruption), and the body is then read in bounded
@@ -504,6 +542,7 @@ func readSlab(br *bufio.Reader, scheme string, params map[string]string, n int) 
 		}
 		f.shard = sb
 	}
+	f.dist = dist
 	return f, nil
 }
 

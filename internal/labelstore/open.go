@@ -130,6 +130,13 @@ func ReadBytes(data []byte) (*File, error) {
 			return nil, err
 		}
 	}
+	dist, err := parseSchemeParams(params, int(n))
+	if err != nil {
+		return nil, err
+	}
+	if dist != nil && sb != nil {
+		return nil, fmt.Errorf("%w: sharded store declares distance scheme %q", ErrFormat, dist.Kind)
+	}
 	// Validate the declared geometry before any view is constructed: the
 	// blob-length field must agree with the bit lengths, and the blob must
 	// actually be present in data — a short or truncated body fails here, at
@@ -160,6 +167,7 @@ func ReadBytes(data []byte) (*File, error) {
 		}
 		f.shard = sb
 	}
+	f.dist = dist
 	return f, nil
 }
 

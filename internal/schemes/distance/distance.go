@@ -13,7 +13,6 @@ package distance
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/bitstr"
 	"repro/internal/graph"
@@ -121,45 +120,16 @@ func (s Scheme) Encode(g *graph.Graph) (*Labeling, error) {
 		return nil, fmt.Errorf("distance: bound F must be >= 1, got %d", s.F)
 	}
 	n := g.N()
-	tau, err := s.Threshold(n)
+	// The fat/thin tables — one bounded BFS per fat hub, one thin-only
+	// bounded BFS per thin vertex — are shared with the slab encoder
+	// (boundedTables, slab.go), so both paths label from identical data.
+	fat, fatDist, thin, err := s.boundedTables(g)
 	if err != nil {
 		return nil, err
 	}
-	// Fat vertices sorted by decreasing degree get table indexes 0..F-1.
-	var fat []int
-	for v := 0; v < n; v++ {
-		if g.Degree(v) >= tau {
-			fat = append(fat, v)
-		}
-	}
-	sort.Slice(fat, func(i, j int) bool {
-		di, dj := g.Degree(fat[i]), g.Degree(fat[j])
-		if di != dj {
-			return di > dj
-		}
-		return fat[i] < fat[j]
-	})
-	fatIndex := make(map[int]int, len(fat))
-	for i, v := range fat {
-		fatIndex[v] = i
-	}
-	isFat := func(v int) bool { _, ok := fatIndex[v]; return ok }
-
-	// One bounded BFS per fat vertex fills column i of every label's fat
-	// table: fatDist[v][i] = min(dist(v, fat_i), f+1).
-	sentinel := s.F + 1
-	fatDist := make([][]int32, n)
-	for v := range fatDist {
-		row := make([]int32, len(fat))
-		for i := range row {
-			row[i] = int32(sentinel)
-		}
-		fatDist[v] = row
-	}
-	for i, fv := range fat {
-		for v, d := range g.BFSBounded(fv, s.F, nil) {
-			fatDist[v][i] = int32(d)
-		}
+	nFat := 0
+	if n > 0 {
+		nFat = len(fatDist[0])
 	}
 
 	w := bitstr.WidthFor(uint64(n))
@@ -168,33 +138,23 @@ func (s Scheme) Encode(g *graph.Graph) (*Labeling, error) {
 	var b bitstr.Builder
 	for v := 0; v < n; v++ {
 		b.Reset()
-		fatV := isFat(v)
-		b.AppendBit(fatV)
+		b.AppendBit(fat[v])
 		b.AppendUint(uint64(v), w)
 		for _, d := range fatDist[v] {
 			b.AppendUint(uint64(d), dw)
 		}
-		if !fatV {
-			// Thin-only bounded BFS: distances realized through thin
-			// vertices. Any underestimate... rather, any overestimate this
-			// table contains (because the true shortest path uses a fat hop)
-			// is corrected at query time by the fat-table minimum.
-			reach := g.BFSBounded(v, s.F, func(u int) bool { return !isFat(u) })
-			ids := make([]int, 0, len(reach))
-			for u := range reach {
-				if u != v {
-					ids = append(ids, u)
-				}
-			}
-			sort.Ints(ids) // deterministic labels
-			for _, u := range ids {
-				b.AppendUint(uint64(u), w)
-				b.AppendUint(uint64(reach[u]), dw)
+		if !fat[v] {
+			// Thin-reachability list: any overestimate it contains (because
+			// the true shortest path uses a fat hop) is corrected at query
+			// time by the fat-table minimum.
+			for _, e := range thin[v] {
+				b.AppendUint(uint64(e.ID), w)
+				b.AppendUint(uint64(e.D), dw)
 			}
 		}
 		labels[v] = b.String()
 	}
-	dec := &Decoder{n: n, w: w, dw: dw, f: s.F, nFat: len(fat)}
+	dec := &Decoder{n: n, w: w, dw: dw, f: s.F, nFat: nFat}
 	return &Labeling{labels: labels, dec: dec}, nil
 }
 

@@ -24,86 +24,18 @@ type PLLScheme struct{}
 // Name identifies the scheme in experiment output.
 func (PLLScheme) Name() string { return "dist-pll" }
 
-// pllEntry is one (landmark rank, distance) pair.
-type pllEntry struct {
-	rank int32
-	dist int32
-}
-
 // Encode builds pruned landmark labels for g.
 //
 // Label layout (w = ceil(log2 n), dw sized to the largest stored distance):
 //
 //	[own id: w][entry count: w][rank: w, dist: dw] × count
 //
-// Entries are sorted by landmark rank, enabling merge-scan queries.
+// Entries are sorted by landmark rank, enabling merge-scan queries. The
+// pruned BFS sweep itself is shared with the slab encoder (pllEntries,
+// slab.go), so the legacy and arena paths label from identical entry lists.
 func (s PLLScheme) Encode(g *graph.Graph) (*PLLLabeling, error) {
 	n := g.N()
-	order := g.VerticesByDegreeDesc()
-	entries := make([][]pllEntry, n)
-
-	// query returns the current upper bound on dist(u, v) from labels.
-	query := func(u, v int) int32 {
-		const inf = int32(1 << 30)
-		best := inf
-		eu, ev := entries[u], entries[v]
-		i, j := 0, 0
-		for i < len(eu) && j < len(ev) {
-			switch {
-			case eu[i].rank == ev[j].rank:
-				if d := eu[i].dist + ev[j].dist; d < best {
-					best = d
-				}
-				i++
-				j++
-			case eu[i].rank < ev[j].rank:
-				i++
-			default:
-				j++
-			}
-		}
-		return best
-	}
-
-	// Pruned BFS from each landmark in rank order.
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	queue := make([]int32, 0, 256)
-	var touched []int32
-	maxDist := int32(0)
-	for r, vk := range order {
-		queue = queue[:0]
-		touched = touched[:0]
-		dist[vk] = 0
-		queue = append(queue, int32(vk))
-		touched = append(touched, int32(vk))
-		for head := 0; head < len(queue); head++ {
-			u := int(queue[head])
-			du := dist[u]
-			// Prune: if the existing labels already certify dist(vk,u) <= du,
-			// u needs no new entry and its subtree is covered via vk's
-			// earlier landmarks.
-			if query(vk, u) <= du {
-				continue
-			}
-			entries[u] = append(entries[u], pllEntry{rank: int32(r), dist: du})
-			if du > maxDist {
-				maxDist = du
-			}
-			for _, wv := range g.Neighbors(u) {
-				if dist[wv] < 0 {
-					dist[wv] = du + 1
-					queue = append(queue, wv)
-					touched = append(touched, wv)
-				}
-			}
-		}
-		for _, u := range touched {
-			dist[u] = -1
-		}
-	}
+	entries, maxDist, _ := pllEntries(g)
 
 	w := bitstr.WidthFor(uint64(n))
 	if w == 0 {
@@ -126,10 +58,10 @@ func (s PLLScheme) Encode(g *graph.Graph) (*PLLLabeling, error) {
 		// Entries were appended in increasing rank order already; assert it
 		// cheaply in sorted order for safety.
 		es := entries[v]
-		sort.Slice(es, func(i, j int) bool { return es[i].rank < es[j].rank })
+		sort.Slice(es, func(i, j int) bool { return es[i].ID < es[j].ID })
 		for _, e := range es {
-			b.AppendUint(uint64(e.rank), w)
-			b.AppendUint(uint64(e.dist), dw)
+			b.AppendUint(uint64(e.ID), w)
+			b.AppendUint(uint64(e.D), dw)
 		}
 		labels[v] = b.String()
 	}

@@ -10,7 +10,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 work="${1:-$(mktemp -d)}"
-trap 'kill "${serve_pid:-}" "${route_pid:-}" ${shard_pids:-} 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
+trap 'kill "${serve_pid:-}" "${route_pid:-}" ${shard_pids:-} ${dist_pids:-} 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
 
 echo "== build"
 mkdir -p "$work/bin"
@@ -181,5 +181,64 @@ route_pid=""
 for p in $shard_pids; do kill -TERM "$p"; done
 for p in $shard_pids; do wait "$p" || { echo "shard server $p exited non-zero"; exit 1; }; done
 shard_pids=""
+
+echo "== distance phase: dist-pll store, distance daemon, replica fleet"
+"$work/bin/pllabel" -scheme dist-pll -layout degree -in "$work/graph.el" \
+    -o "$work/dists.pllb" >"$work/label-dist.log"
+grep -q "verify: ok" "$work/label-dist.log" \
+    || { echo "distance labeling failed verification"; cat "$work/label-dist.log"; exit 1; }
+dist_addrs=""
+dist_pids=""
+for i in 0 1; do
+    "$work/bin/plserve" -labels "$work/dists.pllb" -addr 127.0.0.1:0 \
+        >"$work/serve-dist$i.log" 2>&1 &
+    dist_pids="$dist_pids $!"
+done
+for i in 0 1; do
+    daddr=""
+    for _ in $(seq 1 100); do
+        daddr=$(sed -n 's/^plserve: listening on //p' "$work/serve-dist$i.log")
+        [ -n "$daddr" ] && break
+        sleep 0.1
+    done
+    [ -n "$daddr" ] || { cat "$work/serve-dist$i.log"; echo "distance replica $i never became ready"; exit 1; }
+    grep -q "plane=distance/pll" "$work/serve-dist$i.log" \
+        || { echo "replica $i did not report the distance plane"; cat "$work/serve-dist$i.log"; exit 1; }
+    dist_addrs="$dist_addrs,$daddr"
+    [ $i = 0 ] && daddr0="$daddr"
+done
+dist_addrs="${dist_addrs#,}"
+
+echo "== query: distance remote vs local must be byte-identical"
+"$work/bin/plquery" -dist -labels "$work/dists.pllb" -batch <"$work/pairs.txt" >"$work/dist-local.out"
+"$work/bin/plquery" -dist -remote "$daddr0" -batch <"$work/pairs.txt" >"$work/dist-remote.out"
+"$work/bin/plquery" -dist -remote "$daddr0" <"$work/pairs.txt" >"$work/dist-stream.out"
+diff "$work/dist-local.out" "$work/dist-remote.out"
+diff "$work/dist-local.out" "$work/dist-stream.out"
+echo "   $(wc -l <"$work/dist-local.out") distances identical across local, remote-batch, remote-stream"
+
+echo "== replica fleet: 2 identical distance servers behind plroute"
+"$work/bin/plroute" -shards "$dist_addrs" -addr 127.0.0.1:0 >"$work/route-dist.log" 2>&1 &
+route_pid=$!
+raddr=""
+for _ in $(seq 1 100); do
+    raddr=$(sed -n 's/^plroute: listening on //p' "$work/route-dist.log")
+    [ -n "$raddr" ] && break
+    kill -0 "$route_pid" 2>/dev/null || { cat "$work/route-dist.log"; echo "plroute (replicas) died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$raddr" ] || { cat "$work/route-dist.log"; echo "plroute (replicas) never became ready"; exit 1; }
+grep -q "2 replicas handshaked" "$work/route-dist.log" \
+    || { echo "fleet not admitted as replicas"; cat "$work/route-dist.log"; exit 1; }
+"$work/bin/plquery" -dist -remote "$raddr" -batch <"$work/pairs.txt" >"$work/dist-routed.out"
+diff "$work/dist-local.out" "$work/dist-routed.out"
+echo "   $(wc -l <"$work/dist-routed.out") routed distances identical to local"
+
+kill -TERM "$route_pid"
+wait "$route_pid" || { echo "plroute (replicas) exited non-zero"; cat "$work/route-dist.log"; exit 1; }
+route_pid=""
+for p in $dist_pids; do kill -TERM "$p"; done
+for p in $dist_pids; do wait "$p" || { echo "distance replica $p exited non-zero"; exit 1; }; done
+dist_pids=""
 
 echo "== serving smoke OK"
