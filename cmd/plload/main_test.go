@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/adjserve"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("64:0.9,4096:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].size != 64 || mix[1].size != 4096 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if got := mix[0].weight + mix[1].weight; got < 0.999 || got > 1.001 {
+		t.Fatalf("weights sum to %g, want 1", got)
+	}
+	if mix[0].weight < 0.89 || mix[0].weight > 0.91 {
+		t.Fatalf("weight[0] = %g, want 0.9", mix[0].weight)
+	}
+	if m, err := parseMix("64"); err != nil || len(m) != 1 || m[0].weight != 1 {
+		t.Fatalf("bare size mix = %+v, err %v", m, err)
+	}
+	for _, bad := range []string{"", "0", "-5", "64:0", "64:x", "x:1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestWorkloadDeterministicMix checks the pre-generated schedule realizes the
+// weighted mix and is reproducible in the seed.
+func TestWorkloadDeterministicMix(t *testing.T) {
+	sampler, err := experiments.NewProbeSamplerDegrees(1000, nil, experiments.DistUniform, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &config{
+		mix:      []mixClass{{size: 8, weight: 0.75}, {size: 64, weight: 0.25}},
+		distFrac: 0.5, seed: 7,
+	}
+	w := buildWorkload(cfg, sampler)
+	small, dist := 0, 0
+	const slots = 10000
+	for k := uint64(0); k < slots; k++ {
+		pairs, isDist := w.pick(k)
+		if len(pairs) == 8 {
+			small++
+		} else if len(pairs) != 64 {
+			t.Fatalf("slot %d: batch of %d pairs, want 8 or 64", k, len(pairs))
+		}
+		if isDist {
+			dist++
+		}
+	}
+	if frac := float64(small) / slots; frac < 0.70 || frac > 0.80 {
+		t.Fatalf("small-batch fraction = %g, want ~0.75", frac)
+	}
+	if frac := float64(dist) / slots; frac < 0.45 || frac > 0.55 {
+		t.Fatalf("dist fraction = %g, want ~0.5", frac)
+	}
+	// Same seed, same stream.
+	sampler2, _ := experiments.NewProbeSamplerDegrees(1000, nil, experiments.DistUniform, 0, 7)
+	w2 := buildWorkload(cfg, sampler2)
+	for k := uint64(0); k < 100; k++ {
+		p1, d1 := w.pick(k)
+		p2, d2 := w2.pick(k)
+		if d1 != d2 || len(p1) != len(p2) || p1[0] != p2[0] {
+			t.Fatalf("slot %d diverged across identical seeds", k)
+		}
+	}
+}
+
+// startLoadServer serves a labeled power-law graph on loopback.
+func startLoadServer(t *testing.T, n int) (string, *adjserve.Server) {
+	t.Helper()
+	g, err := gen.ChungLuPowerLaw(n, 2.5, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := adjserve.NewServer(eng, 0)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+// TestOpenLoopAgainstLoopback is the end-to-end harness check: a short
+// open-loop run against a real server completes frames, reports sane numbers
+// and appends a well-formed JSON row.
+func TestOpenLoopAgainstLoopback(t *testing.T) {
+	addr, _ := startLoadServer(t, 2000)
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-duration", "700ms", "-warmup", "100ms",
+		"-rate", "400",
+		"-conns", "2", "-workers", "2",
+		"-batch", "8:0.8,64:0.2",
+		"-seed", "3",
+		"-json", jsonPath, "-label", "smoke",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mode=open") || !strings.Contains(out.String(), "achieved=") {
+		t.Fatalf("report missing fields:\n%s", out.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("bench file not a row array: %v\n%s", err, data)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Label != "smoke" || r.Mode != "open" || r.OfferedQPS != 400 {
+		t.Fatalf("row provenance wrong: %+v", r)
+	}
+	if r.FramesOK == 0 || r.AchievedQPS <= 0 {
+		t.Fatalf("no frames completed: %+v", r)
+	}
+	if r.FramesErr != 0 {
+		t.Fatalf("%d error frames against a healthy server: %+v", r.FramesErr, r)
+	}
+	if r.P50us <= 0 || r.P99us < r.P50us || r.P999us < r.P99us {
+		t.Fatalf("latency quantiles not sane: %+v", r)
+	}
+
+	// Appending a second row must preserve the first.
+	var out2 bytes.Buffer
+	err = run([]string{
+		"-addr", addr, "-duration", "300ms", "-warmup", "50ms",
+		"-conns", "1", "-workers", "1", "-batch", "4",
+		"-json", jsonPath, "-label", "smoke2",
+	}, &out2)
+	if err != nil {
+		t.Fatalf("second run: %v\n%s", err, out2.String())
+	}
+	data, _ = os.ReadFile(jsonPath)
+	rows = nil
+	if err := json.Unmarshal(data, &rows); err != nil || len(rows) != 2 {
+		t.Fatalf("append broke the file: %d rows, err %v", len(rows), err)
+	}
+	if rows[0].Label != "smoke" || rows[1].Label != "smoke2" {
+		t.Fatalf("row order wrong: %s, %s", rows[0].Label, rows[1].Label)
+	}
+	if rows[1].Mode != "closed" {
+		t.Fatalf("rate 0 run mode = %s, want closed", rows[1].Mode)
+	}
+}
+
+// TestOverloadedServerShedsNotFails pins the server's latch and checks the
+// harness charges refused work to the shed column, not the error column.
+func TestOverloadedServerShedsNotFails(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(500, 2.5, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := core.NewPowerLawScheme(2.5).Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewQueryEngine(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := adjserve.NewServer(eng, 0)
+	srv.SetShedDepth(1)
+	go srv.Serve(ln)
+	defer srv.Close()
+	srv.Metrics().QueuedFrames.Add(5) // every query frame sheds
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", ln.Addr().String(),
+		"-duration", "300ms", "-warmup", "50ms",
+		"-conns", "1", "-workers", "1", "-batch", "4",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "shed=") {
+		t.Fatalf("report missing shed count:\n%s", out.String())
+	}
+	// All query frames were refused; none may be misfiled as errors.
+	if strings.Contains(out.String(), "shed=0 ") {
+		t.Fatalf("no sheds recorded against a shedding server:\n%s", out.String())
+	}
+}

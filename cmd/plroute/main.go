@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		addr      = fs.String("addr", "127.0.0.1:7441", "listen address (port 0 picks a free port)")
 		adminAddr = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
 		maxBatch  = fs.Int("max-batch", 0, "max pairs per downstream request frame (0 = default)")
+		maxConns  = fs.Int("max-conns", 0, "downstream connection admission cap; extra conns get a shed frame and a close (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +106,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		return fmt.Errorf("shard handshake: %w", err)
 	}
 	defer r.Close()
+	r.SetMaxConns(*maxConns)
 	if reg != nil {
 		r.RegisterMetrics(reg)
 	}

@@ -59,6 +59,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		useMmap    = fs.Bool("mmap", true, "memory-map the store (false forces the copying reader)")
 		cacheBits  = fs.Int("pair-cache-bits", 0, "log2 slots of the (u,v) result cache (0 = disabled; enable only once the store is read-only warm)")
 		sortMin    = fs.Int("sort-min", 0, "min pairs per frame to probe in arena-offset order (0 = disabled)")
+		maxConns   = fs.Int("max-conns", 0, "connection admission cap; extra conns get a shed frame and a close (0 = unlimited)")
+		shedDepth  = fs.Int("shed-depth", 0, "shed query/dist frames while more than this many frames are in flight across all conns (0 = never shed)")
+		maxPending = fs.Int("max-pending-resp", 0, "flush after this many unflushed responses per conn (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +158,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		store.Scheme, store.N(), layout, planeNote, mode, time.Since(start).Round(time.Microsecond))
 
 	srv.SetSortedBatchMin(*sortMin)
+	srv.SetMaxConns(*maxConns)
+	srv.SetShedDepth(*shedDepth)
+	srv.SetMaxPendingResponses(*maxPending)
 
 	// The admin plane is optional and read-only: one registry spanning the
 	// server, engine, store and runtime families, plus pprof. Readiness flips
@@ -172,9 +178,15 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		labelstore.RegisterMetrics(reg)
 		srv.Traffic.Register(reg, "adjserve_traffic")
 		admin = obs.NewAdminServer(reg)
+		// Readiness folds in the shedding latch: a load balancer should stop
+		// routing to a server that is refusing work, and resume once the
+		// queue drains below the release threshold.
 		admin.Readyz = func() error {
 			if !ready.Load() {
 				return errors.New("not serving")
+			}
+			if srv.Shedding() {
+				return errors.New("shedding load")
 			}
 			return nil
 		}

@@ -137,3 +137,21 @@ func BenchmarkRouterBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAdjserveShed measures the refusal path: answering a 64-pair query
+// frame with a shed frame while the latch is tripped. Shedding exists to be
+// far cheaper than serving, so this must report 0 allocs/op (CI asserts it)
+// and a tiny ns/op.
+func BenchmarkAdjserveShed(b *testing.B) {
+	srv := NewServer(testEngine(b, 20000, 42), 0)
+	srv.SetShedDepth(1)
+	srv.metrics.QueuedFrames.Add(5) // pinned past the bound: every frame sheds
+	req := appendQueryReq(nil, randomPairs(20000, 64, 1))
+	bufs := &connBuffers{resp: make([]byte, 0, 64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, _ := srv.process(req, bufs)
+		bufs.resp = resp[:0]
+	}
+}

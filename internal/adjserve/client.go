@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -50,10 +51,19 @@ type Client struct {
 
 	// RedialBackoff is the initial delay between dial attempts (<= 0
 	// selects DefaultRedialBackoff), doubling per consecutive failure up to
-	// one second. The backoff sleeps while holding the client's connection
-	// lock, so concurrent calls wait out the same reconnect rather than
-	// piling up their own dial storms.
+	// one second with ±20% jitter per sleep. The backoff sleeps while holding
+	// the client's connection lock, so concurrent calls wait out the same
+	// reconnect rather than piling up their own dial storms; the jitter keeps
+	// a fleet of such clients (plroute holds one per shard) from
+	// synchronizing their reconnect storms after a shared server restart.
 	RedialBackoff time.Duration
+
+	// DialFunc, when non-nil, replaces net.Dial("tcp", addr) for every
+	// connection this client establishes. It is the hook chaos harnesses use
+	// to interpose throttled or fault-injecting connections (plload's
+	// slow-client mode) without the client growing transport knowledge. Set
+	// before the first call; never mutated afterwards.
+	DialFunc func(addr string) (net.Conn, error)
 
 	addr string
 	mu   sync.Mutex // guards conn lifecycle and interleaves frame writes
@@ -62,6 +72,31 @@ type Client struct {
 
 	everConnected bool // a redial (vs first dial) is a reconnect, for metrics
 	metrics       ClientMetrics
+
+	// sleep and jitterFloat are the backoff clock and jitter source,
+	// swappable by tests (fake clock, deterministic rand); nil selects
+	// time.Sleep and a lazily seeded rand.Float64. Guarded by mu like the
+	// backoff itself.
+	sleep       func(time.Duration)
+	jitterFloat func() float64
+	jitterRNG   *rand.Rand
+}
+
+// backoffJitterFrac is the redial jitter amplitude: each backoff sleep is
+// scaled by a factor drawn uniformly from [1-frac, 1+frac].
+const backoffJitterFrac = 0.2
+
+// jitterBackoff scales d by the client's jitter source. Exposed as a method
+// so the fake-clock test exercises exactly the production path.
+func (c *Client) jitterBackoff(d time.Duration) time.Duration {
+	if c.jitterFloat == nil {
+		if c.jitterRNG == nil {
+			c.jitterRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+		}
+		c.jitterFloat = c.jitterRNG.Float64
+	}
+	f := 1 - backoffJitterFrac + 2*backoffJitterFrac*c.jitterFloat()
+	return time.Duration(float64(d) * f)
 }
 
 // NewClient returns a client that dials lazily: the first call establishes
@@ -234,16 +269,24 @@ func (c *Client) ensureConn() (*clientConn, error) {
 	if backoff <= 0 {
 		backoff = DefaultRedialBackoff
 	}
+	dial := c.DialFunc
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			sleep(c.jitterBackoff(backoff))
 			if backoff *= 2; backoff > maxRedialBackoff {
 				backoff = maxRedialBackoff
 			}
 		}
 		c.metrics.DialAttempts.Inc()
-		nc, err := net.Dial("tcp", c.addr)
+		nc, err := dial(c.addr)
 		if err != nil {
 			c.metrics.DialFailures.Inc()
 			lastErr = err
@@ -287,6 +330,9 @@ func (cc *clientConn) readLoop() {
 			return
 		}
 		cc.metrics.BytesIn.Add(int64(frameHeaderLen + plen))
+		if plen > 0 && payload[0] == statusShed {
+			cc.metrics.ShedFrames.Inc()
+		}
 		ca := cc.pop()
 		if ca == nil {
 			cc.fail(fmt.Errorf("%w: unsolicited response frame", ErrClosed))
@@ -309,6 +355,13 @@ func deliver(ca *call, payload []byte) error {
 	}
 	status, body := payload[0], payload[1:]
 	switch status {
+	case statusShed:
+		// The server refused the request under load; the connection stays up
+		// (unless the shed answered an admission rejection, in which case the
+		// server closes it right after and the next call redials). The single
+		// package-level ErrShed keeps this path allocation-free.
+		ca.done <- ErrShed
+		return nil
 	case statusErr:
 		msgLen, n := binary.Uvarint(body)
 		if n <= 0 || uint64(len(body)-n) < msgLen {

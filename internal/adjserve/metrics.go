@@ -34,11 +34,20 @@ func batchClass(pairs int) int {
 type ServerMetrics struct {
 	ConnsActive obs.Gauge   // open client connections
 	ConnsTotal  obs.Counter // connections accepted since start
+	ConnsShed   obs.Counter // connections refused at the admission cap
 	Frames      obs.Counter // request frames answered, all ops
 	ErrorFrames obs.Counter // frames answered with an error status
-	Queries     obs.Counter // adjacency pairs answered
-	BytesIn     obs.Counter // request wire bytes, frame headers included
-	BytesOut    obs.Counter // response wire bytes, frame headers included
+	ShedFrames  obs.Counter // frames answered with a shed status (load refused)
+	ShedEvents  obs.Counter // times the shedding latch tripped on
+	WriteErrors obs.Counter // response writes/flushes that failed (dead peer)
+	// QueuedFrames is the aggregate in-flight frame depth: frames fully read
+	// but whose response has not yet been flushed, across all connections —
+	// the queue the shedding bound (Server.SetShedDepth) watches. A pipelined
+	// burst charges every read frame until the burst's coalesced flush.
+	QueuedFrames obs.Gauge
+	Queries      obs.Counter // adjacency pairs answered
+	BytesIn      obs.Counter // request wire bytes, frame headers included
+	BytesOut     obs.Counter // response wire bytes, frame headers included
 	// FrameLatencyNs[batchClass] is the server-side frame handling time
 	// (request fully read → response buffered, excluding the flush) of
 	// successful query frames, one histogram per batch-size class.
@@ -50,8 +59,13 @@ type ServerMetrics struct {
 func (m *ServerMetrics) Register(reg *obs.Registry) {
 	reg.Gauge("adjserve_connections_active", "Open client connections.", &m.ConnsActive)
 	reg.Counter("adjserve_connections_total", "Client connections accepted.", &m.ConnsTotal)
+	reg.Counter("adjserve_connections_shed_total", "Connections refused at the admission cap.", &m.ConnsShed)
 	reg.Counter("adjserve_frames_total", "Request frames answered (all ops).", &m.Frames)
 	reg.Counter("adjserve_error_frames_total", "Frames answered with an error status.", &m.ErrorFrames)
+	reg.Counter("adjserve_shed_frames_total", "Frames answered with a shed status (load refused).", &m.ShedFrames)
+	reg.Counter("adjserve_shed_events_total", "Times the load-shedding latch tripped on.", &m.ShedEvents)
+	reg.Counter("adjserve_write_errors_total", "Response writes or flushes that failed (dead peer).", &m.WriteErrors)
+	reg.Gauge("adjserve_queued_frames", "Frames read but not yet flushed, across all connections.", &m.QueuedFrames)
 	reg.Counter("adjserve_queries_total", "Adjacency pairs answered.", &m.Queries)
 	reg.Counter("adjserve_bytes_in_total", "Request bytes read, frame headers included.", &m.BytesIn)
 	reg.Counter("adjserve_bytes_out_total", "Response bytes written, frame headers included.", &m.BytesOut)
@@ -70,6 +84,7 @@ type ClientMetrics struct {
 	DialFailures obs.Counter // dials that returned an error
 	Redials      obs.Counter // successful reconnects after a lost connection
 	FramesSent   obs.Counter // request frames written
+	ShedFrames   obs.Counter // responses that were shed frames (ErrShed)
 	BytesOut     obs.Counter // request wire bytes written, frame headers included
 	BytesIn      obs.Counter // response wire bytes read, frame headers included
 	InFlight     obs.Gauge   // frames written but not yet answered
@@ -88,6 +103,7 @@ func (m *ClientMetrics) RegisterWith(reg *obs.Registry, labels ...string) {
 	reg.Counter("adjserve_client_dial_failures_total", "Connection dials that failed.", &m.DialFailures, labels...)
 	reg.Counter("adjserve_client_redials_total", "Successful reconnects after a lost connection.", &m.Redials, labels...)
 	reg.Counter("adjserve_client_frames_total", "Request frames written.", &m.FramesSent, labels...)
+	reg.Counter("adjserve_client_shed_frames_total", "Responses that were shed frames.", &m.ShedFrames, labels...)
 	reg.Counter("adjserve_client_bytes_out_total", "Request bytes written, frame headers included.", &m.BytesOut, labels...)
 	reg.Counter("adjserve_client_bytes_in_total", "Response bytes read, frame headers included.", &m.BytesIn, labels...)
 	reg.Gauge("adjserve_client_inflight_frames", "Frames written but not yet answered.", &m.InFlight, labels...)

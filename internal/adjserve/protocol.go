@@ -34,6 +34,15 @@
 //	                        Θ(log n) diameter, so real distances never get
 //	                        close)
 //	         status=1 (error): uvarint message length, message bytes
+//	         status=2 (shed):  empty — the server (or a shard behind a
+//	                        router) refused the work to protect its latency:
+//	                        either the aggregate in-flight frame depth passed
+//	                        the configured shedding bound, or the connection
+//	                        itself was refused at the admission cap. Sheds are
+//	                        retryable by construction (nothing was queried)
+//	                        and poison only the request that drew them; the
+//	                        connection stays up unless the shed answered an
+//	                        admission rejection, which closes it right after.
 //
 // Requests on one connection are answered in order, so a client may write
 // many frames before reading any response (pipelining); batching amortizes
@@ -55,8 +64,9 @@ const (
 	opShardInfo = 3
 	opDist      = 4
 
-	statusOK  = 0
-	statusErr = 1
+	statusOK   = 0
+	statusErr  = 1
+	statusShed = 2
 
 	// distBeyondWire is the on-wire distance sentinel: unreachable pairs,
 	// distances beyond a bounded scheme's f, and (degenerately) any true
@@ -75,6 +85,19 @@ const (
 // ErrClosed is returned for calls on a client whose connection is gone and
 // for servers that have been shut down.
 var ErrClosed = errors.New("adjserve: closed")
+
+// ErrShed is returned for a request the server refused under load: the
+// aggregate in-flight frame depth was past the shedding bound (or the
+// connection was over the admission cap), so the server answered a shed frame
+// instead of querying the engine. Nothing was computed — the request is safe
+// to retry, ideally after backing off. A single package-level value keeps the
+// client's shed path allocation-free.
+var ErrShed = errors.New("adjserve: request shed under load")
+
+// appendShed builds a shed-response payload: the status byte alone. Kept to
+// one byte so the shed path costs a single buffered write and zero
+// allocations — shedding exists to be cheaper than serving.
+func appendShed(resp []byte) []byte { return append(resp, statusShed) }
 
 // RemoteError is a server-reported per-request failure (malformed frame,
 // oversized batch, out-of-range vertex). It poisons only the request that

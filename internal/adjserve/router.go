@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -39,10 +41,10 @@ import (
 // error frame, the downstream connection stays up, and frames touching only
 // live shards keep answering.
 type Router struct {
-	clients []*Client // by shard index (partition) or address order (replicas)
-	fatBits []byte    // replicated fat set, bit v MSB-first within byte v/8
-	n       int
-	fn      core.ShardFn
+	clients  []*Client // by shard index (partition) or address order (replicas)
+	fatBits  []byte    // replicated fat set, bit v MSB-first within byte v/8
+	n        int
+	fn       core.ShardFn
 	maxBatch int
 	// replicas marks a replica fleet: every upstream reported the trivial
 	// 1-shard map, so each holds a whole store (the distance-serving
@@ -51,14 +53,22 @@ type Router struct {
 	// any replica could answer any pair.
 	replicas bool
 
+	// maxConns, when > 0, caps concurrently open downstream connections,
+	// mirroring Server.SetMaxConns: over-cap accepts get one shed frame and a
+	// close. Set before Serve.
+	maxConns int
+
 	metrics RouterMetrics
 	bufPool sync.Pool // *routerBufs; per-router because sizes scale with shard count
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
-	wg       sync.WaitGroup
+	// draining is read once per frame by every downstream connection's loop;
+	// atomic so the frame loop takes no lock (mu guards only the registry).
+	draining atomic.Bool
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
 }
 
 // NewRouter dials one server per address, performs the shard-info handshake
@@ -190,6 +200,11 @@ func (r *Router) Shards() int { return len(r.clients) }
 // shard partition.
 func (r *Router) Replicas() bool { return r.replicas }
 
+// SetMaxConns caps concurrently open downstream connections; n <= 0 means
+// unlimited. Over-cap connections are answered with one shed frame and
+// closed, exactly like Server.SetMaxConns. Must be called before Serve.
+func (r *Router) SetMaxConns(n int) { r.maxConns = n }
+
 // Metrics returns the router's instrumentation; RegisterMetrics exposes it
 // (and every upstream client's) on a registry.
 func (r *Router) Metrics() *RouterMetrics { return &r.metrics }
@@ -248,7 +263,7 @@ func (r *Router) ownerOf(u int) int {
 // reordered).
 func (r *Router) Serve(ln net.Listener) error {
 	r.mu.Lock()
-	if r.draining {
+	if r.draining.Load() {
 		r.mu.Unlock()
 		ln.Close()
 		return ErrClosed
@@ -258,18 +273,21 @@ func (r *Router) Serve(ln net.Listener) error {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
-			r.mu.Lock()
-			draining := r.draining
-			r.mu.Unlock()
-			if draining {
+			if r.draining.Load() {
 				return ErrClosed
 			}
 			return err
 		}
 		r.mu.Lock()
-		if r.draining {
+		if r.draining.Load() {
 			r.mu.Unlock()
 			c.Close()
+			continue
+		}
+		if r.maxConns > 0 && len(r.conns) >= r.maxConns {
+			r.mu.Unlock()
+			r.metrics.ConnsShed.Inc()
+			go refuseConn(c)
 			continue
 		}
 		r.conns[c] = struct{}{}
@@ -293,12 +311,11 @@ func (r *Router) ListenAndServe(addr string) error {
 // then closes the upstream clients. Idempotent.
 func (r *Router) Close() error {
 	r.mu.Lock()
-	if r.draining {
+	if !r.draining.CompareAndSwap(false, true) {
 		r.mu.Unlock()
 		r.wg.Wait()
 		return nil
 	}
-	r.draining = true
 	ln := r.ln
 	for c := range r.conns {
 		c.SetReadDeadline(time.Now())
@@ -311,12 +328,6 @@ func (r *Router) Close() error {
 	r.wg.Wait()
 	r.closeClients()
 	return err
-}
-
-func (r *Router) isDraining() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.draining
 }
 
 // shardJob is one shard's slice of a query or dist frame, handed to that
@@ -385,8 +396,9 @@ func (r *Router) handle(c net.Conn) {
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
 	var hdr, fhdr [frameHeaderLen]byte
+	pending := 0
 	for {
-		if r.isDraining() {
+		if r.draining.Load() {
 			bw.Flush()
 			return
 		}
@@ -420,6 +432,8 @@ func (r *Router) handle(c net.Conn) {
 		switch {
 		case len(resp) > 0 && resp[0] == statusErr:
 			r.metrics.ErrorFrames.Inc()
+		case len(resp) > 0 && resp[0] == statusShed:
+			r.metrics.ShedFrames.Inc()
 		case queries > 0:
 			r.metrics.Queries.Add(int64(queries))
 			r.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
@@ -432,10 +446,15 @@ func (r *Router) handle(c net.Conn) {
 		if _, err := bw.Write(resp); err != nil {
 			return
 		}
-		if br.Buffered() < frameHeaderLen {
+		pending++
+		// One Flush per read-burst, bounded like the server's coalescing so a
+		// downstream client that stopped reading backpressures this loop
+		// instead of growing the write buffer.
+		if br.Buffered() < frameHeaderLen || pending >= DefaultMaxPendingResponses {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+			pending = 0
 		}
 	}
 }
@@ -459,7 +478,9 @@ func (r *Router) worker(s int, jobs <-chan *shardJob) {
 		m.Batches.Inc()
 		m.Pairs.Add(int64(len(job.pairs)))
 		m.LatencyNs.ObserveDuration(time.Since(start))
-		if err != nil {
+		if errors.Is(err, ErrShed) {
+			m.Sheds.Inc()
+		} else if err != nil {
 			m.Errors.Inc()
 		}
 		job.err = err
@@ -561,10 +582,24 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 		}
 	}
 	bufs.wg.Wait()
+	// A shed from one shard poisons only the sub-batches routed to it: the
+	// downstream frame that needed the overloaded shard answers with a shed
+	// frame (so the client sees ErrShed, a retryable refusal, not a generic
+	// failure), while frames touching only live shards keep answering. A
+	// non-shed error wins over a shed when both happen in one frame — it is
+	// the more informative verdict.
+	shed := false
 	for s := range jobs {
 		if err := jobs[s].err; err != nil {
+			if errors.Is(err, ErrShed) {
+				shed = true
+				continue
+			}
 			return appendErr(resp, "shard %d (%d pairs): %v", s, len(jobs[s].pairs), err), 0
 		}
+	}
+	if shed {
+		return appendShed(resp), 0
 	}
 	// Gather phase: fold each shard's bit answers back into request order.
 	resp = append(resp, statusOK)
@@ -633,10 +668,18 @@ func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, cha
 		}
 	}
 	bufs.wg.Wait()
+	shed := false
 	for s := range jobs {
 		if err := jobs[s].err; err != nil {
+			if errors.Is(err, ErrShed) {
+				shed = true
+				continue
+			}
 			return appendErr(resp, "replica %d (%d pairs): %v", s, len(jobs[s].pairs), err), 0
 		}
+	}
+	if shed {
+		return appendShed(resp), 0
 	}
 	all := bufs.dists[:0]
 	for i := 0; i < count; i++ {
@@ -665,8 +708,10 @@ func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, cha
 type RouterMetrics struct {
 	ConnsActive obs.Gauge   // open downstream connections
 	ConnsTotal  obs.Counter // downstream connections accepted
+	ConnsShed   obs.Counter // downstream connections refused at the admission cap
 	Frames      obs.Counter // downstream request frames answered
 	ErrorFrames obs.Counter // downstream frames answered with an error status
+	ShedFrames  obs.Counter // downstream frames answered with a shed status
 	Queries     obs.Counter // adjacency pairs answered
 	BytesIn     obs.Counter // downstream request bytes, frame headers included
 	BytesOut    obs.Counter // downstream response bytes, frame headers included
@@ -683,6 +728,7 @@ type UpstreamMetrics struct {
 	Batches   obs.Counter   // sub-batches fanned out to this shard
 	Pairs     obs.Counter   // pairs routed to this shard
 	Errors    obs.Counter   // sub-batches that failed (error frame or dead shard)
+	Sheds     obs.Counter   // sub-batches the shard refused under load
 	LatencyNs obs.Histogram // upstream round-trip per sub-batch
 }
 
@@ -694,8 +740,10 @@ func (m *RouterMetrics) init(shards int) { m.Upstreams = make([]UpstreamMetrics,
 func (m *RouterMetrics) Register(reg *obs.Registry) {
 	reg.Gauge("adjserve_router_connections_active", "Open downstream connections.", &m.ConnsActive)
 	reg.Counter("adjserve_router_connections_total", "Downstream connections accepted.", &m.ConnsTotal)
+	reg.Counter("adjserve_router_connections_shed_total", "Downstream connections refused at the admission cap.", &m.ConnsShed)
 	reg.Counter("adjserve_router_frames_total", "Downstream request frames answered (all ops).", &m.Frames)
 	reg.Counter("adjserve_router_error_frames_total", "Downstream frames answered with an error status.", &m.ErrorFrames)
+	reg.Counter("adjserve_router_shed_frames_total", "Downstream frames answered with a shed status.", &m.ShedFrames)
 	reg.Counter("adjserve_router_queries_total", "Adjacency pairs answered.", &m.Queries)
 	reg.Counter("adjserve_router_bytes_in_total", "Downstream request bytes read, frame headers included.", &m.BytesIn)
 	reg.Counter("adjserve_router_bytes_out_total", "Downstream response bytes written, frame headers included.", &m.BytesOut)
@@ -710,6 +758,7 @@ func (m *RouterMetrics) Register(reg *obs.Registry) {
 		reg.Counter("adjserve_router_upstream_batches_total", "Sub-batches fanned out, by shard.", &um.Batches, "shard", shard)
 		reg.Counter("adjserve_router_upstream_pairs_total", "Pairs routed upstream, by shard.", &um.Pairs, "shard", shard)
 		reg.Counter("adjserve_router_upstream_errors_total", "Failed upstream sub-batches, by shard.", &um.Errors, "shard", shard)
+		reg.Counter("adjserve_router_upstream_sheds_total", "Upstream sub-batches refused under load, by shard.", &um.Sheds, "shard", shard)
 		reg.Histogram("adjserve_router_upstream_latency_ns", "Upstream sub-batch round-trip in nanoseconds, by shard.", &um.LatencyNs, "shard", shard)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +31,42 @@ type Server struct {
 	// under traffic.
 	sortedMin int
 
+	// maxConns, when > 0, caps concurrently open client connections: an
+	// accept past the cap is answered with one shed frame and closed, so a
+	// protocol-speaking client sees ErrShed on its next call instead of a
+	// bare RST. Set before Serve.
+	maxConns int
+
+	// shedDepth, when > 0, is the aggregate queued-frame bound: while more
+	// than shedDepth frames are read-but-unflushed across all connections,
+	// new query/dist frames are answered with shed frames (one buffered byte,
+	// no engine work) until the depth drains below shedDepth/2. The hysteresis
+	// keeps the server from flapping at the boundary; info and shard-info
+	// frames are always answered so handshakes survive overload. Set before
+	// Serve.
+	shedDepth int
+
+	// maxPendingResp, when > 0, caps responses coalesced into a connection's
+	// write buffer before a forced Flush. Coalescing amortizes one syscall
+	// over a read-burst of pipelined frames; the cap bounds both the latency a
+	// buffered answer can sit unflushed and — because Flush blocks when the
+	// client stops reading — the per-connection buffered state. 0 selects
+	// DefaultMaxPendingResponses.
+	maxPendingResp int
+
+	// shedding is the hysteresis latch (see shedDepth); read once per frame.
+	// The aggregate queued-frame depth itself lives in metrics.QueuedFrames:
+	// frames whose payload has been read but whose response has not yet been
+	// flushed, across every connection. Because responses coalesce per
+	// read-burst, a connection sitting on a pipelined burst charges the whole
+	// burst to the gauge — the queue the shedding bound watches.
+	shedding atomic.Bool
+
+	// draining is read by every connection's frame loop once per frame, so it
+	// is an atomic rather than a field under mu (the mutex protects only the
+	// connection registry now).
+	draining atomic.Bool
+
 	// Traffic accounts wire bytes, frames (as message pairs) and answered
 	// queries in the same units as the peernet simulation.
 	Traffic peernet.Traffic
@@ -39,12 +76,16 @@ type Server struct {
 	// the per-query path.
 	metrics ServerMetrics
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
-	wg       sync.WaitGroup
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
 }
+
+// DefaultMaxPendingResponses is the per-connection coalescing bound when
+// Server.SetMaxPendingResponses is unset: how many answered frames may sit in
+// the write buffer before the server forces a Flush.
+const DefaultMaxPendingResponses = 64
 
 // NewServer builds a server over an engine. maxBatch caps pairs per frame
 // (<= 0 selects DefaultMaxBatch); larger batches are rejected with an error
@@ -75,12 +116,47 @@ func (s *Server) Metrics() *ServerMetrics { return &s.metrics }
 // Serve.
 func (s *Server) SetSortedBatchMin(min int) { s.sortedMin = min }
 
+// SetMaxConns caps concurrently open client connections; n <= 0 means
+// unlimited. A connection accepted past the cap is answered with a single
+// shed frame and closed (counted in ConnsShed), so load generators and
+// routers observe ErrShed rather than a connection reset. Must be called
+// before Serve.
+func (s *Server) SetMaxConns(n int) { s.maxConns = n }
+
+// SetShedDepth arms load shedding: while more than depth frames are in flight
+// across all connections (read but not yet answered), query and dist frames
+// are answered with shed frames until the depth drains below depth/2.
+// depth <= 0 disables shedding. Must be called before Serve.
+func (s *Server) SetShedDepth(depth int) { s.shedDepth = depth }
+
+// SetMaxPendingResponses caps responses coalesced per connection between
+// flushes; n <= 0 selects DefaultMaxPendingResponses. Must be called before
+// Serve.
+func (s *Server) SetMaxPendingResponses(n int) { s.maxPendingResp = n }
+
+// Shedding reports whether the server is currently refusing query frames
+// under the SetShedDepth bound — the signal /readyz surfaces so load
+// balancers route around an overloaded replica while it drains. Like the
+// frame loop, it releases the latch once the queued depth has drained below
+// half the bound, so readiness recovers even if the storm stops dead and no
+// further frame re-evaluates the latch.
+func (s *Server) Shedding() bool {
+	if !s.shedding.Load() {
+		return false
+	}
+	if s.metrics.QueuedFrames.Load() <= int64(s.shedDepth/2) {
+		s.shedding.Store(false)
+		return false
+	}
+	return true
+}
+
 // Serve accepts connections on ln until Close, answering each connection's
 // frames in order on its own goroutine. It returns ErrClosed after Close, or
 // the first accept error otherwise.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	if s.draining {
+	if s.draining.Load() {
 		// Close raced ahead of us and never saw this listener; close it here
 		// or it would keep accepting handshakes into the kernel backlog that
 		// no goroutine will ever answer.
@@ -93,18 +169,24 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
-			s.mu.Lock()
-			draining := s.draining
-			s.mu.Unlock()
-			if draining {
+			if s.draining.Load() {
 				return ErrClosed
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.draining {
+		if s.draining.Load() {
 			s.mu.Unlock()
 			c.Close()
+			continue
+		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			// Admission control: the cap protects the connections already
+			// admitted. The rejection is answered off the accept loop so a
+			// slow or dead peer cannot stall further accepts.
+			s.mu.Unlock()
+			s.metrics.ConnsShed.Inc()
+			go refuseConn(c)
 			continue
 		}
 		s.conns[c] = struct{}{}
@@ -112,6 +194,36 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go s.handle(c)
 	}
+}
+
+// refuseConn answers an over-cap connection with one shed frame and closes
+// it. It waits for (and discards) the peer's first request before answering,
+// so the shed frame is always matched FIFO to a call the client actually made
+// — an unsolicited response would make the client condemn the whole
+// connection as protocol corruption instead of failing one call with ErrShed.
+// A peer that never writes just sees the close after the deadline.
+func refuseConn(c net.Conn) {
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	c.SetReadDeadline(deadline)
+	c.SetWriteDeadline(deadline)
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[:]))
+	if plen > maxFramePayload {
+		return
+	}
+	if _, err := io.CopyN(io.Discard, c, plen); err != nil {
+		return
+	}
+	shed := appendShed(nil)
+	fhdr := frameHeader(len(shed))
+	if _, err := c.Write(fhdr[:]); err != nil {
+		return
+	}
+	c.Write(shed)
 }
 
 // ListenAndServe listens on addr and calls Serve.
@@ -130,12 +242,11 @@ func (s *Server) ListenAndServe(addr string) error {
 // the connection; clients recover by reconnecting. Close is idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.draining {
+	if !s.draining.CompareAndSwap(false, true) {
 		s.mu.Unlock()
 		s.wg.Wait()
 		return nil
 	}
-	s.draining = true
 	ln := s.ln
 	// Wake handlers blocked in a read; they observe draining and exit after
 	// flushing whatever they already answered.
@@ -181,19 +292,43 @@ func (s *Server) handle(c net.Conn) {
 	defer bufPool.Put(bufs)
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
+	maxPending := s.maxPendingResp
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPendingResponses
+	}
 	// Both header arrays escape (their slices reach the net.Conn interface
 	// through bufio's large-write bypass), so they live here — one allocation
 	// per connection, not one per frame.
 	var hdr, fhdr [frameHeaderLen]byte
+	// pending counts responses coalesced into bw since the last Flush: the
+	// flush below fires once per read-burst rather than once per frame, and
+	// maxPending bounds how long an answer can sit buffered (and, because a
+	// full socket makes Flush block, how far the loop can read ahead of a
+	// client that stopped reading — backpressure, not unbounded buffering).
+	pending := 0
+	// queued is this connection's contribution to the aggregate QueuedFrames
+	// gauge: frames whose payload has been read but whose response has not yet
+	// been flushed. Charging the whole unflushed burst (rather than just the
+	// frame inside process()) is what makes the gauge a real queue-depth
+	// signal — a connection sitting on eight pipelined frames is eight frames
+	// of backlog even though only one is on the CPU.
+	queued := 0
+	release := func() {
+		if queued > 0 {
+			s.metrics.QueuedFrames.Add(int64(-queued))
+			queued = 0
+		}
+	}
+	defer release()
 	for {
-		if s.isDraining() {
-			bw.Flush()
+		if s.draining.Load() {
+			s.flushFinal(bw)
 			return
 		}
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			// EOF (client went away), the Close wake-up deadline, or a torn
 			// header; nothing more to answer either way.
-			bw.Flush()
+			s.flushFinal(bw)
 			return
 		}
 		plen := int(binary.LittleEndian.Uint32(hdr[:]))
@@ -216,6 +351,11 @@ func (s *Server) handle(c net.Conn) {
 			if _, err := io.ReadFull(br, req); err != nil {
 				return
 			}
+			// The queued-frame window opens once the payload is fully read and
+			// closes when the response is flushed (see release); summed over
+			// connections it is the depth the shedding bound compares against.
+			s.metrics.QueuedFrames.Add(1)
+			queued++
 			frameStart = time.Now()
 			resp, queries = s.process(req, bufs)
 		}
@@ -228,6 +368,8 @@ func (s *Server) handle(c net.Conn) {
 		switch {
 		case len(resp) > 0 && resp[0] == statusErr:
 			s.metrics.ErrorFrames.Inc()
+		case len(resp) > 0 && resp[0] == statusShed:
+			s.metrics.ShedFrames.Inc()
 		case queries > 0:
 			s.metrics.Queries.Add(int64(queries))
 			s.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
@@ -235,26 +377,69 @@ func (s *Server) handle(c net.Conn) {
 		bufs.resp = resp[:0]
 		fhdr = frameHeader(len(resp))
 		if _, err := bw.Write(fhdr[:]); err != nil {
+			s.metrics.WriteErrors.Inc()
 			return
 		}
 		if _, err := bw.Write(resp); err != nil {
+			s.metrics.WriteErrors.Inc()
 			return
 		}
 		s.Traffic.Charge(2, int64(2*frameHeaderLen+plen+len(resp)), int64(queries))
+		pending++
 		// Pipelining-aware flush: hold responses while more complete frames
-		// are already buffered, flush before the next read could block.
-		if br.Buffered() < frameHeaderLen {
+		// are already buffered (one Flush per read-burst), but never hold
+		// more than maxPending answers; flush before the next read could
+		// block. A flush failure means the peer is gone — close now rather
+		// than discovering it one sticky-errored write later.
+		if br.Buffered() < frameHeaderLen || pending >= maxPending {
 			if err := bw.Flush(); err != nil {
+				s.metrics.WriteErrors.Inc()
 				return
 			}
+			pending = 0
+			release()
 		}
 	}
 }
 
-func (s *Server) isDraining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
+// flushFinal is the end-of-connection flush (drain or read error): its
+// failure cannot change control flow — the loop is returning either way —
+// but it is still counted, so dead-peer writes show up in /metrics instead
+// of vanishing.
+func (s *Server) flushFinal(bw *bufio.Writer) {
+	if err := bw.Flush(); err != nil {
+		s.metrics.WriteErrors.Inc()
+	}
+}
+
+// shouldShed is the per-frame admission decision for query work, one or two
+// atomic loads on the hot path. The latch trips when the aggregate queued-
+// frame depth passes shedDepth and releases only once the depth has drained
+// to half that, so the server does not flap between serving and shedding at
+// the boundary.
+func (s *Server) shouldShed() bool {
+	depth := s.shedDepth
+	if depth <= 0 {
+		return false
+	}
+	// The frame asking is itself inside the queued-frame window, so subtract
+	// it: the decision is about the *other* work already queued. Without the
+	// exclusion a shedDepth of 1 can never release — the asking frame alone
+	// holds the gauge above depth/2 = 0 forever.
+	q := s.metrics.QueuedFrames.Load() - 1
+	if s.shedding.Load() {
+		if q <= int64(depth/2) {
+			s.shedding.Store(false)
+			return false
+		}
+		return true
+	}
+	if q > int64(depth) {
+		s.shedding.Store(true)
+		s.metrics.ShedEvents.Inc()
+		return true
+	}
+	return false
 }
 
 // process answers one request payload, appending the response payload to
@@ -299,6 +484,13 @@ func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int
 		resp = append(resp, byte(m.Fn))
 		return s.engine.AppendFatBits(resp), 0
 	case opDist:
+		// Shed before touching the payload: under overload the whole point is
+		// that a refused frame costs one status byte, not a batch of probes.
+		// Info and shard-info frames are never shed — they are O(1) and
+		// routers need the handshake to survive an overloaded fleet.
+		if s.shouldShed() {
+			return appendShed(resp), 0
+		}
 		if s.dist == nil {
 			return appendErr(resp, "server holds no distance engine"), 0
 		}
@@ -341,6 +533,9 @@ func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int
 		s.dist.FlushTally(&t, int(count))
 		return resp, int(count)
 	case opQuery:
+		if s.shouldShed() {
+			return appendShed(resp), 0
+		}
 		if s.engine == nil {
 			return appendErr(resp, "server holds no adjacency engine"), 0
 		}

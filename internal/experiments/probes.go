@@ -55,14 +55,31 @@ type ProbeSampler struct {
 // NewProbeSampler builds a sampler over g's vertices. zipfS is only read for
 // DistZipf and must be positive there.
 func NewProbeSampler(g *graph.Graph, dist ProbeDist, zipfS float64, seed int64) (*ProbeSampler, error) {
-	n := g.N()
+	var deg []int
+	if dist != DistUniform {
+		deg = g.Degrees()
+	}
+	return NewProbeSamplerDegrees(g.N(), deg, dist, zipfS, seed)
+}
+
+// NewProbeSamplerDegrees builds a sampler from a vertex count and a degree
+// slice alone, for callers that have no graph in memory — a load generator
+// pointed at a serving tier knows n from the info handshake and degrees (if it
+// wants skew) from a degree file, never the edges. deg may be nil for
+// DistUniform; the skewed distributions require len(deg) == n. zipfS is only
+// read for DistZipf and must be positive there.
+func NewProbeSamplerDegrees(n int, deg []int, dist ProbeDist, zipfS float64, seed int64) (*ProbeSampler, error) {
 	if n == 0 {
-		return nil, fmt.Errorf("probe sampler over an empty graph")
+		return nil, fmt.Errorf("probe sampler over an empty vertex set")
 	}
 	p := &ProbeSampler{rng: rand.New(rand.NewSource(seed)), n: n}
-	switch dist {
-	case DistUniform:
+	if dist == DistUniform {
 		return p, nil
+	}
+	if len(deg) != n {
+		return nil, fmt.Errorf("probe distribution %q needs one degree per vertex: got %d degrees for n=%d", dist, len(deg), n)
+	}
+	switch dist {
 	case DistZipf:
 		if zipfS <= 0 {
 			return nil, fmt.Errorf("zipf exponent must be > 0, got %g", zipfS)
@@ -74,7 +91,6 @@ func NewProbeSampler(g *graph.Graph, dist ProbeDist, zipfS float64, seed int64) 
 		for v := range verts {
 			verts[v] = int32(v)
 		}
-		deg := g.Degrees()
 		sort.SliceStable(verts, func(i, j int) bool { return deg[verts[i]] > deg[verts[j]] })
 		p.verts = verts
 		p.cum = make([]float64, n)
@@ -90,7 +106,7 @@ func NewProbeSampler(g *graph.Graph, dist ProbeDist, zipfS float64, seed int64) 
 		p.cum = make([]float64, n)
 		p.wt = make([]float64, n)
 		for v := 0; v < n; v++ {
-			w := float64(g.Degree(v) + 1)
+			w := float64(deg[v] + 1)
 			p.total += w
 			p.cum[v] = p.total
 			p.wt[v] = w

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestProbeSamplerDegreesEquivalence pins the refactoring contract: a sampler
+// built from (n, Degrees()) draws the identical stream as one built from the
+// graph, for every distribution — plload's graph-free construction must not
+// change any experiment's probe sequence.
+func TestProbeSamplerDegreesEquivalence(t *testing.T) {
+	g, err := gen.ChungLuPowerLaw(1500, 2.5, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []ProbeDist{DistUniform, DistZipf, DistDegProp} {
+		fromGraph, err := NewProbeSampler(g, dist, 1.1, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deg := g.Degrees()
+		if dist == DistUniform {
+			deg = nil // uniform needs no degrees at all
+		}
+		fromDegrees, err := NewProbeSamplerDegrees(g.N(), deg, dist, 1.1, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			a, b := fromGraph.Vertex(), fromDegrees.Vertex()
+			if a != b {
+				t.Fatalf("%s: draw %d: graph sampler %d, degrees sampler %d", dist, i, a, b)
+			}
+		}
+		for v := 0; v < g.N(); v += 97 {
+			if pa, pb := fromGraph.VertexProb(v), fromDegrees.VertexProb(v); pa != pb {
+				t.Fatalf("%s: VertexProb(%d): %g vs %g", dist, v, pa, pb)
+			}
+		}
+	}
+}
+
+func TestProbeSamplerDegreesValidation(t *testing.T) {
+	if _, err := NewProbeSamplerDegrees(0, nil, DistUniform, 0, 1); err == nil {
+		t.Fatal("empty vertex set accepted")
+	}
+	if _, err := NewProbeSamplerDegrees(10, []int{1, 2}, DistZipf, 1.1, 1); err == nil {
+		t.Fatal("degree slice of the wrong length accepted for zipf")
+	}
+	if _, err := NewProbeSamplerDegrees(10, nil, DistDegProp, 0, 1); err == nil {
+		t.Fatal("nil degrees accepted for degprop")
+	}
+	if _, err := NewProbeSamplerDegrees(3, []int{1, 2, 3}, DistZipf, 0, 1); err == nil {
+		t.Fatal("non-positive zipf exponent accepted")
+	}
+	s, err := NewProbeSamplerDegrees(10, nil, DistUniform, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v := s.Vertex(); v < 0 || v >= 10 {
+			t.Fatalf("uniform draw %d out of range", v)
+		}
+	}
+}

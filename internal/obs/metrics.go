@@ -128,6 +128,24 @@ func (h *Histogram) snapshot() (b [HistogramBuckets]int64, total int64) {
 // than fabricating larger values. Returns 0 for an empty histogram.
 func (h *Histogram) Quantile(q float64) int64 {
 	b, total := h.snapshot()
+	return quantileFrom(&b, total, q)
+}
+
+// Quantiles extracts several quantiles from one snapshot, so the returned
+// values are mutually consistent (and monotone for sorted qs) even while
+// observations are being recorded concurrently — calling Quantile repeatedly
+// instead re-snapshots each time and can report p99 < p50 across the calls.
+func (h *Histogram) Quantiles(qs ...float64) []int64 {
+	b, total := h.snapshot()
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileFrom(&b, total, q)
+	}
+	return out
+}
+
+// quantileFrom is the quantile walk over one pre-taken snapshot.
+func quantileFrom(b *[HistogramBuckets]int64, total int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}

@@ -187,3 +187,105 @@ func TestConcurrentObserveAddRender(t *testing.T) {
 		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
 	}
 }
+
+func TestHistogramQuantilesEmpty(t *testing.T) {
+	var h Histogram
+	for i, got := range h.Quantiles(0, 0.5, 0.999, 1) {
+		if got != 0 {
+			t.Fatalf("empty histogram Quantiles[%d] = %d, want 0", i, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(700) // le=1024 bucket, lower bound 512
+	qs := h.Quantiles(0, 0.5, 1)
+	for i, got := range qs {
+		if got <= 0 || got > 1024 {
+			t.Fatalf("single-sample Quantiles[%d] = %d, want within (0, 1024]", i, got)
+		}
+	}
+	// All quantiles of a one-sample histogram live in the same bucket, so
+	// they may differ by interpolation but never by more than the bucket.
+	if qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Fatalf("single-sample quantiles not monotone: %v", qs)
+	}
+	if got := h.Quantile(1); got > 1024 || got <= 512 {
+		t.Fatalf("single-sample p100 = %d, want within its (512, 1024] bucket", got)
+	}
+}
+
+func TestHistogramQuantileClamp(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i) + 1)
+	}
+	lo, hi := h.Quantile(-0.5), h.Quantile(1.5)
+	if want := h.Quantile(0); lo != want {
+		t.Fatalf("Quantile(-0.5) = %d, want Quantile(0) = %d", lo, want)
+	}
+	if want := h.Quantile(1); hi != want {
+		t.Fatalf("Quantile(1.5) = %d, want Quantile(1) = %d", hi, want)
+	}
+}
+
+func TestHistogramOverflowQuantiles(t *testing.T) {
+	var h Histogram
+	// Half the mass in a finite bucket, half in the overflow: low quantiles
+	// are finite, high quantiles saturate at histMaxFinite instead of
+	// fabricating values beyond the tracked range.
+	for i := 0; i < 50; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(int64(1) << 50)
+	}
+	qs := h.Quantiles(0.25, 0.99)
+	if qs[0] > 1024 {
+		t.Fatalf("p25 = %d, want within the le=1024 bucket", qs[0])
+	}
+	if qs[1] != histMaxFinite {
+		t.Fatalf("p99 = %d, want saturated %d", qs[1], histMaxFinite)
+	}
+}
+
+// TestHistogramQuantilesMonotoneUnderLoad verifies the one property Quantiles
+// adds over repeated Quantile calls: because all values come from a single
+// bucket snapshot, sorted qs yield monotone results even while writers are
+// recording. (Repeated Quantile calls each re-snapshot, so a write landing
+// between the p50 and p99 reads can legally produce p99 < p50.)
+func TestHistogramQuantilesMonotoneUnderLoad(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := int64(w + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					// Walk the full finite range so snapshots race with mass
+					// moving between distant buckets.
+					v = (v*2862933555777941757 + 3037000493) & ((1 << 37) - 1)
+					h.Observe(v + 1)
+				}
+			}
+		}(w)
+	}
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for iter := 0; iter < 200; iter++ {
+		got := h.Quantiles(qs...)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("iter %d: quantiles %v not monotone for qs %v", iter, got, qs)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
