@@ -53,6 +53,7 @@ import (
 	"repro/internal/adjserve"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -80,6 +81,7 @@ type config struct {
 	slowBPS   int
 	killEvery time.Duration
 	label     string
+	traceN    int64 // trace every Nth frame (0 = tracing off)
 }
 
 // mixClass is one batch-size class and its traffic share.
@@ -108,6 +110,7 @@ func run(args []string, stdout io.Writer) error {
 		killEvery = fs.Duration("kill-every", 0, "kill a random connection this often (0 = never)")
 		jsonPath  = fs.String("json", "", "append one result row to this JSON array file")
 		label     = fs.String("label", "", "config label for the JSON row")
+		traceN    = fs.Int64("trace-sample", 0, "request end-to-end tracing for every Nth frame and report per-stage latency attribution (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,7 +147,7 @@ func run(args []string, stdout io.Writer) error {
 		conns: *conns, workers: *workers, distFrac: *distFrac, mix: mix,
 		dist: pd, zipfS: *zipfS, seed: *seed,
 		slowConns: *slowConns, slowBPS: *slowBPS, killEvery: *killEvery,
-		label: *label,
+		label: *label, traceN: *traceN,
 	}
 
 	// Handshake: the server knows n; degrees (for skew) come from the graph
@@ -346,6 +349,43 @@ type results struct {
 	mu        sync.Mutex
 	latencies []int64 // ns, measured conns only, post-warmup
 	elapsed   time.Duration
+
+	trace traceStats
+}
+
+// traceStats aggregates the sampled end-to-end traces: per-(stage,hop)
+// nanosecond samples for the attribution table, plus per-call wall time and
+// stage-sum so the report can state how much of the observed latency the
+// stages explain.
+type traceStats struct {
+	mu      sync.Mutex
+	samples map[traceRowKey][]int64
+	e2eNs   int64 // total wall time across traced calls
+	stageNs int64 // total per-stage time across traced calls
+	calls   int64
+}
+
+type traceRowKey struct{ stage, hop uint8 }
+
+// add folds one traced call's tally in. wallNs is the call's own wall time
+// (send → last response), the denominator the stage sum is compared against.
+func (ts *traceStats) add(t *obs.SpanTally, wallNs int64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.samples == nil {
+		ts.samples = make(map[traceRowKey][]int64)
+	}
+	ts.calls++
+	ts.e2eNs += wallNs
+	for _, st := range t.Stages() {
+		// Shard-indexed entries nest inside the peer's upstream window, so
+		// only the top-level hops count toward the coverage invariant.
+		if st.Hop == obs.HopSelf || st.Hop == obs.HopPeer {
+			ts.stageNs += st.Ns
+		}
+		k := traceRowKey{st.Stage, st.Hop}
+		ts.samples[k] = append(ts.samples[k], st.Ns)
+	}
 }
 
 func (r *results) record(worker []int64) []int64 {
@@ -431,6 +471,7 @@ func drive(cfg *config, sampler *experiments.ProbeSampler) (*results, error) {
 				lats := make([]int64, 0, 4096)
 				boolOut := make([]bool, 0, 4096)
 				distOut := make([]int, 0, 4096)
+				var tally obs.SpanTally
 				for {
 					k := slot.Add(1) - 1
 					intended := start
@@ -450,13 +491,27 @@ func drive(cfg *config, sampler *experiments.ProbeSampler) (*results, error) {
 					}
 					pairs, isDist := w.pick(k)
 					res.sent.Add(1)
+					traced := cfg.traceN > 0 && k%uint64(cfg.traceN) == 0
 					var err error
-					if isDist {
+					var callStart time.Time
+					if traced {
+						tally.Reset()
+						callStart = time.Now()
+					}
+					switch {
+					case traced && isDist:
+						_, err = c.DistManyTrace(pairs, distOut[:0], &tally)
+					case traced:
+						_, err = c.AdjacentManyTrace(pairs, boolOut[:0], &tally)
+					case isDist:
 						_, err = c.DistMany(pairs, distOut[:0])
-					} else {
+					default:
 						_, err = c.AdjacentMany(pairs, boolOut[:0])
 					}
 					lat := time.Since(intended)
+					if traced && err == nil && !slowC {
+						res.trace.add(&tally, int64(time.Since(callStart)))
+					}
 					switch {
 					case err == nil:
 						res.pairsOK.Add(int64(len(pairs)))
@@ -515,6 +570,56 @@ func report(out io.Writer, cfg *config, res *results) {
 		fmt.Fprintf(out, "chaos: slow_conns=%d slow_ok=%d kills=%d (slow conns excluded from latency)\n",
 			cfg.slowConns, res.slowOK.Load(), atomic.LoadInt64(&res.kills))
 	}
+	if cfg.traceN > 0 {
+		reportTrace(out, &res.trace)
+	}
+}
+
+// reportTrace prints the per-stage latency attribution table from the sampled
+// traces, largest contributor first, and states what fraction of the traced
+// calls' wall time the stages account for — on a healthy run the stage sum
+// covers nearly all of it, because the client charges everything it cannot
+// attribute to a named stage to its net stage.
+func reportTrace(out io.Writer, ts *traceStats) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.calls == 0 {
+		fmt.Fprintf(out, "trace: no traced frames completed\n")
+		return
+	}
+	type traceRow struct {
+		key     traceRowKey
+		total   int64
+		samples []int64
+	}
+	rows := make([]traceRow, 0, len(ts.samples))
+	for k, v := range ts.samples {
+		var total int64
+		for _, ns := range v {
+			total += ns
+		}
+		sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+		rows = append(rows, traceRow{k, total, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		if rows[i].key.hop != rows[j].key.hop {
+			return rows[i].key.hop < rows[j].key.hop
+		}
+		return rows[i].key.stage < rows[j].key.stage
+	})
+	fmt.Fprintf(out, "trace: per-stage latency attribution (%d traced frames)\n", ts.calls)
+	fmt.Fprintf(out, "  %-10s %-8s %10s %10s %10s\n", "stage", "hop", "p50(us)", "p99(us)", "share")
+	for _, r := range rows {
+		fmt.Fprintf(out, "  %-10s %-8s %10.1f %10.1f %9.1f%%\n",
+			obs.StageName(r.key.stage), obs.HopName(r.key.hop),
+			float64(quantile(r.samples, 0.50))/1e3, float64(quantile(r.samples, 0.99))/1e3,
+			100*float64(r.total)/float64(ts.e2eNs))
+	}
+	fmt.Fprintf(out, "trace: stage sum covers %.1f%% of e2e (n=%d)\n",
+		100*float64(ts.stageNs)/float64(ts.e2eNs), ts.calls)
 }
 
 // achievedQPS is completed-ok frames per second of measured wall time; under

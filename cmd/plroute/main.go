@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -57,11 +58,13 @@ func main() {
 func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("plroute", flag.ContinueOnError)
 	var (
-		shardsStr = fs.String("shards", "", "comma-separated shard server addresses, one plserve per shard file (required)")
-		addr      = fs.String("addr", "127.0.0.1:7441", "listen address (port 0 picks a free port)")
-		adminAddr = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
-		maxBatch  = fs.Int("max-batch", 0, "max pairs per downstream request frame (0 = default)")
-		maxConns  = fs.Int("max-conns", 0, "downstream connection admission cap; extra conns get a shed frame and a close (0 = unlimited)")
+		shardsStr   = fs.String("shards", "", "comma-separated shard server addresses, one plserve per shard file (required)")
+		addr        = fs.String("addr", "127.0.0.1:7441", "listen address (port 0 picks a free port)")
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
+		maxBatch    = fs.Int("max-batch", 0, "max pairs per downstream request frame (0 = default)")
+		maxConns    = fs.Int("max-conns", 0, "downstream connection admission cap; extra conns get a shed frame and a close (0 = unlimited)")
+		traceSample = fs.Int64("trace-sample", 0, "self-sample every Nth routed frame into /debug/traces (0 = only trace frames that arrive traced)")
+		slowlogMs   = fs.Int64("slowlog-ms", 0, "capture frames slower than this many milliseconds in /debug/slowlog, sampled or not (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +73,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("-shards is required (comma-separated shard server addresses)")
 	}
+	logger := slog.New(slog.NewTextHandler(stdout, nil))
 
 	// The admin plane comes up before the shard handshake so an orchestrator
 	// can poll /readyz through a slow fleet start; it reports ready only once
@@ -91,7 +95,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "plroute: admin on %s\n", resolved)
+		logger.Info("admin", "addr", resolved)
 		go admin.Serve()
 	}
 
@@ -107,23 +111,47 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	}
 	defer r.Close()
 	r.SetMaxConns(*maxConns)
+
+	// The trace sink mirrors plserve's: downstream-traced frames always echo
+	// the router-hop stage report, -trace-sample adds self-sampling, and
+	// -slowlog-ms captures outliers (logged, rate-limited to ~1/s).
+	sink := &obs.TraceSink{
+		Ring:        obs.NewTraceRing(256),
+		Slow:        obs.NewTraceRing(64),
+		SampleEvery: *traceSample,
+		SlowNs:      *slowlogMs * int64(time.Millisecond),
+	}
+	var lastSlowLog atomic.Int64
+	sink.OnSlow = func(tr *obs.Trace) {
+		now := time.Now().UnixNano()
+		last := lastSlowLog.Load()
+		if now-last < int64(time.Second) || !lastSlowLog.CompareAndSwap(last, now) {
+			return
+		}
+		logger.Warn("slow_frame", "trace_id", obs.TraceID(tr.ID),
+			"total_ns", tr.TotalNs, "pairs", tr.Pairs)
+	}
+	r.SetTraceSink(sink)
 	if reg != nil {
+		obs.RegisterBuildInfo(reg, "role", "router")
 		r.RegisterMetrics(reg)
+		sink.Register(reg)
+		admin.SetTraceSink(sink)
 	}
 	fleet := "shards"
 	if r.Replicas() {
 		fleet = "replicas"
 	}
-	fmt.Fprintf(stdout, "plroute: %d %s handshaked, n=%d (%v)\n",
-		r.Shards(), fleet, r.N(), time.Since(start).Round(time.Microsecond))
+	logger.Info("handshaked", "shards", r.Shards(), "fleet", fleet, "n", r.N(),
+		"elapsed", time.Since(start).Round(time.Microsecond).String())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	// The "listening on" line is the readiness contract scripts wait for
-	// (scripts/serving_smoke.sh greps it for the resolved port).
-	fmt.Fprintf(stdout, "plroute: listening on %s\n", ln.Addr())
+	// The msg=listening line is the readiness contract scripts wait for
+	// (scripts/serving_smoke.sh extracts the resolved port from its addr key).
+	logger.Info("listening", "addr", ln.Addr().String())
 	ready.Store(true)
 
 	sigs := make(chan os.Signal, 1)
@@ -135,7 +163,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		defer close(done)
 		select {
 		case sig := <-sigs:
-			fmt.Fprintf(stdout, "plroute: %v, draining\n", sig)
+			logger.Info("draining", "signal", sig.String())
 		case <-stop:
 		case <-quit:
 		}
@@ -154,8 +182,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		cancel()
 	}
 	m := r.Metrics()
-	fmt.Fprintf(stdout, "plroute: routed %d queries in %d frames\n",
-		m.Queries.Load(), m.Frames.Load())
+	logger.Info("routed", "queries", m.Queries.Load(), "frames", m.Frames.Load())
 	if err == adjserve.ErrClosed {
 		return nil
 	}

@@ -65,9 +65,19 @@ func shardFleet(t *testing.T, count int) ([]string, *graph.Graph) {
 	return addrs, g
 }
 
-// addrWriter scans the router's stdout for the "listening on" readiness line
-// (and the "admin on" line, when the admin plane is enabled) and delivers the
-// resolved addresses.
+// logAttr extracts one key=value attribute from a slog text line.
+func logAttr(line, key string) (string, bool) {
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// addrWriter scans the router's stdout for the msg=listening readiness line
+// (and the msg=admin line, when the admin plane is enabled) and delivers the
+// resolved addresses from their addr attributes.
 type addrWriter struct {
 	mu        sync.Mutex
 	buf       strings.Builder
@@ -86,15 +96,15 @@ func (w *addrWriter) Write(p []byte) (int, error) {
 	defer w.mu.Unlock()
 	w.buf.Write(p)
 	for _, line := range strings.Split(w.buf.String(), "\n") {
-		if !w.sent {
-			if rest, ok := strings.CutPrefix(line, "plroute: listening on "); ok {
-				w.addrC <- strings.TrimSpace(rest)
+		if !w.sent && strings.Contains(line, "msg=listening") {
+			if addr, ok := logAttr(line, "addr"); ok {
+				w.addrC <- addr
 				w.sent = true
 			}
 		}
-		if !w.adminSent {
-			if rest, ok := strings.CutPrefix(line, "plroute: admin on "); ok {
-				w.adminC <- strings.TrimSpace(rest)
+		if !w.adminSent && strings.Contains(line, "msg=admin") {
+			if addr, ok := logAttr(line, "addr"); ok {
+				w.adminC <- addr
 				w.adminSent = true
 			}
 		}
@@ -211,7 +221,7 @@ func TestRouteAndDrain(t *testing.T) {
 	if !strings.Contains(out.String(), "routed") {
 		t.Errorf("missing route summary:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "3 shards handshaked") {
+	if !strings.Contains(out.String(), "msg=handshaked shards=3 fleet=shards") {
 		t.Errorf("missing handshake line:\n%s", out.String())
 	}
 	// Admin shut down after the drain: the port no longer answers.

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -52,16 +53,18 @@ func main() {
 func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("plserve", flag.ContinueOnError)
 	var (
-		labelsPath = fs.String("labels", "", "label store file (required)")
-		addr       = fs.String("addr", "127.0.0.1:7421", "listen address (port 0 picks a free port)")
-		adminAddr  = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
-		maxBatch   = fs.Int("max-batch", 0, "max pairs per request frame (0 = default)")
-		useMmap    = fs.Bool("mmap", true, "memory-map the store (false forces the copying reader)")
-		cacheBits  = fs.Int("pair-cache-bits", 0, "log2 slots of the (u,v) result cache (0 = disabled; enable only once the store is read-only warm)")
-		sortMin    = fs.Int("sort-min", 0, "min pairs per frame to probe in arena-offset order (0 = disabled)")
-		maxConns   = fs.Int("max-conns", 0, "connection admission cap; extra conns get a shed frame and a close (0 = unlimited)")
-		shedDepth  = fs.Int("shed-depth", 0, "shed query/dist frames while more than this many frames are in flight across all conns (0 = never shed)")
-		maxPending = fs.Int("max-pending-resp", 0, "flush after this many unflushed responses per conn (0 = default)")
+		labelsPath  = fs.String("labels", "", "label store file (required)")
+		addr        = fs.String("addr", "127.0.0.1:7421", "listen address (port 0 picks a free port)")
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (empty disables; port 0 picks a free port)")
+		maxBatch    = fs.Int("max-batch", 0, "max pairs per request frame (0 = default)")
+		useMmap     = fs.Bool("mmap", true, "memory-map the store (false forces the copying reader)")
+		cacheBits   = fs.Int("pair-cache-bits", 0, "log2 slots of the (u,v) result cache (0 = disabled; enable only once the store is read-only warm)")
+		sortMin     = fs.Int("sort-min", 0, "min pairs per frame to probe in arena-offset order (0 = disabled)")
+		maxConns    = fs.Int("max-conns", 0, "connection admission cap; extra conns get a shed frame and a close (0 = unlimited)")
+		shedDepth   = fs.Int("shed-depth", 0, "shed query/dist frames while more than this many frames are in flight across all conns (0 = never shed)")
+		maxPending  = fs.Int("max-pending-resp", 0, "flush after this many unflushed responses per conn (0 = default)")
+		traceSample = fs.Int64("trace-sample", 0, "self-sample every Nth served frame into /debug/traces (0 = only trace frames that arrive traced)")
+		slowlogMs   = fs.Int64("slowlog-ms", 0, "capture frames slower than this many milliseconds in /debug/slowlog, sampled or not (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +72,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if *labelsPath == "" {
 		return fmt.Errorf("-labels is required")
 	}
+	logger := slog.New(slog.NewTextHandler(stdout, nil))
 
 	start := time.Now()
 	var (
@@ -105,7 +109,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	var (
 		srv           *adjserve.Server
 		attachMetrics func(*core.EngineMetrics)
-		planeNote     string
+		planeAttrs    []any
 	)
 	if da, ok := store.DistArena(); ok {
 		deng, err := core.NewDistEngine(da)
@@ -122,7 +126,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		srv = adjserve.NewServer(nil, *maxBatch)
 		srv.SetDistEngine(deng)
 		attachMetrics = deng.AttachMetrics
-		planeNote = " plane=distance/" + store.SchemeKind()
+		planeAttrs = []any{"plane", "distance/" + store.SchemeKind()}
 	} else {
 		eng, err := engineFor(store)
 		if err != nil {
@@ -141,7 +145,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 			if err := eng.SetShard(m); err != nil {
 				return fmt.Errorf("store %s: %w", *labelsPath, err)
 			}
-			planeNote = fmt.Sprintf(" shard=%d/%d fn=%s", m.Index, m.Count, m.Fn)
+			planeAttrs = []any{"shard", fmt.Sprintf("%d/%d", m.Index, m.Count), "fn", fmt.Sprint(m.Fn)}
 		}
 		srv = adjserve.NewServer(eng, *maxBatch)
 		attachMetrics = eng.AttachMetrics
@@ -154,13 +158,37 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if store.LayoutOrder() != nil {
 		layout = "degree"
 	}
-	fmt.Fprintf(stdout, "plserve: loaded scheme=%s n=%d layout=%s%s (%s, %v)\n",
-		store.Scheme, store.N(), layout, planeNote, mode, time.Since(start).Round(time.Microsecond))
+	loadedAttrs := []any{"scheme", store.Scheme, "n", store.N(), "layout", layout}
+	loadedAttrs = append(loadedAttrs, planeAttrs...)
+	loadedAttrs = append(loadedAttrs, "mode", mode, "elapsed", time.Since(start).Round(time.Microsecond).String())
+	logger.Info("loaded", loadedAttrs...)
 
 	srv.SetSortedBatchMin(*sortMin)
 	srv.SetMaxConns(*maxConns)
 	srv.SetShedDepth(*shedDepth)
 	srv.SetMaxPendingResponses(*maxPending)
+
+	// The trace sink is always installed: downstream-traced frames echo their
+	// stage report regardless of flags, -trace-sample adds self-sampling, and
+	// -slowlog-ms captures outliers even when unsampled. Slowlog hits also log
+	// (rate-limited to ~1/s so a latency storm cannot melt the log).
+	sink := &obs.TraceSink{
+		Ring:        obs.NewTraceRing(256),
+		Slow:        obs.NewTraceRing(64),
+		SampleEvery: *traceSample,
+		SlowNs:      *slowlogMs * int64(time.Millisecond),
+	}
+	var lastSlowLog atomic.Int64
+	sink.OnSlow = func(tr *obs.Trace) {
+		now := time.Now().UnixNano()
+		last := lastSlowLog.Load()
+		if now-last < int64(time.Second) || !lastSlowLog.CompareAndSwap(last, now) {
+			return
+		}
+		logger.Warn("slow_frame", "trace_id", obs.TraceID(tr.ID),
+			"total_ns", tr.TotalNs, "pairs", tr.Pairs)
+	}
+	srv.SetTraceSink(sink)
 
 	// The admin plane is optional and read-only: one registry spanning the
 	// server, engine, store and runtime families, plus pprof. Readiness flips
@@ -171,13 +199,16 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if *adminAddr != "" {
 		reg := obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(reg)
+		obs.RegisterBuildInfo(reg, "scheme", string(store.Scheme), "layout", layout)
 		srv.Metrics().Register(reg)
 		engMetrics := new(core.EngineMetrics)
 		engMetrics.Register(reg)
 		attachMetrics(engMetrics)
 		labelstore.RegisterMetrics(reg)
 		srv.Traffic.Register(reg, "adjserve_traffic")
+		sink.Register(reg)
 		admin = obs.NewAdminServer(reg)
+		admin.SetTraceSink(sink)
 		// Readiness folds in the shedding latch: a load balancer should stop
 		// routing to a server that is refusing work, and resume once the
 		// queue drains below the release threshold.
@@ -194,7 +225,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "plserve: admin on %s\n", resolved)
+		logger.Info("admin", "addr", resolved)
 		go admin.Serve()
 	}
 
@@ -202,9 +233,9 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
-	// The "listening on" line is the readiness contract scripts wait for
-	// (scripts/serving_smoke.sh greps it for the resolved port).
-	fmt.Fprintf(stdout, "plserve: listening on %s\n", ln.Addr())
+	// The msg=listening line is the readiness contract scripts wait for
+	// (scripts/serving_smoke.sh extracts the resolved port from its addr key).
+	logger.Info("listening", "addr", ln.Addr().String())
 	ready.Store(true)
 
 	sigs := make(chan os.Signal, 1)
@@ -216,7 +247,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		defer close(done)
 		select {
 		case sig := <-sigs:
-			fmt.Fprintf(stdout, "plserve: %v, draining\n", sig)
+			logger.Info("draining", "signal", sig.String())
 		case <-stop:
 		case <-quit:
 		}
@@ -235,8 +266,7 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}) error {
 		cancel()
 	}
 	st := srv.Traffic.Stats()
-	fmt.Fprintf(stdout, "plserve: served %d queries in %d frames (%d bytes on the wire)\n",
-		st.Fetches, st.Messages/2, st.Bytes)
+	logger.Info("served", "queries", st.Fetches, "frames", st.Messages/2, "bytes", st.Bytes)
 	if err == adjserve.ErrClosed {
 		return nil
 	}

@@ -58,9 +58,19 @@ func storeFixture(t *testing.T) (string, *graph.Graph) {
 	return path, g
 }
 
-// addrWriter scans the daemon's stdout for the "listening on" readiness line
-// (and the "admin on" line, when the admin plane is enabled) and delivers the
-// resolved addresses.
+// logAttr extracts one key=value attribute from a slog text line.
+func logAttr(line, key string) (string, bool) {
+	for _, f := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(f, key+"="); ok {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// addrWriter scans the daemon's stdout for the msg=listening readiness line
+// (and the msg=admin line, when the admin plane is enabled) and delivers the
+// resolved addresses from their addr attributes.
 type addrWriter struct {
 	mu        sync.Mutex
 	buf       strings.Builder
@@ -79,15 +89,15 @@ func (w *addrWriter) Write(p []byte) (int, error) {
 	defer w.mu.Unlock()
 	w.buf.Write(p)
 	for _, line := range strings.Split(w.buf.String(), "\n") {
-		if !w.sent {
-			if rest, ok := strings.CutPrefix(line, "plserve: listening on "); ok {
-				w.addrC <- strings.TrimSpace(rest)
+		if !w.sent && strings.Contains(line, "msg=listening") {
+			if addr, ok := logAttr(line, "addr"); ok {
+				w.addrC <- addr
 				w.sent = true
 			}
 		}
-		if !w.adminSent {
-			if rest, ok := strings.CutPrefix(line, "plserve: admin on "); ok {
-				w.adminC <- strings.TrimSpace(rest)
+		if !w.adminSent && strings.Contains(line, "msg=admin") {
+			if addr, ok := logAttr(line, "addr"); ok {
+				w.adminC <- addr
 				w.adminSent = true
 			}
 		}
@@ -153,9 +163,9 @@ func TestServeAndDrain(t *testing.T) {
 		if !strings.Contains(out.String(), "served") {
 			t.Errorf("mmap=%v: missing serve summary:\n%s", mmap, out.String())
 		}
-		wantMode := "(mmap"
+		wantMode := "mode=mmap"
 		if !mmap {
-			wantMode = "(copied"
+			wantMode = "mode=copied"
 		}
 		if !strings.Contains(out.String(), wantMode) {
 			t.Errorf("mmap=%v: loaded-mode line missing %q:\n%s", mmap, wantMode, out.String())

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // benchSetup shares one engine + server across all serving benchmarks.
@@ -135,6 +137,24 @@ func BenchmarkRouterBatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeTraceDisabled measures the serve path with a trace sink
+// installed but sampling and slowlog off — the production default. The trace
+// plane's contract is that this path costs nothing: CI asserts 0 allocs/op,
+// and ns/op must stay within noise of the pre-trace serve path.
+func BenchmarkServeTraceDisabled(b *testing.B) {
+	srv := NewServer(testEngine(b, 20000, 42), 0)
+	srv.SetTraceSink(&obs.TraceSink{Ring: obs.NewTraceRing(256), Slow: obs.NewTraceRing(64)})
+	req := appendQueryReq(nil, randomPairs(20000, 64, 1))
+	bufs := &connBuffers{resp: make([]byte, 0, 4096)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		resp, _ := srv.serveFrame(req, bufs, start, 1, 1)
+		bufs.resp = resp[:0]
 	}
 }
 

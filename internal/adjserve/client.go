@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Redial policy defaults. A lost connection is redialed transparently, but
@@ -72,6 +73,13 @@ type Client struct {
 
 	everConnected bool // a redial (vs first dial) is a reconnect, for metrics
 	metrics       ClientMetrics
+
+	// caps caches the server's advertised capability bits (guarded by mu);
+	// capsKnown distinguishes "no capabilities" from "never asked". Fetched
+	// lazily by Caps with one info round trip and kept for the client's
+	// lifetime — capabilities describe the server build, not the connection.
+	caps      uint64
+	capsKnown bool
 
 	// sleep and jitterFloat are the backoff clock and jitter source,
 	// swappable by tests (fake clock, deterministic rand); nil selects
@@ -136,12 +144,17 @@ func (c *Client) Close() error {
 
 // call is one outstanding request: the response fills dest (query), dists
 // (dist), infoN (info) or shard (shard-info), and done delivers the per-call
-// verdict exactly once.
+// verdict exactly once. tr, when non-nil, receives the response's trace
+// block (the reader goroutine writes it strictly before the done send, so
+// the waiting caller reads it race-free); caps, when non-nil, receives the
+// info response's trailing capability bits.
 type call struct {
 	dest  []bool
 	dists []int
 	infoN *int
 	shard *ShardInfo
+	tr    *obs.SpanTally
+	caps  *uint64
 	done  chan error
 }
 
@@ -164,6 +177,8 @@ func putCall(ca *call) {
 	ca.dists = nil
 	ca.infoN = nil
 	ca.shard = nil
+	ca.tr = nil
+	ca.caps = nil
 	callPool.Put(ca)
 }
 
@@ -354,6 +369,11 @@ func deliver(ca *call, payload []byte) error {
 		return fmt.Errorf("%w: empty response", ErrClosed)
 	}
 	status, body := payload[0], payload[1:]
+	// A traced OK response echoes opTraceFlag on the status byte and appends
+	// a trace block after the normal body; strip the flag here and hand the
+	// block to the per-shape parsers below (old servers never set the bit).
+	traced := status&opTraceFlag != 0
+	status &^= opTraceFlag
 	switch status {
 	case statusShed:
 		// The server refused the request under load; the connection stays up
@@ -376,6 +396,17 @@ func deliver(ca *call, payload []byte) error {
 				return fmt.Errorf("%w: truncated info response", ErrClosed)
 			}
 			*ca.infoN = int(v)
+			// Optional trailing capability uvarint: absent on servers that
+			// predate capabilities (which means "none"); any bytes beyond it
+			// belong to future extensions and are ignored the same way.
+			if ca.caps != nil {
+				*ca.caps = 0
+				if rest := body[n:]; len(rest) > 0 {
+					if cv, k := binary.Uvarint(rest); k > 0 {
+						*ca.caps = cv
+					}
+				}
+			}
 			ca.done <- nil
 			return nil
 		}
@@ -407,7 +438,11 @@ func deliver(ca *call, payload []byte) error {
 					ca.dists[i] = int(d)
 				}
 			}
-			if len(body) != 0 {
+			if traced {
+				if err := deliverTrace(ca, body); err != nil {
+					return err
+				}
+			} else if len(body) != 0 {
 				return fmt.Errorf("%w: %d trailing bytes after %d distances", ErrClosed, len(body), count)
 			}
 			ca.done <- nil
@@ -418,7 +453,16 @@ func deliver(ca *call, payload []byte) error {
 			return fmt.Errorf("%w: response for %d pairs, asked %d", ErrClosed, count, len(ca.dest))
 		}
 		bits := body[n:]
-		if len(bits) != (len(ca.dest)+7)/8 {
+		need := (len(ca.dest) + 7) / 8
+		if traced {
+			if len(bits) < need {
+				return fmt.Errorf("%w: %d answer bytes for %d pairs", ErrClosed, len(bits), len(ca.dest))
+			}
+			if err := deliverTrace(ca, bits[need:]); err != nil {
+				return err
+			}
+			bits = bits[:need]
+		} else if len(bits) != need {
 			return fmt.Errorf("%w: %d answer bytes for %d pairs", ErrClosed, len(bits), len(ca.dest))
 		}
 		for i := range ca.dest {
@@ -429,6 +473,18 @@ func deliver(ca *call, payload []byte) error {
 	default:
 		return fmt.Errorf("%w: unknown response status %d", ErrClosed, status)
 	}
+}
+
+// deliverTrace merges a response's appended trace block into the call's
+// tally, relabeling the peer's own stages to HopPeer (shard-labeled stages a
+// router gathered pass through). A call that didn't ask for tracing still
+// validates and discards the block, keeping the framing check total.
+func deliverTrace(ca *call, block []byte) error {
+	if ca.tr == nil {
+		var discard obs.SpanTally
+		return parseTraceBlock(block, &discard, obs.HopPeer)
+	}
+	return parseTraceBlock(block, ca.tr, obs.HopPeer)
 }
 
 // sendFrame enqueues ca and writes one frame. Callers hold c.mu, so frames
@@ -611,6 +667,253 @@ func (c *Client) Dist(u, v int) (int, error) {
 		return 0, err
 	}
 	return res[0], nil
+}
+
+// Caps returns the capability bits the server advertises in its info
+// response (capTrace and future extensions), performing one info round trip
+// on first use and caching the answer for the client's lifetime. Servers
+// that predate capabilities advertise none, so a zero return against a
+// reachable server means "speak the base protocol only".
+func (c *Client) Caps() (uint64, error) {
+	c.mu.Lock()
+	if c.capsKnown {
+		caps := c.caps
+		c.mu.Unlock()
+		return caps, nil
+	}
+	c.mu.Unlock()
+	var n int
+	var caps uint64
+	ca := getCall()
+	ca.infoN = &n
+	ca.caps = &caps
+	if err := c.sendSmall(opInfo, ca); err != nil {
+		putCall(ca)
+		return 0, err
+	}
+	err := <-ca.done
+	putCall(ca)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.caps, c.capsKnown = caps, true
+	c.mu.Unlock()
+	return caps, nil
+}
+
+// supportsTrace reports whether the server advertises the trace capability,
+// fetching capabilities on first use. A probe error means "no" — the traced
+// call that asked will surface the real error on its own frames.
+func (c *Client) supportsTrace() bool {
+	caps, err := c.Caps()
+	return err == nil && caps&capTrace != 0
+}
+
+// AdjacentManyTrace is AdjacentMany with end-to-end tracing. When the server
+// advertises the trace capability, every request frame carries t.ID
+// (generated if zero), each hop's stage report is merged into t — the direct
+// peer's own stages relabeled HopPeer, shard-labeled stages from a router
+// passing through — and the client appends its own encode and flush stages
+// plus the residual net stage (wall time minus everything else attributed),
+// so on success the HopSelf+HopPeer stages in t sum exactly to the call's
+// wall time. Against a server without the capability the batch is sent
+// untraced and t records the client-side stages only.
+func (c *Client) AdjacentManyTrace(pairs [][2]int, out []bool, t *obs.SpanTally) ([]bool, error) {
+	if t == nil {
+		return c.AdjacentMany(pairs, out)
+	}
+	return c.manyTrace(pairs, out, t)
+}
+
+// DistManyTrace is DistMany with end-to-end tracing; same contract as
+// AdjacentManyTrace.
+func (c *Client) DistManyTrace(pairs [][2]int, out []int, t *obs.SpanTally) ([]int, error) {
+	if t == nil {
+		return c.DistMany(pairs, out)
+	}
+	return c.manyTraceDist(pairs, out, t)
+}
+
+// manyTrace runs one traced adjacency batch: AdjacentMany's chunking,
+// pipelining and failure handling, plus per-call stage measurement around
+// the encode loop and the flush.
+func (c *Client) manyTrace(pairs [][2]int, boolOut []bool, t *obs.SpanTally) ([]bool, error) {
+	if t.ID == 0 {
+		t.ID = obs.NewTraceID()
+	}
+	wire := c.supportsTrace()
+	start := time.Now()
+	peerBefore := t.SumHop(obs.HopPeer)
+
+	outStart := len(boolOut)
+	if need := outStart + len(pairs); cap(boolOut) >= need {
+		boolOut = boolOut[:need]
+	} else {
+		grown := make([]bool, need)
+		copy(grown, boolOut)
+		boolOut = grown
+	}
+	if len(pairs) == 0 {
+		return boolOut, nil
+	}
+	dest := boolOut[outStart:]
+	maxBatch := c.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+
+	c.mu.Lock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		c.mu.Unlock()
+		return boolOut[:outStart], err
+	}
+	cl := callsPool.Get().(*callList)
+	calls := cl.s[:0]
+	var encodeNs int64
+	for off := 0; off < len(pairs); off += maxBatch {
+		chunk := pairs[off:min(off+maxBatch, len(pairs))]
+		encStart := time.Now()
+		if wire {
+			c.req = appendPairsReqTrace(c.req[:0], opQuery, t.ID, chunk)
+		} else {
+			c.req = appendQueryReq(c.req[:0], chunk)
+		}
+		ca := getCall()
+		ca.dest = dest[off : off+len(chunk)]
+		if wire {
+			ca.tr = t
+		}
+		ferr := c.sendFrame(cc, c.req, ca)
+		encodeNs += int64(time.Since(encStart))
+		if ferr != nil {
+			c.mu.Unlock()
+			putCall(ca)
+			waitCalls(calls)
+			putCalls(cl, calls)
+			return boolOut[:outStart], ferr
+		}
+		calls = append(calls, ca)
+	}
+	flushStart := time.Now()
+	if err := cc.bw.Flush(); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+	}
+	flushNs := int64(time.Since(flushStart))
+	c.mu.Unlock()
+
+	for _, ca := range calls {
+		if cerr := <-ca.done; cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	putCalls(cl, calls)
+	if err != nil {
+		return boolOut[:outStart], err
+	}
+	c.recordCallStages(t, start, encodeNs, flushNs, peerBefore)
+	return boolOut, nil
+}
+
+// recordCallStages appends the client-side stages of a completed traced
+// call: encode, flush, and the residual net — the call's wall time minus
+// encode, flush and the direct peer's self-reported stages. Shard-labeled
+// stages nest inside the peer's own upstream stage, so they are excluded
+// from the residual; by construction the HopSelf and HopPeer entries then
+// sum exactly to the wall time, which is what makes end-to-end attribution
+// checkable ("stages cover X% of e2e") rather than approximate.
+func (c *Client) recordCallStages(t *obs.SpanTally, start time.Time, encodeNs, flushNs, peerBefore int64) {
+	totalNs := int64(time.Since(start))
+	t.Add(obs.StageEncode, obs.HopSelf, encodeNs)
+	t.Add(obs.StageFlush, obs.HopSelf, flushNs)
+	net := totalNs - encodeNs - flushNs - (t.SumHop(obs.HopPeer) - peerBefore)
+	if net < 0 {
+		// Pipelined chunks can overlap peer stage time with wall time;
+		// attribute nothing to the wire rather than a negative duration.
+		net = 0
+	}
+	t.Add(obs.StageNet, obs.HopSelf, net)
+}
+
+// manyTraceDist is manyTrace's distance-plane body (separate because the
+// answer buffer is []int; the control flow is identical).
+func (c *Client) manyTraceDist(pairs [][2]int, out []int, t *obs.SpanTally) ([]int, error) {
+	if t.ID == 0 {
+		t.ID = obs.NewTraceID()
+	}
+	wire := c.supportsTrace()
+	start := time.Now()
+	peerBefore := t.SumHop(obs.HopPeer)
+
+	outStart := len(out)
+	if need := outStart + len(pairs); cap(out) >= need {
+		out = out[:need]
+	} else {
+		grown := make([]int, need)
+		copy(grown, out)
+		out = grown
+	}
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	dest := out[outStart:]
+	maxBatch := c.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+
+	c.mu.Lock()
+	cc, err := c.ensureConn()
+	if err != nil {
+		c.mu.Unlock()
+		return out[:outStart], err
+	}
+	cl := callsPool.Get().(*callList)
+	calls := cl.s[:0]
+	var encodeNs int64
+	for off := 0; off < len(pairs); off += maxBatch {
+		chunk := pairs[off:min(off+maxBatch, len(pairs))]
+		encStart := time.Now()
+		if wire {
+			c.req = appendPairsReqTrace(c.req[:0], opDist, t.ID, chunk)
+		} else {
+			c.req = appendPairsReq(c.req[:0], opDist, chunk)
+		}
+		ca := getCall()
+		ca.dists = dest[off : off+len(chunk)]
+		if wire {
+			ca.tr = t
+		}
+		ferr := c.sendFrame(cc, c.req, ca)
+		encodeNs += int64(time.Since(encStart))
+		if ferr != nil {
+			c.mu.Unlock()
+			putCall(ca)
+			waitCalls(calls)
+			putCalls(cl, calls)
+			return out[:outStart], ferr
+		}
+		calls = append(calls, ca)
+	}
+	flushStart := time.Now()
+	if err := cc.bw.Flush(); err != nil {
+		cc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+	}
+	flushNs := int64(time.Since(flushStart))
+	c.mu.Unlock()
+
+	for _, ca := range calls {
+		if cerr := <-ca.done; cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	putCalls(cl, calls)
+	if err != nil {
+		return out[:outStart], err
+	}
+	c.recordCallStages(t, start, encodeNs, flushNs, peerBefore)
+	return out, nil
 }
 
 // Info returns the number of vertices the server's engine answers for.

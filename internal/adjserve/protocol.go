@@ -48,12 +48,44 @@
 // many frames before reading any response (pipelining); batching amortizes
 // the syscall and framing cost, and the bit-vector response makes a 4096-
 // query answer 512 bytes + 3 bytes of header.
+//
+// # Trace context
+//
+// Any query or dist frame may carry an optional trace context, negotiated so
+// old and new peers interoperate:
+//
+//	request  op u8 with the high bit (0x80) set, then a fixed 8-byte
+//	         little-endian trace id, then the normal request body. Servers
+//	         that predate tracing would reject the unknown op with an error
+//	         frame, so a client only sets the flag after the server
+//	         advertised the capability (below).
+//
+//	response for a traced request answered with status=0, the status byte has
+//	         the high bit (0x80) set and a trace block follows the normal
+//	         response body: uvarint stage count, then per stage u8 stage id,
+//	         u8 hop label, uvarint duration ns. Stage ids and hop labels are
+//	         defined in package obs (StageRead..StageFlush, HopSelf/HopPeer);
+//	         a hop reports its own stages as HopSelf and passes through
+//	         shard-labeled stages it gathered from its own upstreams. Error
+//	         and shed responses are never extended — they stay byte-identical
+//	         to the untraced protocol.
+//
+//	caps     the info response carries a trailing capability uvarint after
+//	         the vertex count: bit 0 (capTrace) advertises trace-context
+//	         support. Old clients never read past the vertex count (the
+//	         trailing bytes are ignored by construction), old servers send no
+//	         capability bytes, and new clients treat the absence as "no
+//	         capabilities" — both directions interoperate with no version
+//	         handshake round trip. The shard-info response is deliberately
+//	         not extended: its parser has always rejected trailing bytes.
 package adjserve
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Protocol constants. A frame payload is capped independently of the batch
@@ -80,6 +112,22 @@ const (
 	// DefaultMaxBatch is the default per-frame pair limit, for both the
 	// server's admission check and the client's transparent chunking.
 	DefaultMaxBatch = 1 << 16
+
+	// opTraceFlag marks a traced frame: set on a request op byte (followed by
+	// an 8-byte little-endian trace id before the normal body) and echoed on
+	// the response status byte (followed by a trace block after the normal
+	// body). Ops and statuses stay below 0x80, so the bit is unambiguous.
+	opTraceFlag = 0x80
+	// traceIDLen is the fixed width of the on-wire trace id.
+	traceIDLen = 8
+
+	// capTrace is the trace-context capability bit in the info response's
+	// trailing capability uvarint; a client only sets opTraceFlag on requests
+	// to a server that advertised it.
+	capTrace = 1 << 0
+
+	// localCaps is what this build advertises in info responses.
+	localCaps = capTrace
 )
 
 // ErrClosed is returned for calls on a client whose connection is gone and
@@ -129,6 +177,72 @@ func appendPairsReq(buf []byte, op byte, pairs [][2]int) []byte {
 		buf = binary.AppendUvarint(buf, uint64(p[1]))
 	}
 	return buf
+}
+
+// appendPairsReqTrace is appendPairsReq with a trace context prepended: the
+// op byte carries opTraceFlag, followed by the fixed-width trace id.
+func appendPairsReqTrace(buf []byte, op byte, id uint64, pairs [][2]int) []byte {
+	buf = append(buf, op|opTraceFlag)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, p := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(p[0]))
+		buf = binary.AppendUvarint(buf, uint64(p[1]))
+	}
+	return buf
+}
+
+// appendTraceTally appends a response trace block carrying t's stages:
+// uvarint stage count, then per stage u8 id, u8 hop, uvarint nanoseconds.
+// Negative durations (clock retreat) clamp to zero so the uvarint encoding
+// stays compact.
+func appendTraceTally(resp []byte, t *obs.SpanTally) []byte {
+	st := t.Stages()
+	resp = binary.AppendUvarint(resp, uint64(len(st)))
+	for _, s := range st {
+		resp = append(resp, s.Stage, s.Hop)
+		ns := s.Ns
+		if ns < 0 {
+			ns = 0
+		}
+		resp = binary.AppendUvarint(resp, uint64(ns))
+	}
+	return resp
+}
+
+// errMalformedTrace poisons a call whose response trace block cannot be
+// decoded; like any RemoteError it fails the one call, not the connection.
+var errMalformedTrace = &RemoteError{Msg: "malformed trace block"}
+
+// parseTraceBlock merges a response trace block (exactly the bytes of b)
+// into t, relabeling the sender's own HopSelf stages to hop; shard-labeled
+// stages the sender gathered from its upstreams pass through unchanged.
+func parseTraceBlock(b []byte, t *obs.SpanTally, hop uint8) error {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return errMalformedTrace
+	}
+	b = b[n:]
+	for i := uint64(0); i < count; i++ {
+		if len(b) < 2 {
+			return errMalformedTrace
+		}
+		stage, h := b[0], b[1]
+		b = b[2:]
+		ns, n := binary.Uvarint(b)
+		if n <= 0 {
+			return errMalformedTrace
+		}
+		b = b[n:]
+		if h == obs.HopSelf {
+			h = hop
+		}
+		t.Add(stage, h, int64(ns))
+	}
+	if len(b) != 0 {
+		return errMalformedTrace
+	}
+	return nil
 }
 
 // wireDist clamps an engine distance to its on-wire byte: -1 (unreachable /

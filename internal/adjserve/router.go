@@ -61,6 +61,11 @@ type Router struct {
 	metrics RouterMetrics
 	bufPool sync.Pool // *routerBufs; per-router because sizes scale with shard count
 
+	// sink, when non-nil, collects completed traces at the router hop,
+	// mirroring Server.sink: traced downstream frames, self-sampled frames,
+	// and slow frames. Set before Serve.
+	sink *obs.TraceSink
+
 	// draining is read once per frame by every downstream connection's loop;
 	// atomic so the frame loop takes no lock (mu guards only the registry).
 	draining atomic.Bool
@@ -205,6 +210,10 @@ func (r *Router) Replicas() bool { return r.replicas }
 // closed, exactly like Server.SetMaxConns. Must be called before Serve.
 func (r *Router) SetMaxConns(n int) { r.maxConns = n }
 
+// SetTraceSink installs the router's trace collection point, mirroring
+// Server.SetTraceSink. Must be called before Serve.
+func (r *Router) SetTraceSink(sink *obs.TraceSink) { r.sink = sink }
+
 // Metrics returns the router's instrumentation; RegisterMetrics exposes it
 // (and every upstream client's) on a registry.
 func (r *Router) Metrics() *RouterMetrics { return &r.metrics }
@@ -342,6 +351,13 @@ type shardJob struct {
 	dists []int
 	err   error
 	wg    *sync.WaitGroup
+	// traced selects the traced upstream call; tr then accumulates the
+	// upstream client's stages plus the shard's own stage report, merged into
+	// the frame's tally (relabeled with the shard index) after the join. The
+	// tally lives in the pooled job so the traced fan-out allocates nothing
+	// per frame either.
+	traced bool
+	tr     obs.SpanTally
 }
 
 // routerBufs is the pooled per-connection scratch: request/response payloads
@@ -397,24 +413,32 @@ func (r *Router) handle(c net.Conn) {
 	bw := bufio.NewWriterSize(c, 64<<10)
 	var hdr, fhdr [frameHeaderLen]byte
 	pending := 0
+	// burstStart tracks queue wait exactly like Server.handle: a frame whose
+	// header was already buffered when we looped back waited in this
+	// connection's read burst since burstStart.
+	var burstStart time.Time
 	for {
 		if r.draining.Load() {
 			bw.Flush()
 			return
 		}
+		waiting := br.Buffered() >= frameHeaderLen
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			bw.Flush()
 			return
 		}
+		tHdr := time.Now()
+		if !waiting {
+			burstStart = tHdr
+		}
 		plen := int(binary.LittleEndian.Uint32(hdr[:]))
 		var resp []byte
-		queries := 0
-		var frameStart time.Time
 		if plen > maxFramePayload {
 			if _, err := io.CopyN(io.Discard, br, int64(plen)); err != nil {
 				return
 			}
 			resp = appendErr(bufs.resp[:0], "frame of %d bytes exceeds limit %d", plen, maxFramePayload)
+			r.metrics.ErrorFrames.Inc()
 		} else {
 			if cap(bufs.req) < plen {
 				bufs.req = make([]byte, plen)
@@ -423,21 +447,13 @@ func (r *Router) handle(c net.Conn) {
 			if _, err := io.ReadFull(br, req); err != nil {
 				return
 			}
-			frameStart = time.Now()
-			resp, queries = r.process(req, bufs, chans)
+			tPayload := time.Now()
+			resp, _ = r.routeFrame(req, bufs, chans, tPayload,
+				int64(tPayload.Sub(tHdr)), int64(tHdr.Sub(burstStart)))
 		}
 		r.metrics.Frames.Inc()
 		r.metrics.BytesIn.Add(int64(frameHeaderLen + plen))
 		r.metrics.BytesOut.Add(int64(frameHeaderLen + len(resp)))
-		switch {
-		case len(resp) > 0 && resp[0] == statusErr:
-			r.metrics.ErrorFrames.Inc()
-		case len(resp) > 0 && resp[0] == statusShed:
-			r.metrics.ShedFrames.Inc()
-		case queries > 0:
-			r.metrics.Queries.Add(int64(queries))
-			r.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
-		}
 		bufs.resp = resp[:0]
 		fhdr = frameHeader(len(resp))
 		if _, err := bw.Write(fhdr[:]); err != nil {
@@ -468,11 +484,19 @@ func (r *Router) worker(s int, jobs <-chan *shardJob) {
 		var err error
 		if job.op == opDist {
 			var dists []int
-			dists, err = c.DistMany(job.pairs, job.dists[:0])
+			if job.traced {
+				dists, err = c.DistManyTrace(job.pairs, job.dists[:0], &job.tr)
+			} else {
+				dists, err = c.DistMany(job.pairs, job.dists[:0])
+			}
 			job.dists = dists
 		} else {
 			var out []bool
-			out, err = c.AdjacentMany(job.pairs, job.out[:0])
+			if job.traced {
+				out, err = c.AdjacentManyTrace(job.pairs, job.out[:0], &job.tr)
+			} else {
+				out, err = c.AdjacentMany(job.pairs, job.out[:0])
+			}
 			job.out = out
 		}
 		m.Batches.Inc()
@@ -488,12 +512,116 @@ func (r *Router) worker(s int, jobs <-chan *shardJob) {
 	}
 }
 
+// routeFrame is the router's analogue of Server.serveFrame: it strips an
+// inbound trace context, decides whether this frame is captured (remote trace,
+// self-sample, or slow), answers via process, and on capture echoes the
+// router-hop stage report back downstream and deposits the completed trace.
+// start is the instant the payload finished reading; readNs and queueNs are
+// the header→payload read time and the pre-read queue wait.
+//
+// The untraced path materializes no SpanTally and performs no extra work
+// beyond the timestamps already taken by the frame loop, preserving the
+// zero-allocation router batch path.
+func (r *Router) routeFrame(req []byte, bufs *routerBufs, chans []chan *shardJob, start time.Time, readNs, queueNs int64) ([]byte, int) {
+	var tc traceCtx
+	if len(req) > traceIDLen && req[0]&opTraceFlag != 0 {
+		tc.remote = true
+		tc.id = binary.LittleEndian.Uint64(req[1 : 1+traceIDLen])
+		req[traceIDLen] = req[0] &^ opTraceFlag
+		req = req[traceIDLen:]
+	}
+	var op byte
+	if len(req) > 0 {
+		op = req[0]
+	}
+	sink := r.sink
+	if !tc.remote && sink.SampleNow() {
+		tc.sample = true
+		tc.id = obs.NewTraceID()
+	}
+	// Captured frames thread a tally through process so the fan-out records
+	// scatter/upstream/gather windows and per-shard sub-traces. Slow-only
+	// frames (detected after the fact) get the coarse queue/read/route stages.
+	var t obs.SpanTally
+	var tp *obs.SpanTally
+	if tc.remote || tc.sample {
+		t.ID = tc.id
+		tp = &t
+	}
+	resp, queries := r.process(req, bufs, chans, tp)
+	routeNs := int64(time.Since(start))
+	switch {
+	case len(resp) > 0 && resp[0] == statusErr:
+		r.metrics.ErrorFrames.Inc()
+	case len(resp) > 0 && resp[0] == statusShed:
+		r.metrics.ShedFrames.Inc()
+	case queries > 0:
+		r.metrics.Queries.Add(int64(queries))
+		h := &r.metrics.FrameLatencyNs[batchClass(queries)]
+		if tc.id != 0 {
+			h.ObserveExemplar(routeNs, tc.id)
+		} else {
+			h.Observe(routeNs)
+		}
+	}
+	total := queueNs + readNs + routeNs
+	slowNs := sink.SlowThreshold()
+	slow := slowNs > 0 && total > slowNs
+	if tc.remote || tc.sample || slow {
+		if tp == nil {
+			// Slow-only capture: no fan-out detail was recorded, attribute the
+			// whole routing window as one upstream stage.
+			t.Add(obs.StageUpstream, obs.HopSelf, routeNs)
+		}
+		t.Add(obs.StageQueue, obs.HopSelf, queueNs)
+		t.Add(obs.StageRead, obs.HopSelf, readNs)
+		if tc.remote && len(resp) > 0 && resp[0] == statusOK {
+			resp[0] |= opTraceFlag
+			resp = appendTraceTally(resp, &t)
+		}
+		if t.ID == 0 {
+			t.ID = obs.NewTraceID()
+		}
+		var tr obs.Trace
+		tr.Fill(&t, op, queries, total)
+		if tc.remote || tc.sample {
+			sink.Deposit(&tr)
+		}
+		if slow {
+			sink.DepositSlow(&tr)
+		}
+	}
+	return resp, queries
+}
+
+// mergeShardTrace folds one shard job's tally into the frame tally: the
+// upstream client's own stages (encode/flush/net at HopSelf) collapse into a
+// single per-shard net stage, the shard server's stage report (HopPeer after
+// the client's relabel) is re-labeled with the shard index, and anything else
+// — already shard-labeled by a nested router — passes through unchanged.
+func mergeShardTrace(dst, jt *obs.SpanTally, shard uint8) {
+	var netNs int64
+	for _, st := range jt.Stages() {
+		switch st.Hop {
+		case obs.HopSelf:
+			netNs += st.Ns
+		case obs.HopPeer:
+			dst.Add(st.Stage, shard, st.Ns)
+		default:
+			dst.Add(st.Stage, st.Hop, st.Ns)
+		}
+	}
+	dst.Add(obs.StageNet, shard, netNs)
+}
+
 // process answers one downstream request payload, appending the response to
 // bufs.resp (reused from its start). Info ops are answered locally — the
 // router already knows the fleet's n and fat set from the handshake, and
 // presents itself as a single unsharded server so routers compose with every
-// existing client (plquery -remote, plbench, even another router).
-func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
+// existing client (plquery -remote, plbench, even another router). A non-nil
+// tp marks the frame as traced: query/dist paths record their fan-out stages
+// into it and thread the trace upstream.
+func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob, tp *obs.SpanTally) (out []byte, queries int) {
 	resp := bufs.resp[:0]
 	if len(req) == 0 {
 		return appendErr(resp, "empty request"), 0
@@ -502,7 +630,8 @@ func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (
 	switch op {
 	case opInfo:
 		resp = append(resp, statusOK)
-		return binary.AppendUvarint(resp, uint64(r.n)), 0
+		resp = binary.AppendUvarint(resp, uint64(r.n))
+		return binary.AppendUvarint(resp, localCaps), 0
 	case opShardInfo:
 		resp = append(resp, statusOK)
 		resp = binary.AppendUvarint(resp, uint64(r.n))
@@ -518,7 +647,7 @@ func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (
 		if count > uint64(r.maxBatch) {
 			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, r.maxBatch), 0
 		}
-		return r.processQuery(body[k:], resp, int(count), bufs, chans)
+		return r.processQuery(body[k:], resp, int(count), bufs, chans, tp)
 	case opDist:
 		if !r.replicas {
 			return appendErr(resp, "distance queries require a replica fleet (this router fronts a %d-shard partition)", len(r.clients)), 0
@@ -530,14 +659,18 @@ func (r *Router) process(req []byte, bufs *routerBufs, chans []chan *shardJob) (
 		if count > uint64(r.maxBatch) {
 			return appendErr(resp, "batch of %d pairs exceeds limit %d", count, r.maxBatch), 0
 		}
-		return r.processDist(body[k:], resp, int(count), bufs, chans)
+		return r.processDist(body[k:], resp, int(count), bufs, chans, tp)
 	default:
 		return appendErr(resp, "unknown op %d", op), 0
 	}
 }
 
 // processQuery decodes, routes, fans out and scatters one query batch.
-func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
+func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob, tp *obs.SpanTally) (out []byte, queries int) {
+	var tScatter time.Time
+	if tp != nil {
+		tScatter = time.Now()
+	}
 	jobs := bufs.jobs
 	for s := range jobs {
 		jobs[s].op = opQuery
@@ -545,6 +678,11 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 		jobs[s].idx = jobs[s].idx[:0]
 		jobs[s].out = jobs[s].out[:0]
 		jobs[s].err = nil
+		jobs[s].traced = tp != nil
+		if tp != nil {
+			jobs[s].tr.Reset()
+			jobs[s].tr.ID = tp.ID
+		}
 	}
 	for i := 0; i < count; i++ {
 		u, nu := binary.Uvarint(body)
@@ -575,6 +713,11 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 			active++
 		}
 	}
+	var tUpstream time.Time
+	if tp != nil {
+		tUpstream = time.Now()
+		tp.Add(obs.StageScatter, obs.HopSelf, int64(tUpstream.Sub(tScatter)))
+	}
 	bufs.wg.Add(active)
 	for s := range jobs {
 		if len(jobs[s].pairs) > 0 {
@@ -582,6 +725,11 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 		}
 	}
 	bufs.wg.Wait()
+	var tGather time.Time
+	if tp != nil {
+		tGather = time.Now()
+		tp.Add(obs.StageUpstream, obs.HopSelf, int64(tGather.Sub(tUpstream)))
+	}
 	// A shed from one shard poisons only the sub-batches routed to it: the
 	// downstream frame that needed the overloaded shard answers with a shed
 	// frame (so the client sees ErrShed, a retryable refusal, not a generic
@@ -617,6 +765,14 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 			}
 		}
 	}
+	if tp != nil {
+		for s := range jobs {
+			if len(jobs[s].pairs) > 0 {
+				mergeShardTrace(tp, &jobs[s].tr, uint8(s))
+			}
+		}
+		tp.Add(obs.StageGather, obs.HopSelf, int64(time.Since(tGather)))
+	}
 	return resp, count
 }
 
@@ -625,7 +781,11 @@ func (r *Router) processQuery(body, resp []byte, count int, bufs *routerBufs, ch
 // (owner-of-u) and the response encoding (uvarint distances, scattered
 // through a request-ordered int slice because uvarints have no fixed offsets)
 // differ.
-func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob) (out []byte, queries int) {
+func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, chans []chan *shardJob, tp *obs.SpanTally) (out []byte, queries int) {
+	var tScatter time.Time
+	if tp != nil {
+		tScatter = time.Now()
+	}
 	jobs := bufs.jobs
 	for s := range jobs {
 		jobs[s].op = opDist
@@ -633,6 +793,11 @@ func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, cha
 		jobs[s].idx = jobs[s].idx[:0]
 		jobs[s].dists = jobs[s].dists[:0]
 		jobs[s].err = nil
+		jobs[s].traced = tp != nil
+		if tp != nil {
+			jobs[s].tr.Reset()
+			jobs[s].tr.ID = tp.ID
+		}
 	}
 	for i := 0; i < count; i++ {
 		u, nu := binary.Uvarint(body)
@@ -661,6 +826,11 @@ func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, cha
 			active++
 		}
 	}
+	var tUpstream time.Time
+	if tp != nil {
+		tUpstream = time.Now()
+		tp.Add(obs.StageScatter, obs.HopSelf, int64(tUpstream.Sub(tScatter)))
+	}
 	bufs.wg.Add(active)
 	for s := range jobs {
 		if len(jobs[s].pairs) > 0 {
@@ -668,6 +838,11 @@ func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, cha
 		}
 	}
 	bufs.wg.Wait()
+	var tGather time.Time
+	if tp != nil {
+		tGather = time.Now()
+		tp.Add(obs.StageUpstream, obs.HopSelf, int64(tGather.Sub(tUpstream)))
+	}
 	shed := false
 	for s := range jobs {
 		if err := jobs[s].err; err != nil {
@@ -696,6 +871,14 @@ func (r *Router) processDist(body, resp []byte, count int, bufs *routerBufs, cha
 	resp = binary.AppendUvarint(resp, uint64(count))
 	for _, d := range all {
 		resp = binary.AppendUvarint(resp, wireDist(d))
+	}
+	if tp != nil {
+		for s := range jobs {
+			if len(jobs[s].pairs) > 0 {
+				mergeShardTrace(tp, &jobs[s].tr, uint8(s))
+			}
+		}
+		tp.Add(obs.StageGather, obs.HopSelf, int64(time.Since(tGather)))
 	}
 	return resp, count
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/peernet"
 )
 
@@ -76,6 +77,13 @@ type Server struct {
 	// the per-query path.
 	metrics ServerMetrics
 
+	// sink, when non-nil, collects completed traces: frames that arrived
+	// with a trace context, frames self-selected by the sink's sampler, and
+	// frames over the slow threshold. Set before Serve; a nil sink still
+	// echoes trace blocks to remotely-traced frames (the capability is
+	// protocol-level, collection is per-daemon policy).
+	sink *obs.TraceSink
+
 	mu    sync.Mutex
 	ln    net.Listener
 	conns map[net.Conn]struct{}
@@ -133,6 +141,11 @@ func (s *Server) SetShedDepth(depth int) { s.shedDepth = depth }
 // flushes; n <= 0 selects DefaultMaxPendingResponses. Must be called before
 // Serve.
 func (s *Server) SetMaxPendingResponses(n int) { s.maxPendingResp = n }
+
+// SetTraceSink installs the trace collection point (sampling policy, trace
+// ring, slow-frame log). nil disables collection; trace blocks are still
+// echoed to traced requests. Must be called before Serve.
+func (s *Server) SetTraceSink(sink *obs.TraceSink) { s.sink = sink }
 
 // Shedding reports whether the server is currently refusing query frames
 // under the SetShedDepth bound — the signal /readyz surfaces so load
@@ -320,21 +333,30 @@ func (s *Server) handle(c net.Conn) {
 		}
 	}
 	defer release()
+	// burstStart anchors the queue-wait stage: it is reset whenever a header
+	// read actually blocked (the connection was idle), so a frame's queue
+	// time is how long it sat buffered behind earlier frames of the same
+	// pipelined read-burst — zero for unpipelined traffic.
+	var burstStart time.Time
 	for {
 		if s.draining.Load() {
 			s.flushFinal(bw)
 			return
 		}
+		waiting := br.Buffered() >= frameHeaderLen
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			// EOF (client went away), the Close wake-up deadline, or a torn
 			// header; nothing more to answer either way.
 			s.flushFinal(bw)
 			return
 		}
+		tHdr := time.Now()
+		if !waiting {
+			burstStart = tHdr
+		}
 		plen := int(binary.LittleEndian.Uint32(hdr[:]))
 		var resp []byte
 		queries := 0
-		var frameStart time.Time
 		if plen > maxFramePayload {
 			// The framing itself is still trustworthy, so skip the payload
 			// and answer with an error frame instead of dropping the
@@ -343,6 +365,7 @@ func (s *Server) handle(c net.Conn) {
 				return
 			}
 			resp = appendErr(bufs.resp[:0], "frame of %d bytes exceeds limit %d", plen, maxFramePayload)
+			s.metrics.ErrorFrames.Inc()
 		} else {
 			if cap(bufs.req) < plen {
 				bufs.req = make([]byte, plen)
@@ -356,8 +379,9 @@ func (s *Server) handle(c net.Conn) {
 			// connections it is the depth the shedding bound compares against.
 			s.metrics.QueuedFrames.Add(1)
 			queued++
-			frameStart = time.Now()
-			resp, queries = s.process(req, bufs)
+			tPayload := time.Now()
+			resp, queries = s.serveFrame(req, bufs, tPayload,
+				int64(tPayload.Sub(tHdr)), int64(tHdr.Sub(burstStart)))
 		}
 		// Frame-granular accounting: a few uncontended atomic adds per
 		// frame, amortized over the whole batch — the per-query serving path
@@ -365,15 +389,6 @@ func (s *Server) handle(c net.Conn) {
 		s.metrics.Frames.Inc()
 		s.metrics.BytesIn.Add(int64(frameHeaderLen + plen))
 		s.metrics.BytesOut.Add(int64(frameHeaderLen + len(resp)))
-		switch {
-		case len(resp) > 0 && resp[0] == statusErr:
-			s.metrics.ErrorFrames.Inc()
-		case len(resp) > 0 && resp[0] == statusShed:
-			s.metrics.ShedFrames.Inc()
-		case queries > 0:
-			s.metrics.Queries.Add(int64(queries))
-			s.metrics.FrameLatencyNs[batchClass(queries)].ObserveDuration(time.Since(frameStart))
-		}
 		bufs.resp = resp[:0]
 		fhdr = frameHeader(len(resp))
 		if _, err := bw.Write(fhdr[:]); err != nil {
@@ -442,6 +457,107 @@ func (s *Server) shouldShed() bool {
 	return false
 }
 
+// traceCtx is the per-frame trace state serveFrame keeps on the stack:
+// zero-valued (two bools, a word) when the frame is untraced and unsampled.
+type traceCtx struct {
+	remote bool   // request carried a trace context; echo a trace block
+	sample bool   // self-selected by the sink's sampler; deposit locally
+	id     uint64 // propagated or freshly generated trace id
+}
+
+// serveFrame answers one fully-read request payload exactly as the frame
+// loop sees it: strip the optional trace context, process the request,
+// charge the per-status metrics, and — for traced, sampled or slow frames —
+// append the response trace block and deposit the completed trace into the
+// sink. start is the instant the payload finished reading; readNs and
+// queueNs are the frame's already-measured read and queue-wait stages.
+//
+// The untraced, unsampled path through here performs zero heap allocations
+// (CI-asserted by BenchmarkServeTraceDisabled): the trace state is a stack
+// struct, and the SpanTally/Trace records are only materialized inside the
+// capture branch.
+func (s *Server) serveFrame(req []byte, bufs *connBuffers, start time.Time, readNs, queueNs int64) ([]byte, int) {
+	var tc traceCtx
+	if len(req) > traceIDLen && req[0]&opTraceFlag != 0 {
+		// Strip the trace context in place: overwrite the last id byte with
+		// the bare op and re-slice, so process() sees the untraced request
+		// shape and its signature stays untouched.
+		tc.remote = true
+		tc.id = binary.LittleEndian.Uint64(req[1 : 1+traceIDLen])
+		req[traceIDLen] = req[0] &^ opTraceFlag
+		req = req[traceIDLen:]
+	}
+	var op byte
+	if len(req) > 0 {
+		op = req[0]
+	}
+	sink := s.sink
+	if !tc.remote && sink.SampleNow() {
+		tc.sample = true
+		tc.id = obs.NewTraceID()
+	}
+	resp, queries := s.process(req, bufs)
+	probeNs := int64(time.Since(start))
+	switch {
+	case len(resp) > 0 && resp[0] == statusErr:
+		s.metrics.ErrorFrames.Inc()
+	case len(resp) > 0 && resp[0] == statusShed:
+		s.metrics.ShedFrames.Inc()
+	case queries > 0:
+		s.metrics.Queries.Add(int64(queries))
+		h := &s.metrics.FrameLatencyNs[batchClass(queries)]
+		if tc.id != 0 {
+			h.ObserveExemplar(probeNs, tc.id)
+		} else {
+			h.Observe(probeNs)
+		}
+		s.observeProbe(op, probeNs, tc.id)
+	}
+	total := queueNs + readNs + probeNs
+	slowNs := sink.SlowThreshold()
+	slow := slowNs > 0 && total > slowNs
+	if tc.remote || tc.sample || slow {
+		var t obs.SpanTally
+		t.ID = tc.id
+		t.Add(obs.StageQueue, obs.HopSelf, queueNs)
+		t.Add(obs.StageRead, obs.HopSelf, readNs)
+		t.Add(obs.StageProbe, obs.HopSelf, probeNs)
+		if tc.remote && len(resp) > 0 && resp[0] == statusOK {
+			// Echo the stages to the caller. Error and shed responses stay
+			// byte-identical to the untraced protocol.
+			resp[0] |= opTraceFlag
+			resp = appendTraceTally(resp, &t)
+		}
+		if t.ID == 0 {
+			t.ID = obs.NewTraceID() // slow-captured but never sampled
+		}
+		var tr obs.Trace
+		tr.Fill(&t, op, queries, total)
+		if tc.remote || tc.sample {
+			sink.Deposit(&tr)
+		}
+		if slow {
+			sink.DepositSlow(&tr)
+		}
+	}
+	return resp, queries
+}
+
+// observeProbe charges a successful frame's probe time to the serving
+// engine's probe histogram, exemplar-stamped when the frame was traced.
+func (s *Server) observeProbe(op byte, ns int64, traceID uint64) {
+	switch op {
+	case opQuery:
+		if s.engine != nil {
+			s.engine.ObserveProbe(ns, traceID)
+		}
+	case opDist:
+		if s.dist != nil {
+			s.dist.ObserveProbe(ns, traceID)
+		}
+	}
+}
+
 // process answers one request payload, appending the response payload to
 // bufs.resp (reused from its start) and returning it along with the number of
 // adjacency queries answered. Malformed requests and engine errors produce
@@ -455,7 +571,10 @@ func (s *Server) process(req []byte, bufs *connBuffers) (out []byte, queries int
 	switch op {
 	case opInfo:
 		resp = append(resp, statusOK)
-		return binary.AppendUvarint(resp, uint64(s.servedN())), 0
+		resp = binary.AppendUvarint(resp, uint64(s.servedN()))
+		// Trailing capability advertisement (see the package doc): clients
+		// that predate capabilities stop reading after the vertex count.
+		return binary.AppendUvarint(resp, localCaps), 0
 	case opShardInfo:
 		if s.engine == nil {
 			// Distance-only server: the trivial 1-shard map with an empty fat

@@ -634,6 +634,15 @@ func (e *DistEngine) FlushTally(t *QueryTally, pairs int) {
 	*t = QueryTally{}
 }
 
+// ObserveProbe charges one served frame's engine-probe wall time to the
+// attached metrics, exactly as QueryEngine.ObserveProbe does for adjacency
+// frames.
+func (e *DistEngine) ObserveProbe(ns int64, traceID uint64) {
+	if m := e.metrics; m != nil {
+		m.ObserveProbe(ns, traceID)
+	}
+}
+
 // distCache is the (u,v)→distance twin of pairCache. A slot is one atomic
 // word:
 //

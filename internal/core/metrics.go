@@ -23,6 +23,11 @@ type EngineMetrics struct {
 	CacheHits   obs.Counter // result-cache hits (cache enabled only)
 	CacheMisses obs.Counter // result-cache misses (cache enabled only)
 	BatchPairs  obs.Histogram
+	// ProbeNs is the engine-probe wall time per served frame (decode pairs,
+	// probe the arena, encode the answer), charged once per frame by the
+	// serving loop via ObserveProbe — the engine-layer stage the tracing
+	// plane attributes as "probe".
+	ProbeNs obs.Histogram
 }
 
 // Register exposes the metrics on reg under the engine_* family names. Call
@@ -36,6 +41,7 @@ func (m *EngineMetrics) Register(reg *obs.Registry) {
 	reg.Counter("engine_cache_hits_total", "Queries answered from the (u,v) result cache.", &m.CacheHits)
 	reg.Counter("engine_cache_misses_total", "Result-cache lookups that fell through to a slab probe.", &m.CacheMisses)
 	reg.Histogram("engine_batch_pairs", "Pairs per batch call.", &m.BatchPairs)
+	reg.Histogram("engine_probe_ns", "Engine-probe wall time per served frame.", &m.ProbeNs)
 }
 
 // RegisterDist exposes the metrics on reg under the dist_engine_* family
@@ -52,6 +58,7 @@ func (m *EngineMetrics) RegisterDist(reg *obs.Registry) {
 	reg.Counter("dist_engine_cache_hits_total", "Queries answered from the (u,v) distance cache.", &m.CacheHits)
 	reg.Counter("dist_engine_cache_misses_total", "Distance-cache lookups that fell through to a slab probe.", &m.CacheMisses)
 	reg.Histogram("dist_engine_batch_pairs", "Pairs per distance batch call.", &m.BatchPairs)
+	reg.Histogram("dist_engine_probe_ns", "Engine-probe wall time per served distance frame.", &m.ProbeNs)
 }
 
 // QueryTally is the stack-local accumulator the probe paths increment; it is
@@ -63,6 +70,17 @@ func (m *EngineMetrics) RegisterDist(reg *obs.Registry) {
 type QueryTally struct {
 	queries, thin, fat, self int64
 	cacheHits, cacheMisses   int64
+}
+
+// ObserveProbe charges one served frame's engine-probe wall time, stamping
+// the latency bucket's exemplar with the trace id when the frame was traced
+// (id != 0) so /debug/traces can join buckets back to concrete traces.
+func (m *EngineMetrics) ObserveProbe(ns int64, traceID uint64) {
+	if traceID != 0 {
+		m.ProbeNs.ObserveExemplar(ns, traceID)
+		return
+	}
+	m.ProbeNs.Observe(ns)
 }
 
 // flush merges a tally into the atomics.

@@ -482,6 +482,15 @@ func (e *QueryEngine) FlushTally(t *QueryTally, pairs int) {
 	*t = QueryTally{}
 }
 
+// ObserveProbe charges one served frame's engine-probe wall time to the
+// attached metrics (see EngineMetrics.ObserveProbe); a no-op without
+// metrics. The serving loop calls it once per successful query frame.
+func (e *QueryEngine) ObserveProbe(ns int64, traceID uint64) {
+	if m := e.metrics; m != nil {
+		m.ObserveProbe(ns, traceID)
+	}
+}
+
 // AdjacentManyParallel shards a batch across workers goroutines (workers
 // <= 0 selects GOMAXPROCS) and answers each shard with the allocation-free
 // single-query path. Results are returned in pair order. The engine itself

@@ -24,10 +24,11 @@ type AdminServer struct {
 	// "listening and not draining" daemon state.
 	Readyz func() error
 
-	reg *Registry
-	mux *http.ServeMux
-	srv *http.Server
-	ln  net.Listener
+	reg  *Registry
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+	sink *TraceSink
 }
 
 // NewAdminServer builds an admin server over reg.
@@ -41,8 +42,36 @@ func NewAdminServer(reg *Registry) *AdminServer {
 	a.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	a.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	a.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		a.handleTraceRing(w, true)
+	})
+	a.mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		a.handleTraceRing(w, false)
+	})
 	a.srv = &http.Server{Handler: a.mux, ReadHeaderTimeout: 5 * time.Second}
 	return a
+}
+
+// SetTraceSink attaches the daemon's trace sink, enabling /debug/traces
+// (sampled ring + histogram exemplars) and /debug/slowlog (threshold-
+// captured frames). Call before Serve; without a sink both endpoints answer
+// an empty document.
+func (a *AdminServer) SetTraceSink(s *TraceSink) { a.sink = s }
+
+// handleTraceRing renders one of the sink's rings as JSON: the sampled ring
+// (with histogram exemplars joined in from the registry) or the slowlog.
+func (a *AdminServer) handleTraceRing(w http.ResponseWriter, sampled bool) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var ring *TraceRing
+	var reg *Registry
+	if a.sink != nil {
+		if sampled {
+			ring, reg = a.sink.Ring, a.reg
+		} else {
+			ring = a.sink.Slow
+		}
+	}
+	_ = WriteTracesJSON(w, ring, reg)
 }
 
 // Handler returns the admin mux, for mounting under an existing server.

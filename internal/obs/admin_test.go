@@ -2,11 +2,14 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -99,6 +102,182 @@ func TestAdminEndpoints(t *testing.T) {
 		!strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index = %d, want 200 with profile listing", code)
 	}
+}
+
+// TestAdminPprofSuite checks every always-on pprof endpoint answers 200 with
+// a body — the profiling plane must survive refactors of the admin mux.
+func TestAdminPprofSuite(t *testing.T) {
+	a := NewAdminServer(NewRegistry())
+	base := startAdmin(t, a)
+	for _, ep := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/goroutine?debug=1",
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/allocs?debug=1",
+		"/debug/pprof/threadcreate?debug=1",
+		"/debug/pprof/block?debug=1",
+		"/debug/pprof/mutex?debug=1",
+	} {
+		if code, body := get(t, base+ep); code != http.StatusOK || len(body) == 0 {
+			t.Errorf("%s = %d (%d bytes), want 200 non-empty", ep, code, len(body))
+		}
+	}
+}
+
+// TestAdminTraceEndpoints checks /debug/traces and /debug/slowlog render the
+// sink's rings as JSON, and answer an empty document when no sink is set.
+func TestAdminTraceEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	a := NewAdminServer(reg)
+	base := startAdmin(t, a)
+
+	// No sink installed: both endpoints answer valid empty documents.
+	for _, ep := range []string{"/debug/traces", "/debug/slowlog"} {
+		code, body := get(t, base+ep)
+		if code != http.StatusOK {
+			t.Fatalf("%s (no sink) = %d", ep, code)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s (no sink) bad JSON: %v", ep, err)
+		}
+	}
+
+	sink := &TraceSink{Ring: NewTraceRing(8), Slow: NewTraceRing(8)}
+	a.SetTraceSink(sink)
+	var tally SpanTally
+	tally.ID = 42
+	tally.Add(StageProbe, HopSelf, 100)
+	var tr Trace
+	tr.Fill(&tally, 1, 8, 100)
+	sink.Deposit(&tr)
+	tr.ID = 43
+	sink.DepositSlow(&tr)
+
+	var doc struct {
+		Traces []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	code, body := get(t, base+"/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/traces bad JSON: %v\n%s", err, body)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].TraceID != TraceID(42) {
+		t.Errorf("/debug/traces = %+v, want trace 42", doc.Traces)
+	}
+	code, body = get(t, base+"/debug/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slowlog = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/slowlog bad JSON: %v\n%s", err, body)
+	}
+	if len(doc.Traces) != 1 || doc.Traces[0].TraceID != TraceID(43) {
+		t.Errorf("/debug/slowlog = %+v, want trace 43", doc.Traces)
+	}
+}
+
+// TestAdminConcurrentRender hammers /metrics and /debug/traces from several
+// goroutines while the instrumented values keep changing — the registry's
+// gather path and the trace ring's slot locking must hold up under -race.
+func TestAdminConcurrentRender(t *testing.T) {
+	reg := NewRegistry()
+	var served Counter
+	var lat Histogram
+	reg.Counter("admin_cc_served_total", "Served.", &served)
+	reg.Histogram("admin_cc_latency_ns", "Latency.", &lat)
+	sink := &TraceSink{Ring: NewTraceRing(16)}
+	a := NewAdminServer(reg)
+	a.SetTraceSink(sink)
+	base := startAdmin(t, a)
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		var tally SpanTally
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			served.Inc()
+			lat.ObserveExemplar(int64(i%1000+1), uint64(i+1))
+			tally.Reset()
+			tally.ID = uint64(i + 1)
+			tally.Add(StageProbe, HopSelf, int64(i))
+			var tr Trace
+			tr.Fill(&tally, 1, 1, int64(i))
+			sink.Deposit(&tr)
+		}
+	}()
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			for i := 0; i < 25; i++ {
+				ep := "/metrics"
+				if (w+i)%2 == 0 {
+					ep = "/debug/traces"
+				}
+				if code, _ := get(t, base+ep); code != http.StatusOK {
+					t.Errorf("%s = %d under concurrency", ep, code)
+					return
+				}
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}
+
+// TestAdminReadyzDrainOrdering pins the drain contract daemons rely on: the
+// readiness probe flips to 503 the instant the probe function says so, while
+// /healthz and /metrics keep answering 200 so the final scrape still lands —
+// and only then is the admin listener shut down.
+func TestAdminReadyzDrainOrdering(t *testing.T) {
+	reg := NewRegistry()
+	var served Counter
+	served.Add(7)
+	reg.Counter("admin_drain_served_total", "Served.", &served)
+	var ready atomic.Bool
+	a := NewAdminServer(reg)
+	a.Readyz = func() error {
+		if !ready.Load() {
+			return errors.New("draining")
+		}
+		return nil
+	}
+	base := startAdmin(t, a)
+
+	ready.Store(true)
+	if code, _ := get(t, base+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz while serving = %d, want 200", code)
+	}
+	// Drain starts: readiness flips first...
+	ready.Store(false)
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "draining") {
+		t.Errorf("/readyz during drain = %d %q, want 503 draining", code, body)
+	}
+	// ...while liveness and the final scrape still answer.
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200", code)
+	}
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "admin_drain_served_total 7") {
+		t.Errorf("final scrape during drain = %d, missing counters:\n%s", code, body)
+	}
+	// Shutdown happens in the startAdmin cleanup, strictly after the above.
 }
 
 func TestAdminContentType(t *testing.T) {

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the plabel_build_info gauge: a constant-1
+// series whose labels carry the build identity (VCS revision, Go version)
+// plus any deployment facts the daemon passes in (scheme and layout of the
+// loaded store, fleet role). The value is always 1 — the Prometheus idiom
+// for "info" metrics, joinable against every other series by instance.
+//
+// extra is an alternating key/value list appended after the built-in
+// revision/goversion labels.
+func RegisterBuildInfo(reg *Registry, extra ...string) {
+	labels := append([]string{
+		"revision", buildRevision(),
+		"goversion", runtime.Version(),
+	}, extra...)
+	reg.GaugeFunc("plabel_build_info",
+		"Build identity of this binary (value is always 1).",
+		func() int64 { return 1 }, labels...)
+}
+
+// buildRevision extracts the VCS revision stamped into the binary, "unknown"
+// when built outside a checkout (or with -buildvcs=false).
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty && rev != "unknown" {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -64,6 +64,11 @@ const histMaxFinite = int64(1) << (HistogramBuckets - 2)
 type Histogram struct {
 	buckets [HistogramBuckets]atomic.Int64
 	sum     atomic.Int64
+	// exemplars[i] holds the trace id most recently observed into bucket i
+	// (0: none). Written only by ObserveExemplar, so histograms that never
+	// see traced traffic pay nothing beyond the struct space; rendered by
+	// /debug/traces, never by the Prometheus text exposition.
+	exemplars [HistogramBuckets]atomic.Uint64
 }
 
 // bucketIndex maps a value to its bucket: the smallest i with v <= 2^i,
@@ -96,6 +101,26 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveExemplar records one value and stamps its bucket's exemplar with
+// traceID, linking the latency bucket to a concrete trace: one extra atomic
+// store over Observe, still lock-free and allocation-free.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	i := bucketIndex(v)
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[i].Store(traceID)
+	}
+}
+
+// Exemplar returns the trace id last observed into bucket i, or 0 if none.
+func (h *Histogram) Exemplar(i int) uint64 {
+	if i < 0 || i >= HistogramBuckets {
+		return 0
+	}
+	return h.exemplars[i].Load()
+}
 
 // Count returns the number of observations (the sum over all buckets). Taken
 // while observations are in flight it is consistent per bucket, not across

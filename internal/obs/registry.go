@@ -295,6 +295,46 @@ func writeMergedLabels(b *strings.Builder, labels, le string) {
 	b.WriteString(`"}`)
 }
 
+// ExemplarRef links one histogram bucket to the trace id last observed into
+// it, as collected by Registry.Exemplars.
+type ExemplarRef struct {
+	Name     string // metric family name
+	Labels   string // pre-rendered series labels, "" for the bare series
+	BucketLe int64  // bucket upper bound (ns); -1 for the +Inf bucket
+	TraceID  uint64
+}
+
+// Exemplars walks every registered histogram and returns the non-empty
+// bucket exemplars — the join table between the latency histograms on
+// /metrics and the traces on /debug/traces. Exemplars never appear in the
+// Prometheus text output, which stays byte-stable whether or not tracing
+// runs.
+func (r *Registry) Exemplars() []ExemplarRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ExemplarRef
+	for _, f := range r.fams {
+		for _, s := range f.series {
+			if s.hist == nil {
+				continue
+			}
+			for i := 0; i < HistogramBuckets; i++ {
+				id := s.hist.Exemplar(i)
+				if id == 0 {
+					continue
+				}
+				out = append(out, ExemplarRef{
+					Name:     f.name,
+					Labels:   s.labels,
+					BucketLe: BucketBound(i),
+					TraceID:  id,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // Expose is a convenience for tests and CLIs: the full exposition as a
 // string.
 func (r *Registry) Expose() string {

@@ -11,11 +11,11 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 work="${1:-$(mktemp -d)}"
-trap 'kill "${serve_pid:-}" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
+trap 'kill "${serve_pid:-}" "${route_pid:-}" ${shard_pids:-} 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$work/bin" "$work"/*.tmp' EXIT
 
 echo "== build"
 mkdir -p "$work/bin"
-go build -o "$work/bin" ./cmd/plgen ./cmd/pllabel ./cmd/plserve ./cmd/plload
+go build -o "$work/bin" ./cmd/plgen ./cmd/pllabel ./cmd/plserve ./cmd/plload ./cmd/plroute
 
 echo "== generate + label"
 "$work/bin/plgen" -model chunglu -n 5000 -alpha 2.5 -wmin 2 -seed 7 -o "$work/graph.el"
@@ -27,13 +27,13 @@ echo "== serve (admission cap + shedding armed, admin plane on)"
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^plserve: listening on //p' "$work/serve.log")
+    addr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve.log")
     [ -n "$addr" ] && break
     kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve.log"; echo "plserve died"; exit 1; }
     sleep 0.1
 done
 [ -n "$addr" ] || { cat "$work/serve.log"; echo "plserve never became ready"; exit 1; }
-admin=$(sed -n 's/^plserve: admin on //p' "$work/serve.log")
+admin=$(sed -n 's/.*msg=admin addr=//p' "$work/serve.log")
 echo "   plserve up at $addr, admin at $admin (pid $serve_pid)"
 
 echo "== open-loop run: 2s at 1500 frames/s, zipf-skewed pairs, mixed batches"
@@ -83,12 +83,12 @@ kill -TERM "$serve_pid"; wait "$serve_pid" || true; serve_pid=""
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^plserve: listening on //p' "$work/serve-shed.log")
+    addr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve-shed.log")
     [ -n "$addr" ] && break
     kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve-shed.log"; echo "plserve (shed) died"; exit 1; }
     sleep 0.1
 done
-admin=$(sed -n 's/^plserve: admin on //p' "$work/serve-shed.log")
+admin=$(sed -n 's/.*msg=admin addr=//p' "$work/serve-shed.log")
 "$work/bin/plload" -addr "$addr" -duration 1s -warmup 200ms \
     -conns 4 -workers 8 -batch 1024 | tee "$work/shed.log"
 shed=$(sed -n 's/.* shed=\([0-9]*\).*/\1/p' "$work/shed.log" | head -1)
@@ -107,5 +107,74 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "plserve (shed) exited non-zero"; cat "$work/serve-shed.log"; exit 1; }
 serve_pid=""
 
+
+echo "== tracing: 3-shard fleet behind plroute, sampled end-to-end attribution"
+"$work/bin/pllabel" -scheme powerlaw -layout degree -in "$work/graph.el" \
+    -o "$work/labels-sh.pllb" -shards 3 >"$work/label-sh.log"
+shard_addrs=""
+shard_pids=""
+for i in 0 1 2; do
+    "$work/bin/plserve" -labels "$work/labels-sh.pllb.shard$i" -addr 127.0.0.1:0 \
+        -trace-sample 4 >"$work/serve-tr$i.log" 2>&1 &
+    shard_pids="$shard_pids $!"
+done
+for i in 0 1 2; do
+    saddr=""
+    for _ in $(seq 1 100); do
+        saddr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve-tr$i.log")
+        [ -n "$saddr" ] && break
+        sleep 0.1
+    done
+    [ -n "$saddr" ] || { cat "$work/serve-tr$i.log"; echo "traced shard $i never became ready"; exit 1; }
+    shard_addrs="$shard_addrs,$saddr"
+done
+shard_addrs="${shard_addrs#,}"
+"$work/bin/plroute" -shards "$shard_addrs" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 \
+    -trace-sample 4 -slowlog-ms 1 >"$work/route.log" 2>&1 &
+route_pid=$!
+raddr=""
+for _ in $(seq 1 100); do
+    raddr=$(sed -n 's/.*msg=listening addr=//p' "$work/route.log")
+    [ -n "$raddr" ] && break
+    kill -0 "$route_pid" 2>/dev/null || { cat "$work/route.log"; echo "plroute died"; exit 1; }
+    sleep 0.1
+done
+[ -n "$raddr" ] || { cat "$work/route.log"; echo "plroute never became ready"; exit 1; }
+radmin=$(sed -n 's/.*msg=admin addr=//p' "$work/route.log")
+# No -json: the BENCH file must keep exactly the two rows asserted above.
+"$work/bin/plload" -addr "$raddr" -duration 1500ms -warmup 300ms \
+    -conns 2 -workers 2 -batch 256 -trace-sample 8 | tee "$work/trace.log"
+grep -q "trace: per-stage latency attribution" "$work/trace.log" \
+    || { echo "no attribution table in plload output"; exit 1; }
+cover=$(sed -n 's/.*trace: stage sum covers \([0-9.]*\)%.*/\1/p' "$work/trace.log" | head -1)
+[ -n "$cover" ] || { echo "no coverage line in plload output"; exit 1; }
+awk -v c="$cover" 'BEGIN { exit (c >= 95.0 && c <= 101.0) ? 0 : 1 }' \
+    || { echo "stage sum covers $cover% of e2e, want within 5%"; exit 1; }
+curl -fsS "http://$radmin/debug/traces" >"$work/traces.json"
+python3 - "$work/traces.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+traces = doc.get("traces", [])
+assert traces, "router /debug/traces is empty after a sampled run"
+tr = traces[0]
+assert tr["trace_id"] and tr["stages"], f"trace missing id/stages: {tr}"
+hops = {s["hop"] for s in tr["stages"]}
+assert "local" in hops, f"no local-hop stages in {sorted(hops)}"
+print(f"   /debug/traces OK: {len(traces)} traces, newest has "
+      f"{len(tr['stages'])} stages across hops {sorted(hops)}")
+PY
+curl -fsS "http://$radmin/debug/slowlog" >"$work/slowlog.json"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$work/slowlog.json" \
+    || { echo "slowlog endpoint returned bad JSON"; exit 1; }
+echo "   traced run OK: coverage=$cover%, slowlog artifact captured"
+
+kill -TERM "$route_pid"
+wait "$route_pid" || { echo "plroute exited non-zero"; cat "$work/route.log"; exit 1; }
+route_pid=""
+for p in $shard_pids; do kill -TERM "$p"; done
+for p in $shard_pids; do wait "$p" || { echo "traced shard $p exited non-zero"; exit 1; }; done
+shard_pids=""
+
 cp "$work/BENCH_serving.json" "${BENCH_OUT:-$work/BENCH_serving.json}" 2>/dev/null || true
+cp "$work/slowlog.json" "${SLOWLOG_OUT:-$work/slowlog.json}" 2>/dev/null || true
 echo "== load smoke OK"

@@ -23,17 +23,17 @@ echo "== generate + label"
 echo "== serve (port 0 = kernel-assigned, admin plane on)"
 "$work/bin/plserve" -labels "$work/labels.pllb" -addr 127.0.0.1:0 -admin-addr 127.0.0.1:0 >"$work/serve.log" 2>&1 &
 serve_pid=$!
-# The daemon prints "plserve: listening on HOST:PORT" once ready (and
-# "plserve: admin on HOST:PORT" for the admin endpoint).
+# The daemon logs msg=listening addr=HOST:PORT once ready (and msg=admin
+# addr=HOST:PORT for the admin endpoint).
 addr=""
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^plserve: listening on //p' "$work/serve.log")
+    addr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve.log")
     [ -n "$addr" ] && break
     kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve.log"; echo "plserve died"; exit 1; }
     sleep 0.1
 done
 [ -n "$addr" ] || { cat "$work/serve.log"; echo "plserve never became ready"; exit 1; }
-admin=$(sed -n 's/^plserve: admin on //p' "$work/serve.log")
+admin=$(sed -n 's/.*msg=admin addr=//p' "$work/serve.log")
 [ -n "$admin" ] || { cat "$work/serve.log"; echo "no admin address line"; exit 1; }
 echo "   plserve up at $addr, admin at $admin (pid $serve_pid)"
 
@@ -65,7 +65,13 @@ for fam in adjserve_frames_total adjserve_bytes_in_total engine_branch_thin_tota
            labelstore_mapped_bytes go_goroutines process_uptime_seconds_total; do
     grep -q "^$fam" "$work/metrics.txt" || { echo "family $fam missing from scrape"; exit 1; }
 done
-echo "   scrape OK: adjserve_queries_total=$q engine_queries_total=$eq mmap_opens=$mm"
+grep -q '^plabel_build_info{' "$work/metrics.txt" \
+    || { echo "no plabel_build_info gauge in scrape"; exit 1; }
+grep '^plabel_build_info{' "$work/metrics.txt" | grep -q 'goversion="go' \
+    || { echo "plabel_build_info missing goversion label"; exit 1; }
+grep '^plabel_build_info{' "$work/metrics.txt" | grep -q 'scheme="powerlaw' \
+    || { echo "plabel_build_info missing scheme label"; exit 1; }
+echo "   scrape OK: adjserve_queries_total=$q engine_queries_total=$eq mmap_opens=$mm build_info present"
 
 echo "== graceful shutdown on SIGTERM"
 kill -TERM "$serve_pid"
@@ -83,13 +89,13 @@ grep -q "layout: degree-ordered" "$work/label-deg.log" \
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^plserve: listening on //p' "$work/serve-deg.log")
+    addr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve-deg.log")
     [ -n "$addr" ] && break
     kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve-deg.log"; echo "plserve (degree) died"; exit 1; }
     sleep 0.1
 done
 [ -n "$addr" ] || { cat "$work/serve-deg.log"; echo "plserve (degree) never became ready"; exit 1; }
-admin=$(sed -n 's/^plserve: admin on //p' "$work/serve-deg.log")
+admin=$(sed -n 's/.*msg=admin addr=//p' "$work/serve-deg.log")
 grep -q "layout=degree" "$work/serve-deg.log" \
     || { echo "plserve did not report layout=degree"; cat "$work/serve-deg.log"; exit 1; }
 
@@ -128,7 +134,7 @@ done
 for i in 0 1 2; do
     saddr=""
     for _ in $(seq 1 100); do
-        saddr=$(sed -n 's/^plserve: listening on //p' "$work/serve-sh$i.log")
+        saddr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve-sh$i.log")
         [ -n "$saddr" ] && break
         sleep 0.1
     done
@@ -143,13 +149,13 @@ shard_addrs="${shard_addrs#,}"
 route_pid=$!
 raddr=""
 for _ in $(seq 1 100); do
-    raddr=$(sed -n 's/^plroute: listening on //p' "$work/route.log")
+    raddr=$(sed -n 's/.*msg=listening addr=//p' "$work/route.log")
     [ -n "$raddr" ] && break
     kill -0 "$route_pid" 2>/dev/null || { cat "$work/route.log"; echo "plroute died"; exit 1; }
     sleep 0.1
 done
 [ -n "$raddr" ] || { cat "$work/route.log"; echo "plroute never became ready"; exit 1; }
-radmin=$(sed -n 's/^plroute: admin on //p' "$work/route.log")
+radmin=$(sed -n 's/.*msg=admin addr=//p' "$work/route.log")
 echo "   fleet $shard_addrs behind plroute at $raddr"
 
 echo "== query: routed fleet vs single-store local must be byte-identical"
@@ -197,7 +203,7 @@ done
 for i in 0 1; do
     daddr=""
     for _ in $(seq 1 100); do
-        daddr=$(sed -n 's/^plserve: listening on //p' "$work/serve-dist$i.log")
+        daddr=$(sed -n 's/.*msg=listening addr=//p' "$work/serve-dist$i.log")
         [ -n "$daddr" ] && break
         sleep 0.1
     done
@@ -222,13 +228,13 @@ echo "== replica fleet: 2 identical distance servers behind plroute"
 route_pid=$!
 raddr=""
 for _ in $(seq 1 100); do
-    raddr=$(sed -n 's/^plroute: listening on //p' "$work/route-dist.log")
+    raddr=$(sed -n 's/.*msg=listening addr=//p' "$work/route-dist.log")
     [ -n "$raddr" ] && break
     kill -0 "$route_pid" 2>/dev/null || { cat "$work/route-dist.log"; echo "plroute (replicas) died"; exit 1; }
     sleep 0.1
 done
 [ -n "$raddr" ] || { cat "$work/route-dist.log"; echo "plroute (replicas) never became ready"; exit 1; }
-grep -q "2 replicas handshaked" "$work/route-dist.log" \
+grep -q "msg=handshaked shards=2 fleet=replicas" "$work/route-dist.log" \
     || { echo "fleet not admitted as replicas"; cat "$work/route-dist.log"; exit 1; }
 "$work/bin/plquery" -dist -remote "$raddr" -batch <"$work/pairs.txt" >"$work/dist-routed.out"
 diff "$work/dist-local.out" "$work/dist-routed.out"
